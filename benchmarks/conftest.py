@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (a table or a figure),
+prints it paper-style, and asserts its shape checks.  The heavy
+simulations run with ``pedantic(rounds=1)`` — a Table 3 regeneration is
+36 deployments + 90 transitions of a full distributed simulation; timing
+one round is plenty.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

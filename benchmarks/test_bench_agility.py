@@ -1,0 +1,24 @@
+"""Benchmark: Sec. 6.2 — agile vs preprogrammed adaptation."""
+
+from conftest import run_once
+
+from repro.eval import agility
+
+
+def test_bench_agility(benchmark):
+    data = run_once(benchmark, agility.generate)
+    print("\n" + agility.render(data))
+    assert agility.shape_checks(data) == []
+
+    # the paper's qualitative conclusions, as assertions:
+    agile = data["agile"]
+    pre = data["preprogrammed"]
+    # 1. agility costs switch latency (within the related-work spread the
+    #    paper discusses: preprogrammed 4.5-390 ms, agile ~1 s)
+    assert pre["switch_ms"] < 400
+    assert 300 <= agile["switch_ms"] <= 3000
+    # 2. preprogramming costs resident dead code
+    assert pre["resident_variants"] > agile["resident_variants"]
+    # 3. only the agile system integrates an FTM unknown at design time
+    assert agile["field_update_possible"]
+    assert not pre["field_update_possible"]

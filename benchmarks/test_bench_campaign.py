@@ -1,0 +1,21 @@
+"""Benchmark: randomised fault-injection campaign (statistical resilience).
+
+Not a single paper artifact but the statistical strengthening of its
+claims: across randomised missions combining crashes, transient value
+faults and concurrent on-line transitions, the system must never lose or
+duplicate work and must mask every model-conformant fault.
+"""
+
+from conftest import run_once
+
+from repro.eval import campaign
+
+MISSIONS = 10
+
+
+def test_bench_campaign(benchmark):
+    data = run_once(benchmark, campaign.generate, missions=MISSIONS)
+    print("\n" + campaign.render(data))
+    assert campaign.shape_checks(data) == []
+    assert data["clean_missions"] == MISSIONS
+    assert data["total_reintegrations"] >= MISSIONS  # every crash recovered

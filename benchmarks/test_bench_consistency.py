@@ -1,0 +1,13 @@
+"""Benchmark: Sec. 5.3 — consistency of distributed adaptation."""
+
+from conftest import run_once
+
+from repro.eval import consistency_eval
+
+RUNS = 5
+
+
+def test_bench_consistency(benchmark):
+    data = run_once(benchmark, consistency_eval.generate, runs=RUNS)
+    print("\n" + consistency_eval.render(data))
+    assert consistency_eval.shape_checks(data) == []

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2 — the FTM transition graph."""
+
+from conftest import run_once
+
+from repro.eval import figure2
+
+
+def test_bench_figure2(benchmark):
+    data = run_once(benchmark, figure2.generate)
+    print("\n" + figure2.render(data))
+    # every Figure 2 edge is realisable by at least one scenario event
+    assert figure2.coverage(data) == []
+    # and the graph has exactly the paper's nodes
+    assert set(data["graph"]) == {"pbr", "lfr", "pbr+tr", "lfr+tr", "a+duplex"}

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4 — development effort of the patterns."""
+
+from conftest import run_once
+
+from repro.eval import figure4
+
+
+def test_bench_figure4(benchmark):
+    data = run_once(benchmark, figure4.generate)
+    print("\n" + figure4.render(data))
+    assert figure4.shape_checks(data) == []

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 5 — SLOC per pattern element."""
+
+from conftest import run_once
+
+from repro.eval import figure5
+
+
+def test_bench_figure5(benchmark):
+    data = run_once(benchmark, figure5.generate)
+    print("\n" + figure5.render(data))
+    assert figure5.shape_checks(data) == []
+    # the paper's plot tops out around 250 SLOC per element; ours are in
+    # the same order of magnitude
+    assert all(sloc <= 250 for sloc in data.values())

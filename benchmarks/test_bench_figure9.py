@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 — transition-phase breakdown."""
+
+from conftest import run_once
+
+from repro.eval import figure9
+
+RUNS = 3
+
+
+def test_bench_figure9(benchmark):
+    data = run_once(benchmark, figure9.generate, runs=RUNS)
+    print("\n" + figure9.render(data))
+    assert figure9.shape_checks(data) == []
+
+    # phase shares stay near the paper's (±10 percentage points)
+    for transition, paper_shares in figure9.PAPER_FIGURE9.items():
+        ours = data["transitions"][transition]["shares"]
+        for phase, paper_share in paper_shares.items():
+            assert abs(ours[phase] - paper_share) <= 0.10, (
+                transition, phase, ours[phase], paper_share,
+            )

@@ -1,0 +1,52 @@
+"""Ablation: per-FTM request latency (the runtime price of each mechanism).
+
+Not a paper artifact — the paper measures adaptation, not request
+latency — but it quantifies the R-dimension trade-offs Table 1 states
+qualitatively: TR's redundant execution roughly doubles service time,
+A&Duplex adds only the assertion check on the fault-free path, and the
+duplex strategies differ by their synchronisation pattern, not by
+latency.
+"""
+
+from conftest import run_once
+
+from repro.app.workloads import constant
+from repro.ftm import FTM_NAMES, Client, deploy_ftm_pair
+from repro.kernel import World
+
+REQUESTS = 20
+
+
+def _latency_for(ftm: str, seed: int = 7000) -> float:
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def do():
+        pair = yield from deploy_ftm_pair(
+            world, ftm, ["alpha", "beta"], assertion="counter-range"
+        )
+        client = Client(
+            world, world.cluster.node("client"), "c1", pair.node_names()
+        )
+        result = yield from constant(world, client, count=REQUESTS, period_ms=50.0)
+        return result.mean_latency_ms
+
+    return world.run_process(do(), name="latency")
+
+
+def test_bench_latency(benchmark):
+    def measure():
+        return {ftm: _latency_for(ftm) for ftm in FTM_NAMES}
+
+    latencies = run_once(benchmark, measure)
+    print("\nmean request latency by FTM (fault-free, ms):")
+    for ftm, latency in latencies.items():
+        print(f"  {ftm:8s} {latency:6.2f}")
+
+    # TR variants pay the redundant execution (~2x the processing time)
+    assert latencies["pbr+tr"] > latencies["pbr"] * 1.5
+    assert latencies["lfr+tr"] > latencies["lfr"] * 1.5
+    # assertion checking on the fault-free path is nearly free
+    assert latencies["a+pbr"] < latencies["pbr"] * 1.3
+    # passive and active replication have comparable fault-free latency
+    assert abs(latencies["pbr"] - latencies["lfr"]) < latencies["pbr"] * 0.5

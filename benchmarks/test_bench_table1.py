@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 1 — (FT, A, R) parameters of the FTMs."""
+
+from conftest import run_once
+
+from repro.eval import table1
+
+
+def test_bench_table1(benchmark):
+    data = run_once(benchmark, table1.generate)
+    print("\n" + table1.render(data))
+    result = table1.fidelity(data)
+    print(f"fidelity: {result['matches']}/{result['total']} cells match the paper")
+    for row, column, expected, actual in result["mismatches"]:
+        print(f"  documented divergence: {row}/{column}: paper={expected} ours={actual}")
+    # 30/32 cells must match; the two divergences are documented in
+    # EXPERIMENTS.md (A&Duplex variant choice; LFR CPU follows the paper's
+    # text, which contradicts its own table)
+    assert result["matches"] >= 30
+    assert len(result["mismatches"]) <= 2

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 2 — the Before/Proceed/After scheme."""
+
+from conftest import run_once
+
+from repro.eval import table2
+from repro.eval.table2 import PAPER_TABLE2
+
+
+def test_bench_table2(benchmark):
+    data = run_once(benchmark, table2.generate)
+    print("\n" + table2.render(data))
+
+    # every paper row must be present with the same step content
+    scheme = data["scheme"]
+    for role, before, proceed, after in PAPER_TABLE2:
+        matched = _lookup(scheme, role)
+        assert matched is not None, f"missing scheme row for {role}"
+        assert before.lower() in matched["before"].lower()
+        assert _step_compatible(proceed, matched["proceed"])
+        assert _step_compatible(after, matched["after"])
+
+    # the component mapping covers all six FTMs with three slots each
+    assert len(data["components"]) == 6
+    for slots in data["components"].values():
+        assert set(slots) == {"syncBefore", "proceed", "syncAfter"}
+
+
+def _lookup(scheme, role):
+    if role in scheme:
+        return scheme[role]
+    # A&Duplex is represented by its primary role
+    for key, steps in scheme.items():
+        if key.startswith("A&") and "Primary" in key and role == "A&Duplex":
+            return steps
+    return None
+
+
+def _step_compatible(paper_step, our_step):
+    return paper_step.split(" (")[0].lower() in our_step.lower()

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 3 — deployment vs transition times.
+
+36 full deployments + 90 differential transitions of the simulated
+two-replica platform (3 seeded runs per cell; the paper averaged 100 on
+real hardware — raise ``RUNS`` for tighter averages).
+"""
+
+from conftest import run_once
+
+from repro.eval import table3
+from repro.ftm import FTM_NAMES
+
+RUNS = 3
+
+
+def test_bench_table3(benchmark):
+    data = run_once(benchmark, table3.generate, runs=RUNS)
+    print("\n" + table3.render(data))
+
+    problems = table3.shape_checks(data)
+    assert problems == [], problems
+
+    # headline numbers stay in the paper's band (simulator calibration):
+    for ftm in FTM_NAMES:
+        assert 3_300 <= data["deployment"][ftm] <= 4_300
+    for (source, target), value in data["transitions"].items():
+        if source != target:
+            assert 600 <= value <= 1_500, (source, target, value)
+
+    # the paper's key ratio: transitions are ~3-5x faster than deployment
+    mean_deploy = sum(data["deployment"].values()) / len(data["deployment"])
+    off_diagonal = [v for (s, t), v in data["transitions"].items() if s != t]
+    mean_transition = sum(off_diagonal) / len(off_diagonal)
+    ratio = mean_deploy / mean_transition
+    print(f"\nmean deployment / mean transition = {ratio:.2f}x (paper ~3.8x)")
+    assert 2.5 <= ratio <= 6.0

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Over-the-air software updates in a car: A-changes drive FTM adaptation.
+
+The paper names "automotive applications regarding over-the-air software
+updates" as the second target domain.  Here a vehicle's two ECUs run a
+replicated driver-assistance function; OTA updates change the
+*application characteristics* (the A of (FT, A, R)), and the Resilience
+Manager keeps the fault-tolerance mechanism consistent:
+
+* **v1** — deterministic, state-accessible: protected by PBR;
+* **v2 (OTA)** — introduces a sensor-fusion component: the new version is
+  **non-deterministic** → PBR still works (only the primary computes) but
+  LFR never would; the graph records an *intra-FTM* change;
+* **v3 (OTA)** — a vendor library hides the internal state: **state
+  access is lost** → checkpointing is impossible, PBR is invalid... and
+  with the app still non-deterministic there is **no generic solution**:
+  the update is *refused* by the dependability check, exactly the kind of
+  inconsistency detection Figure 1 places before any on-line adaptation;
+* **v3'** — the vendor restores determinism: now LFR (which needs no
+  state access) is valid, and the mandatory transition runs during the
+  OTA window.
+"""
+
+from repro.core import (
+    AdaptationEngine,
+    MonitoringEngine,
+    NoValidFTM,
+    ResilienceManager,
+    SystemManager,
+    select_ftm,
+)
+from repro.core.transition_graph import _ctx, event
+from repro.ftm import Client, deploy_ftm_pair
+from repro.kernel import Timeout, World
+
+
+def main() -> None:
+    world = World(seed=11)
+    world.add_nodes(["ecu-1", "ecu-2", "gateway"])
+
+    def deploy():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["ecu-1", "ecu-2"])
+        return pair
+
+    pair = world.run_process(deploy(), name="deploy")
+    engine = AdaptationEngine(world, pair)
+    monitoring = MonitoringEngine(world, ["ecu-1", "ecu-2"])
+    ota_manager = SystemManager(auto_approve=True)  # the OTA pipeline is scripted
+    resilience = ResilienceManager(
+        world, engine, monitoring, _ctx(), system_manager=ota_manager
+    )
+    monitoring.start()
+    resilience.start()
+
+    bus = Client(world, world.cluster.node("gateway"), "can-bus", pair.node_names())
+
+    print(f"[{world.now:8.0f} ms] vehicle running v1 under {pair.ftm!r}")
+
+    def ota_campaign():
+        reply = yield from bus.request(("add", 3))
+        assert reply.ok
+
+        # ---- v2: the update makes the application non-deterministic -------
+        print(f"\n[{world.now:8.0f} ms] OTA v2: application becomes "
+              "non-deterministic (A change, reported by the developer)")
+        resilience.notify_event("application-non-determinism")
+        yield Timeout(2_000.0)
+        print(f"[{world.now:8.0f} ms] still {pair.ftm!r}: PBR accepts "
+              "non-determinism (intra-FTM change only)")
+        assert pair.ftm == "pbr"
+
+        # ---- v3: the vendor library hides the state -------------------------
+        print(f"\n[{world.now:8.0f} ms] OTA v3 proposal: state access would "
+              "be lost")
+        v3_context = event("state-access-loss").apply(resilience.context)
+        try:
+            select_ftm(v3_context)
+            verdict = "accepted"
+        except NoValidFTM as exc:
+            verdict = f"REFUSED: {exc}"
+        print(f"[{world.now:8.0f} ms] dependability check -> "
+              f"{verdict.splitlines()[0][:90]}")
+        assert verdict.startswith("REFUSED")
+        # the OTA pipeline holds the update back; the vehicle stays on v2
+
+        # ---- v3': vendor fixes determinism first -----------------------------
+        print(f"\n[{world.now:8.0f} ms] OTA v3': determinism restored, then "
+              "state access lost — LFR becomes mandatory")
+        resilience.notify_event("application-determinism")
+        yield Timeout(2_000.0)
+        resilience.notify_event("state-access-loss")
+        yield Timeout(3_000.0)
+        print(f"[{world.now:8.0f} ms] now running {pair.ftm!r} "
+              "(no checkpointing needed)")
+        assert pair.ftm == "lfr"
+
+        reply = yield from bus.request(("add", 3))
+        assert reply.ok and reply.value == 6
+        print(f"[{world.now:8.0f} ms] service uninterrupted across the "
+              f"campaign (counter = {reply.value})")
+
+    world.run_process(ota_campaign(), name="ota")
+    executed = [d for d in resilience.decisions if d["executed"]]
+    print(f"\nOTA campaign done; {len(executed)} transition(s) executed, "
+          f"{engine.repository.packages_built} package(s) built")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — adaptive fault tolerance through component-based FTMs.
+
+A from-scratch Python reproduction of Stoicescu, Fabre & Roy's
+*Architecting Resilient Computing Systems* (adaptive fault tolerance via
+fine-grained on-line reconfiguration of component-based fault-tolerance
+mechanisms).
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.kernel` — deterministic discrete-event simulation of hosts,
+  network, faults and stable storage;
+* :mod:`repro.components` — reflective component model (the SCA/FraSCAti
+  substitute);
+* :mod:`repro.script` — transactional reconfiguration DSL (the FScript
+  substitute);
+* :mod:`repro.patterns` — the fault-tolerance design-pattern system
+  (Figure 3);
+* :mod:`repro.app` — protected applications and safety assertions;
+* :mod:`repro.ftm` — the component-based FTMs running on the simulator
+  (Figure 6);
+* :mod:`repro.core` — the adaptive-fault-tolerance loop: (FT, A, R)
+  model, transition graphs, packages, Adaptation Engine, Monitoring
+  Engine, Resilience Management (Figures 1, 2, 7, 8);
+* :mod:`repro.eval` — regenerates every table and figure of the paper.
+
+Sixty-second tour::
+
+    from repro.kernel import World
+    from repro.ftm import Client, deploy_ftm_pair
+    from repro.core import AdaptationEngine
+
+    world = World(seed=42)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def scenario():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        client = Client(world, world.cluster.node("client"), "c1",
+                        pair.node_names())
+        yield from client.request(("add", 5))
+        engine = AdaptationEngine(world, pair)
+        yield from engine.transition("lfr")       # on-line, differential
+        reply = yield from client.request(("get",))
+        return reply.value                         # 5 — state survived
+
+    assert world.run_process(scenario()) == 5
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["kernel", "components", "script", "patterns", "app", "ftm", "core", "eval"]

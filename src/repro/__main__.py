@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+========
+
+``info``
+    Package, catalog and scenario-graph summary.
+``tables``
+    Print the static artifacts (Tables 1–2, Figures 2/4/5/8) — no
+    simulation, instant.
+``reproduce [--runs N]``
+    Run the full evaluation (Table 3, Figure 9, agility, consistency
+    included); exits non-zero if any paper claim fails to reproduce.
+``demo``
+    A 20-second guided tour: deploy, crash, fail over, adapt on-line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.core import EVENTS, build_scenario_graph
+    from repro.ftm import FTM_NAMES, VARIABLE_FEATURES
+
+    print(f"repro {repro.__version__} — adaptive fault tolerance reproduction")
+    print(f"\nFTM catalog ({len(FTM_NAMES)}):")
+    for ftm in FTM_NAMES:
+        slots = VARIABLE_FEATURES[ftm]
+        print(
+            f"  {ftm:8s} syncBefore={slots['syncBefore'].__name__:15s} "
+            f"proceed={slots['proceed'].__name__:17s} "
+            f"syncAfter={slots['syncAfter'].__name__}"
+        )
+    states, edges = build_scenario_graph()
+    kinds = {}
+    for edge in edges:
+        kinds[edge.kind] = kinds.get(edge.kind, 0) + 1
+    print(
+        f"\nscenario graph: {len(states)} states, {len(edges)} edges "
+        f"({', '.join(f'{v} {k}' for k, v in sorted(kinds.items()))})"
+    )
+    print(f"parameter events: {', '.join(e.name for e in EVENTS)}")
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.eval import figure2, figure4, figure5, figure8, table1, table2
+
+    for module in (table1, table2, figure2, figure4, figure5, figure8):
+        print(module.render(module.generate()))
+        print()
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.eval import (
+        agility,
+        consistency_eval,
+        figure2,
+        figure4,
+        figure5,
+        figure8,
+        figure9,
+        table1,
+        table2,
+        table3,
+    )
+
+    failures = []
+
+    def run(title, module, data, checks):
+        print(module.render(data))
+        problems = checks(data)
+        status = "reproduces" if not problems else f"FAILS: {problems}"
+        print(f"  -> {title}: {status}\n")
+        failures.extend(f"{title}: {p}" for p in problems)
+
+    run("Table 1", table1, table1.generate(),
+        lambda d: [] if table1.fidelity(d)["matches"] >= 30 else ["fidelity"])
+    run("Table 2", table2, table2.generate(), lambda _d: [])
+    print("simulating Table 3 ...")
+    run("Table 3", table3, table3.generate(runs=args.runs), table3.shape_checks)
+    run("Figure 2", figure2, figure2.generate(), figure2.coverage)
+    run("Figure 4", figure4, figure4.generate(), figure4.shape_checks)
+    run("Figure 5", figure5, figure5.generate(), figure5.shape_checks)
+    run("Figure 8", figure8, figure8.generate(), figure8.fidelity)
+    run("Figure 9", figure9, figure9.generate(runs=args.runs), figure9.shape_checks)
+    run("Sec 6.2", agility, agility.generate(), agility.shape_checks)
+    run("Sec 5.3", consistency_eval, consistency_eval.generate(runs=max(2, args.runs)),
+        consistency_eval.shape_checks)
+
+    if failures:
+        print(f"{len(failures)} claim(s) FAILED")
+        return 1
+    print("every table and figure reproduces the paper's shape")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro.core import AdaptationEngine
+    from repro.ftm import Client, deploy_ftm_pair
+    from repro.kernel import Timeout, World
+
+    world = World(seed=42)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def scenario():
+        print("deploying PBR over alpha/beta ...")
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        pair.enable_recovery(restart_delay=300.0)
+        client = Client(world, world.cluster.node("client"), "you",
+                        pair.node_names())
+        engine = AdaptationEngine(world, pair)
+
+        reply = yield from client.request(("add", 7))
+        print(f"  add 7 -> {reply.value} (served by {reply.served_by})")
+        print("crashing the primary ...")
+        world.cluster.node("alpha").crash()
+        reply = yield from client.request(("add", 3))
+        print(f"  add 3 -> {reply.value} (served by {reply.served_by} — failover)")
+        yield Timeout(6_000.0)
+        print("transitioning PBR -> LFR on-line ...")
+        report = yield from engine.transition("lfr")
+        print(f"  done in {report.per_replica_ms:.0f} ms/replica "
+              f"({report.component_count} components replaced)")
+        reply = yield from client.request(("get",))
+        print(f"  get -> {reply.value} under {pair.ftm!r}: state survived")
+
+    world.run_process(scenario(), name="demo")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="catalog and graph summary")
+    sub.add_parser("tables", help="print the static artifacts")
+    reproduce = sub.add_parser("reproduce", help="run the full evaluation")
+    reproduce.add_argument("--runs", type=int, default=1)
+    sub.add_parser("demo", help="guided tour")
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "tables": _cmd_tables,
+        "reproduce": _cmd_reproduce,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Built-in applications and safety assertions.
+
+Importing this module registers the default catalog.  The application
+implementations are the concrete servers of the pattern framework — the
+same business logic runs under the OO patterns and under the
+component-based FTMs, which is itself a separation-of-concerns check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.registry import register_application, register_assertion
+from repro.patterns.server import (
+    CounterServer,
+    KeyValueServer,
+    NonDeterministicServer,
+)
+
+
+def _register_builtins() -> None:
+    register_application(
+        "counter",
+        CounterServer,
+        deterministic=True,
+        state_accessible=True,
+        processing_cost_ms=5.0,
+    )
+    register_application(
+        "kv-store",
+        KeyValueServer,
+        deterministic=True,
+        state_accessible=True,
+        processing_cost_ms=4.0,
+    )
+    register_application(
+        "sensor-fusion",
+        NonDeterministicServer,
+        deterministic=False,
+        state_accessible=False,
+        processing_cost_ms=8.0,
+    )
+
+    register_assertion("counter-range", _counter_range)
+    register_assertion("result-not-none", _result_not_none)
+    register_assertion("always-true", lambda _payload, _result: True)
+
+
+def _counter_range(_payload: Any, result: Any) -> bool:
+    """Safety envelope for the counter application (from its FMECA)."""
+    return isinstance(result, int) and 0 <= result < 1_000_000
+
+
+def _result_not_none(_payload: Any, result: Any) -> bool:
+    return result is not None
+
+
+_register_builtins()

@@ -1,0 +1,118 @@
+"""On-line architecture exploration (the FraSCAti "explore" capability).
+
+The paper's minimal middleware API includes *on-line exploration* of
+component-based assemblies.  This module provides the query side:
+navigation over a live composite, structural searches, connectivity
+analysis, and a human-readable architecture report (what an operator —
+the System Manager — looks at before approving a transition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.components.composite import Composite
+from repro.components.model import Component, LifecycleState
+
+
+def components_in_state(
+    composite: Composite, state: LifecycleState
+) -> List[Component]:
+    """All components currently in the given lifecycle state."""
+    return [
+        component
+        for _name, component in sorted(composite.components.items())
+        if component.state == state
+    ]
+
+
+def find_by_implementation(
+    composite: Composite, class_name: str
+) -> List[Component]:
+    """Components whose implementation class matches ``class_name``."""
+    return [
+        component
+        for _name, component in sorted(composite.components.items())
+        if type(component.implementation).__name__ == class_name
+    ]
+
+
+def dependencies_of(composite: Composite, name: str) -> Set[str]:
+    """Names of components ``name`` is wired to (its providers)."""
+    return {wire.target.name for wire in composite.wires_out_of(name)}
+
+
+def dependents_of(composite: Composite, name: str) -> Set[str]:
+    """Names of components wired *to* ``name`` (its consumers)."""
+    return {wire.source.name for wire in composite.wires_into(name)}
+
+
+def reachable_from(composite: Composite, name: str) -> Set[str]:
+    """Transitive closure of the wire graph from one component."""
+    seen: Set[str] = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(dependencies_of(composite, current) - seen)
+    seen.discard(name)
+    return seen
+
+
+def orphans(composite: Composite) -> List[str]:
+    """Components with no wires in either direction and no promotion.
+
+    A non-empty answer after a transition means the script left residual
+    bricks behind — the "dead code" the agile approach promises to avoid.
+    """
+    promoted = {component for component, _service in composite.promotions.values()}
+    out = []
+    for name in sorted(composite.components):
+        if name in promoted:
+            continue
+        if composite.wires_into(name) or composite.wires_out_of(name):
+            continue
+        out.append(name)
+    return out
+
+
+def invocation_counts(composite: Composite) -> Dict[str, int]:
+    """Lifetime invocation count per component (hot-spot analysis)."""
+    return {
+        name: component.invocation_count
+        for name, component in sorted(composite.components.items())
+    }
+
+
+def describe(composite: Composite) -> str:
+    """A human-readable architecture report."""
+    lines = [f"composite {composite.name!r}"]
+    lines.append(
+        f"  gate: {'open' if composite.gate_open else 'CLOSED'}; "
+        f"{len(composite.components)} components, "
+        f"{len(composite.wires())} wires, "
+        f"{len(composite.promotions)} promoted services"
+    )
+    for name, component in sorted(composite.components.items()):
+        implementation = type(component.implementation).__name__
+        lines.append(
+            f"  [{component.state.value:9s}] {name:16s} <- {implementation}"
+        )
+        for reference in component.references.values():
+            targets = ", ".join(
+                f"{wire.target.name}.{wire.service}" for wire in reference.wires
+            ) or "(unwired)"
+            lines.append(f"      .{reference.name} -> {targets}")
+        if component.properties:
+            rendered = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(component.properties.items())
+            )
+            lines.append(f"      properties: {rendered}")
+    for external, (component, service) in sorted(composite.promotions.items()):
+        lines.append(f"  service {external!r} => {component}.{service}")
+    stray = orphans(composite)
+    if stray:
+        lines.append(f"  ORPHANS: {', '.join(stray)}")
+    return "\n".join(lines)

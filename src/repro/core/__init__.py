@@ -1,0 +1,120 @@
+"""The paper's primary contribution: agile adaptation of FTMs.
+
+Public surface::
+
+    from repro.core import (
+        SystemContext, FaultClass, evaluate_ftm, select_ftm,
+        Repository, AdaptationEngine, MonitoringEngine, ResilienceManager,
+        SystemManager, PreprogrammedAdaptation,
+    )
+"""
+
+from repro.core.adaptation_engine import (
+    AdaptationEngine,
+    ReplicaTransitionReport,
+    TransitionReport,
+)
+from repro.core.consistency import (
+    ValidityReport,
+    evaluate_ftm,
+    is_consistent,
+    rank_ftms,
+    select_ftm,
+    transition_necessity,
+)
+from repro.core.errors import (
+    AdaptationError,
+    NoValidFTM,
+    PackageRejected,
+    TransitionFailed,
+)
+from repro.core.monitoring import MonitoringEngine, Thresholds, Trigger
+from repro.core.parameters import (
+    ApplicationCharacteristics,
+    FaultClass,
+    FaultToleranceRequirements,
+    ResourceState,
+    SystemContext,
+)
+from repro.core.phases import Phase, PhaseManager, PhaseSchedule
+from repro.core.preprogrammed import (
+    PreprogrammedAdaptation,
+    preprogrammed_assembly,
+)
+from repro.core.repository import Repository, spec_architecture
+from repro.core.resilience import Proposal, ResilienceManager, SystemManager
+from repro.core.stability import (
+    OscillationOutcome,
+    StabilityViolation,
+    replay_oscillation,
+    verify_no_oscillation,
+)
+from repro.core.transition import TransitionPackage, build_package
+from repro.core.transition_graph import (
+    EVENTS,
+    FIGURE2_EDGES,
+    FIGURE2_NODES,
+    ParameterEvent,
+    ScenarioEdge,
+    ScenarioState,
+    build_scenario_graph,
+    event,
+    figure2_graph,
+    mandatory_edges,
+    possible_edges,
+    select_target,
+    state_label,
+)
+
+__all__ = [
+    "AdaptationEngine",
+    "ReplicaTransitionReport",
+    "TransitionReport",
+    "ValidityReport",
+    "evaluate_ftm",
+    "is_consistent",
+    "rank_ftms",
+    "select_ftm",
+    "transition_necessity",
+    "AdaptationError",
+    "NoValidFTM",
+    "PackageRejected",
+    "TransitionFailed",
+    "MonitoringEngine",
+    "Thresholds",
+    "Trigger",
+    "ApplicationCharacteristics",
+    "FaultClass",
+    "FaultToleranceRequirements",
+    "ResourceState",
+    "SystemContext",
+    "Phase",
+    "PhaseManager",
+    "PhaseSchedule",
+    "PreprogrammedAdaptation",
+    "preprogrammed_assembly",
+    "Repository",
+    "spec_architecture",
+    "Proposal",
+    "ResilienceManager",
+    "SystemManager",
+    "OscillationOutcome",
+    "StabilityViolation",
+    "replay_oscillation",
+    "verify_no_oscillation",
+    "TransitionPackage",
+    "build_package",
+    "EVENTS",
+    "FIGURE2_EDGES",
+    "FIGURE2_NODES",
+    "ParameterEvent",
+    "ScenarioEdge",
+    "ScenarioState",
+    "build_scenario_graph",
+    "event",
+    "figure2_graph",
+    "mandatory_edges",
+    "possible_edges",
+    "select_target",
+    "state_label",
+]

@@ -1,0 +1,398 @@
+"""The Adaptation Engine (the *hot* side of Figure 7).
+
+Executes fine-grained differential transitions between FTMs on a running
+pair of replicas:
+
+1. **deploy package** — fetch the transition package from the repository
+   and unpack/instantiate its components (service continues meanwhile);
+2. **execute transition script** — close the composite gate, drain
+   in-flight requests (Sec. 5.3 quiescence), run the script through the
+   transactional interpreter;
+3. **remove residual package** — clean up staging leftovers and reopen
+   the gate.
+
+The per-phase durations of step 1–3 are what Figure 9 decomposes and
+their sum, per replica, is a Table 3 cell.
+
+Distributed consistency (Sec. 5.3): each replica reconfigures under a
+fail-silent wrapper — a ScriptException (the transaction already rolled
+back) **kills the local replica**, the surviving peer's failure detector
+promotes it to master-alone, and the target configuration is logged to
+stable storage on first success so a restarted replica rejoins in the
+configuration its peer reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.errors import TransitionFailed
+from repro.core.repository import Repository
+from repro.core.transition import TransitionPackage
+from repro.ftm.factory import FTMPair
+from repro.ftm.replica import Replica
+from repro.kernel.sim import all_of
+from repro.script.ast import Remove, TransitionScript
+from repro.script.errors import RollbackFailed, ScriptException
+from repro.script.interpreter import ScriptInterpreter
+
+
+@dataclass
+class ReplicaTransitionReport:
+    """Per-replica timing and outcome of one transition."""
+
+    node: str
+    success: bool = False
+    killed: bool = False
+    deploy_ms: float = 0.0
+    script_ms: float = 0.0
+    remove_ms: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def total_ms(self) -> float:
+        return self.deploy_ms + self.script_ms + self.remove_ms
+
+    def phase_shares(self) -> Dict[str, float]:
+        """Fraction of the total spent in each phase (Figure 9)."""
+        total = self.total_ms or 1.0
+        return {
+            "deploy_package": self.deploy_ms / total,
+            "execute_script": self.script_ms / total,
+            "remove_package": self.remove_ms / total,
+        }
+
+
+@dataclass
+class TransitionReport:
+    """Outcome of one distributed transition."""
+
+    source_ftm: str
+    target_ftm: str
+    component_count: int
+    replicas: List[ReplicaTransitionReport] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return any(r.success for r in self.replicas)
+
+    @property
+    def per_replica_ms(self) -> float:
+        """The Table 3 figure: transition time on one (successful) replica."""
+        done = [r.total_ms for r in self.replicas if r.success]
+        return sum(done) / len(done) if done else 0.0
+
+
+class AdaptationEngine:
+    """Runs transitions on an :class:`FTMPair` using a :class:`Repository`."""
+
+    def __init__(self, world, pair: FTMPair, repository: Optional[Repository] = None):
+        self.world = world
+        self.pair = pair
+        self.repository = repository or Repository()
+        self.history: List[TransitionReport] = []
+
+    # -- public API --------------------------------------------------------------
+
+    def transition(
+        self,
+        target_ftm: str,
+        inject_script_failure_on: Optional[str] = None,
+    ) -> Generator:
+        """Execute source→target on both replicas in parallel (generator).
+
+        ``inject_script_failure_on`` names a node whose script is tampered
+        with — the fault-injection hook behind the Sec. 5.3 consistency
+        experiments.  Returns a :class:`TransitionReport`.
+        """
+        source_ftm = self.pair.ftm
+        report = TransitionReport(
+            source_ftm=source_ftm,
+            target_ftm=target_ftm,
+            component_count=0,
+        )
+        if source_ftm == target_ftm:
+            self.history.append(report)
+            return report
+
+        processes = []
+        for replica in self.pair.replicas:
+            if not replica.alive:
+                report.replicas.append(
+                    ReplicaTransitionReport(
+                        node=replica.node.name, error="replica down"
+                    )
+                )
+                continue
+            tamper = inject_script_failure_on == replica.node.name
+            processes.append(
+                self.world.sim.spawn(
+                    self._transition_replica(replica, source_ftm, target_ftm, tamper),
+                    name=f"transition-{replica.node.name}",
+                )
+            )
+
+        replica_reports = yield from all_of(self.world.sim, processes)
+        report.replicas.extend(r for r in replica_reports if r is not None)
+        if report.replicas:
+            counts = [
+                r.component_count
+                for r in [self._package_for(self.pair.replicas[0], source_ftm, target_ftm)]
+            ]
+            report.component_count = counts[0]
+
+        if report.success:
+            self.world.trace.record(
+                "adaptation",
+                "transition_complete",
+                source=source_ftm,
+                target=target_ftm,
+            )
+        else:
+            self.world.trace.record(
+                "adaptation",
+                "transition_failed",
+                source=source_ftm,
+                target=target_ftm,
+            )
+
+        self.history.append(report)
+        if not report.success:
+            raise TransitionFailed(
+                f"{source_ftm} -> {target_ftm} failed on every replica"
+            )
+        return report
+
+    def update_application(
+        self, new_app: str, transfer_state: bool = True
+    ) -> Generator:
+        """Deploy a new application version on-line (the paper's A-change).
+
+        The same differential machinery handles it: only the ``server``
+        component (a *common part* for FTM transitions, but the variable
+        part of an application update) is replaced, under quiescence, with
+        an optional state transfer from the old version to the new one.
+        Returns a :class:`TransitionReport` (source/target carry
+        ``ftm@app`` labels).
+        """
+        old_app = self.pair.app
+        report = TransitionReport(
+            source_ftm=f"{self.pair.ftm}@{old_app}",
+            target_ftm=f"{self.pair.ftm}@{new_app}",
+            component_count=1,
+        )
+        if new_app == old_app:
+            self.history.append(report)
+            return report
+
+        from repro.core.transition import build_package
+
+        processes = []
+        for index, replica in enumerate(self.pair.replicas):
+            if not replica.alive:
+                report.replicas.append(
+                    ReplicaTransitionReport(node=replica.node.name, error="replica down")
+                )
+                continue
+            source_spec = self.pair.spec_for(index, app=old_app)
+            target_spec = self.pair.spec_for(index, app=new_app)
+            package = build_package(
+                report.source_ftm,
+                report.target_ftm,
+                source_spec,
+                target_spec,
+                self.pair.composite_name,
+            )
+
+            carried = {}
+
+            def capture(rep, carried=carried):
+                if transfer_state:
+                    try:
+                        carried["state"] = yield from rep.control_internal("get_state")
+                    except Exception:  # noqa: BLE001 - app without state access
+                        carried.pop("state", None)
+                return None
+                yield  # pragma: no cover - generator marker
+
+            def restore(rep, carried=carried):
+                if "state" in carried:
+                    try:
+                        yield from rep.control_internal("put_state", carried["state"])
+                    except Exception:  # noqa: BLE001 - incompatible state shape
+                        pass
+                return None
+                yield  # pragma: no cover - generator marker
+
+            def on_success() -> None:
+                if self.pair.app != new_app:
+                    self.pair.app = new_app
+                    self.pair._log_configuration(self.pair.ftm)
+
+            processes.append(
+                self.world.sim.spawn(
+                    self._run_package(
+                        replica,
+                        package,
+                        pre_script=capture,
+                        post_script=restore,
+                        on_success=on_success,
+                    ),
+                    name=f"app-update-{replica.node.name}",
+                )
+            )
+
+        replica_reports = yield from all_of(self.world.sim, processes)
+        report.replicas.extend(r for r in replica_reports if r is not None)
+        self.history.append(report)
+        if not report.success:
+            raise TransitionFailed(
+                f"application update {old_app} -> {new_app} failed on every replica"
+            )
+        self.world.trace.record(
+            "adaptation", "application_updated", old=old_app, new=new_app
+        )
+        return report
+
+    # -- per-replica execution ----------------------------------------------------------
+
+    def _package_for(
+        self, replica: Replica, source_ftm: str, target_ftm: str
+    ) -> TransitionPackage:
+        peer = next(
+            r.node.name for r in self.pair.replicas if r is not replica
+        )
+        return self.repository.transition_package(
+            source_ftm,
+            target_ftm,
+            role=replica.role() if replica.role() not in ("?", "gone") else "master",
+            peer=peer,
+            app=self.pair.app,
+            assertion=self.pair.assertion,
+            composite=self.pair.composite_name,
+        )
+
+    def _transition_replica(
+        self, replica: Replica, source_ftm: str, target_ftm: str, tamper: bool
+    ) -> Generator:
+        package = self._package_for(replica, source_ftm, target_ftm)
+
+        def on_success() -> None:
+            # Sec. 5.3: "upon successful completion of the reconfiguration
+            # of ONE replica, the current configuration is logged on stable
+            # storage" — a peer that dies mid-transition recovers into the
+            # configuration this replica reached.
+            if self.pair.ftm != target_ftm:
+                self.pair.ftm = target_ftm
+                self.pair._log_configuration(target_ftm)
+
+        report = yield from self._run_package(
+            replica, package, tamper, on_success=on_success
+        )
+        if report.success:
+            replica.deployed_ftm = target_ftm
+        return report
+
+    def _run_package(
+        self,
+        replica: Replica,
+        package: TransitionPackage,
+        tamper: bool = False,
+        pre_script=None,
+        post_script=None,
+        on_success=None,
+    ) -> Generator:
+        """The three instrumented phases of one replica-side reconfiguration."""
+        node = replica.node
+        costs = self.world.costs
+        report = ReplicaTransitionReport(node=node.name)
+        script = package.script
+        if tamper:
+            script = _tampered(script)
+
+        try:
+            # -- phase 1: deploy the transition package --------------------------
+            phase_start = self.world.now
+            yield from node.compute(costs.package_fetch)
+            yield from node.compute(
+                costs.package_unpack_base
+                + costs.package_unpack_component * package.component_count
+            )
+            report.deploy_ms = self.world.now - phase_start
+            self.world.trace.record(
+                "adaptation",
+                "package_deployed",
+                node=node.name,
+                package=package.name,
+                components=package.component_count,
+            )
+
+            # -- phase 2: execute the reconfiguration script ----------------------
+            phase_start = self.world.now
+            composite = replica.composite
+            yield from composite.drain()  # Sec. 5.3 request consistency
+            try:
+                if pre_script is not None:
+                    yield from pre_script(replica)
+                interpreter = ScriptInterpreter(replica.runtime)
+                yield from interpreter.execute(script, package.spec_index())
+                if post_script is not None:
+                    yield from post_script(replica)
+            finally:
+                composite.open_gate()
+            report.script_ms = self.world.now - phase_start
+
+            # -- phase 3: remove the residual package ------------------------------
+            phase_start = self.world.now
+            yield from node.compute(
+                costs.package_remove_base
+                + costs.package_remove_component * package.component_count
+            )
+            report.remove_ms = self.world.now - phase_start
+
+            report.success = True
+            if on_success is not None:
+                on_success()
+            self.world.trace.record(
+                "adaptation",
+                "replica_transitioned",
+                node=node.name,
+                package=package.name,
+            )
+            return report
+
+        except (ScriptException, RollbackFailed) as failure:
+            # Fail-silent wrapper (Sec. 5.3): the transaction rolled back
+            # (or worse); kill the replica so the FTM cannot linger in an
+            # inconsistent distributed configuration.
+            report.error = str(failure)
+            report.killed = True
+            self.world.trace.record(
+                "adaptation",
+                "replica_killed",
+                node=node.name,
+                reason=type(failure).__name__,
+            )
+            replica.on_crash_cleanup()
+            node.crash()
+            return report
+
+
+def _tampered(script: TransitionScript) -> TransitionScript:
+    """Append a statement that must fail (removing a ghost component)."""
+    from repro.script.ast import Path
+
+    return TransitionScript(
+        name=script.name + "-tampered",
+        statements=script.statements
+        + (Remove(Path(_first_composite(script), "ghost-component")),),
+    )
+
+
+def _first_composite(script: TransitionScript) -> str:
+    for statement in script.statements:
+        path = getattr(statement, "path", None) or getattr(statement, "source", None)
+        if path is not None:
+            return path.composite
+    return "ftm"

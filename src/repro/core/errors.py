@@ -1,0 +1,26 @@
+"""Exceptions of the adaptive-fault-tolerance core."""
+
+from __future__ import annotations
+
+
+class AdaptationError(Exception):
+    """Base class for adaptation-layer errors."""
+
+
+class NoValidFTM(AdaptationError):
+    """No FTM in the catalog satisfies the current (FT, A, R) context.
+
+    The "No generic solution" state of Figure 8.
+    """
+
+
+class TransitionFailed(AdaptationError):
+    """A distributed transition could not complete on any replica."""
+
+
+class PackageRejected(AdaptationError):
+    """Off-line validation rejected a transition package."""
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))

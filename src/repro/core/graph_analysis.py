@@ -1,0 +1,151 @@
+"""Graph-theoretic analysis of the transition-scenario graph.
+
+The derived Figure 8 graph is a control structure: the Resilience Manager
+walks it for the system's whole service life.  Beyond the paper's
+oscillation argument, three structural properties matter operationally,
+and this module checks them with :mod:`networkx`:
+
+* **no trap states** — from every state some event sequence leads back to
+  a preferred operating point (``pbr (determinism)``), i.e. no
+  configuration is a dead end (the ``no-generic-solution`` state is
+  escapable by construction: restore determinism or state access);
+* **mandatory-only safety** — the subgraph of *automatic* (mandatory)
+  transitions is acyclic apart from trivial self-recoveries, so the
+  automatic loop can never cycle without a manager decision;
+* **coverage** — every FTM of the catalog is actually reachable from the
+  initial state.
+
+The module also renders the graphs in Graphviz DOT for humans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.transition_graph import (
+    FIGURE2_EDGES,
+    ScenarioEdge,
+    build_scenario_graph,
+)
+
+
+def scenario_digraph(edges: Optional[Tuple[ScenarioEdge, ...]] = None) -> nx.MultiDiGraph:
+    """The Figure 8 graph as a networkx MultiDiGraph."""
+    if edges is None:
+        _states, edges = build_scenario_graph()
+    graph = nx.MultiDiGraph()
+    for edge in edges:
+        graph.add_edge(
+            edge.source,
+            edge.target,
+            event=edge.event,
+            kind=edge.kind,
+            detection=edge.detection,
+            nature=edge.nature,
+        )
+    return graph
+
+
+def trap_states(graph: Optional[nx.MultiDiGraph] = None,
+                home: str = "pbr (determinism)") -> List[str]:
+    """States from which the preferred operating point is unreachable."""
+    if graph is None:
+        graph = scenario_digraph()
+    trapped = []
+    for state in graph.nodes:
+        if state == home:
+            continue
+        if not nx.has_path(graph, state, home):
+            trapped.append(state)
+    return sorted(trapped)
+
+
+def mandatory_cycles(graph: Optional[nx.MultiDiGraph] = None) -> List[List[str]]:
+    """Cycles in the automatic (mandatory-only) subgraph.
+
+    A non-empty answer means the loop could reconfigure forever without
+    any System Manager involvement — the oscillation hazard in graph form.
+    The ``no-generic-solution`` sink is excluded: entering it is forced by
+    an external A/FT event and escaping it is mandatory by definition, so
+    cycles through it require alternating *environment* changes, not
+    controller decisions.
+    """
+    if graph is None:
+        graph = scenario_digraph()
+    mandatory = nx.DiGraph()
+    mandatory.add_nodes_from(graph.nodes)
+    for source, target, data in graph.edges(data=True):
+        if data["kind"] == "mandatory" and "no-generic-solution" not in (
+            source,
+            target,
+        ):
+            mandatory.add_edge(source, target)
+    return [sorted(cycle) for cycle in nx.simple_cycles(mandatory)]
+
+
+def reachable_states(
+    graph: Optional[nx.MultiDiGraph] = None, start: str = "pbr (determinism)"
+) -> List[str]:
+    """Every state reachable from ``start`` (including it)."""
+    if graph is None:
+        graph = scenario_digraph()
+    return sorted(nx.descendants(graph, start) | {start})
+
+
+def eccentricity_from(
+    graph: Optional[nx.MultiDiGraph] = None, start: str = "pbr (determinism)"
+) -> Dict[str, int]:
+    """Fewest events needed to reach each state from the initial one."""
+    if graph is None:
+        graph = scenario_digraph()
+    return dict(nx.single_source_shortest_path_length(graph, start))
+
+
+# ---------------------------------------------------------------------------
+# DOT rendering
+# ---------------------------------------------------------------------------
+
+_KIND_STYLE = {
+    "mandatory": 'color="red", style=solid',
+    "possible": 'color="darkgreen", style=dashed',
+    "intra": 'color="black", style=dotted',
+}
+
+
+def scenario_dot() -> str:
+    """Graphviz DOT source of the derived Figure 8 graph."""
+    _states, edges = build_scenario_graph()
+    lines = [
+        "digraph scenario {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    nodes = sorted({e.source for e in edges} | {e.target for e in edges})
+    for node in nodes:
+        shape = "doubleoctagon" if node == "no-generic-solution" else "box"
+        lines.append(f'  "{node}" [shape={shape}];')
+    for edge in edges:
+        style = _KIND_STYLE[edge.kind]
+        marker = "*" if edge.detection == "probe" else ""
+        lines.append(
+            f'  "{edge.source}" -> "{edge.target}" '
+            f'[label="{edge.event}{marker}", {style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def figure2_dot() -> str:
+    """Graphviz DOT source of the Figure 2 FTM graph."""
+    lines = [
+        "graph ftms {",
+        "  layout=circo;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+    ]
+    for a, b, labels in FIGURE2_EDGES:
+        label = ",".join(sorted(labels))
+        lines.append(f'  "{a}" -- "{b}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

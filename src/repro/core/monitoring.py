@@ -1,0 +1,215 @@
+"""The Monitoring Engine (Figure 1).
+
+Two roles, per the paper:
+
+1. **measure resource usage R** — periodic probes over the nodes and the
+   network: bandwidth consumption, CPU utilisation, energy draw;
+2. **analyze non-functional behaviour** — observers over the structured
+   trace capture "rare error events": TR comparison mismatches, assertion
+   failures, replica crashes.  From these inputs, **adaptation triggers**
+   are computed.
+
+Triggers land in a channel the Resilience Management Service consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.parameters import FaultClass
+from repro.kernel.sim import Channel, Timeout
+from repro.kernel.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """One adaptation trigger."""
+
+    time: float
+    dimension: str   #: "FT" | "A" | "R"
+    event: str       #: a ParameterEvent name from the scenario graph
+    source: str      #: "probe" | "observer" | "manager"
+    details: Dict = field(default_factory=dict)
+
+
+@dataclass
+class Thresholds:
+    """Probe thresholds (the reconfiguration thresholds of Sec. 5.4)."""
+
+    #: bandwidth considered scarce below this many bytes/ms on a link
+    bandwidth_low: float = 2_000.0
+    #: bandwidth considered ample again above this (hysteresis band)
+    bandwidth_high: float = 8_000.0
+    #: CPU utilisation considered saturated above this fraction
+    cpu_saturated: float = 0.85
+    #: consecutive saturated samples before the CPU trigger fires —
+    #: filters out reconfiguration bursts (a transition is ~1 s of work)
+    cpu_sustain_samples: int = 8
+    #: TR mismatches within one window that signal transient value faults
+    tr_mismatch_count: int = 2
+    #: assertion failures within one window that signal permanent faults
+    assertion_failure_count: int = 3
+
+
+class MonitoringEngine:
+    """Probes + observers → triggers."""
+
+    def __init__(
+        self,
+        world,
+        nodes: List[str],
+        period: float = 250.0,
+        thresholds: Optional[Thresholds] = None,
+    ):
+        self.world = world
+        self.nodes = list(nodes)
+        self.period = period
+        self.thresholds = thresholds or Thresholds()
+        self.triggers = Channel(world.sim, name="monitoring.triggers")
+        self.trigger_history: List[Trigger] = []
+        self.samples: List[Dict] = []
+        self._last_busy: Dict[str, float] = {}
+        self._window_counts: Dict[str, int] = {"tr_mismatch": 0, "assertion_failed": 0}
+        self._bandwidth_scarce = False
+        self._cpu_streak: Dict[str, int] = {}
+        self._cpu_scarce: Dict[str, bool] = {}
+        self._process = None
+        world.trace.subscribe(self._observe)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic probing."""
+        if self._process is None or not self._process.alive:
+            # baseline the CPU counters so deployment work done before
+            # monitoring began does not read as utilisation
+            for name in self.nodes:
+                node = self.world.cluster.nodes.get(name)
+                if node is not None:
+                    self._last_busy[name] = node.busy_ms
+            self._process = self.world.sim.spawn(self._probe_loop(), name="monitoring")
+
+    def stop(self) -> None:
+        """Halt probing (the trace observer stays subscribed)."""
+        if self._process is not None and self._process.alive:
+            self._process.kill()
+
+    # -- trigger emission ---------------------------------------------------------------
+
+    def emit(self, dimension: str, event: str, source: str, **details) -> Trigger:
+        """Publish one adaptation trigger to the channel and history."""
+        trigger = Trigger(
+            time=self.world.now,
+            dimension=dimension,
+            event=event,
+            source=source,
+            details=dict(details),
+        )
+        self.trigger_history.append(trigger)
+        self.triggers.put(trigger)
+        self.world.trace.record(
+            "monitoring",
+            "trigger",
+            dimension=dimension,
+            parameter_event=event,
+            source=source,
+        )
+        return trigger
+
+    # -- the error observer (trace subscription) ------------------------------------------
+
+    def _observe(self, record: TraceRecord) -> None:
+        if record.category != "ftm":
+            return
+        if record.event == "tr_mismatch":
+            self._window_counts["tr_mismatch"] += 1
+            if self._window_counts["tr_mismatch"] == self.thresholds.tr_mismatch_count:
+                self.emit(
+                    "FT",
+                    "hardware-aging",
+                    "observer",
+                    mismatches=self._window_counts["tr_mismatch"],
+                )
+        elif record.event == "assertion_failed":
+            self._window_counts["assertion_failed"] += 1
+            if (
+                self._window_counts["assertion_failed"]
+                == self.thresholds.assertion_failure_count
+            ):
+                self.emit(
+                    "FT",
+                    "critical-phase-start",
+                    "observer",
+                    failures=self._window_counts["assertion_failed"],
+                )
+
+    # -- the resource probes --------------------------------------------------------------
+
+    def _probe_loop(self):
+        while True:
+            yield Timeout(self.period)
+            self._sample()
+
+    def _sample(self) -> None:
+        sample: Dict = {"time": self.world.now, "nodes": {}}
+        for name in self.nodes:
+            node = self.world.cluster.nodes.get(name)
+            if node is None:
+                continue
+            busy = node.busy_ms
+            delta = busy - self._last_busy.get(name, 0.0)
+            self._last_busy[name] = busy
+            utilisation = min(1.0, delta / self.period)
+            sample["nodes"][name] = {
+                "cpu_utilisation": utilisation,
+                "energy": node.energy,
+                "bytes_sent": node.bytes_sent,
+                "up": node.is_up,
+            }
+            if utilisation > self.thresholds.cpu_saturated:
+                self._cpu_streak[name] = self._cpu_streak.get(name, 0) + 1
+                if (
+                    self._cpu_streak[name] == self.thresholds.cpu_sustain_samples
+                    and not self._cpu_scarce.get(name, False)
+                ):
+                    self._cpu_scarce[name] = True
+                    self.emit(
+                        "R", "cpu-drop", "probe", node=name, utilisation=utilisation
+                    )
+            else:
+                self._cpu_streak[name] = 0
+                if self._cpu_scarce.get(name, False):
+                    self._cpu_scarce[name] = False
+                    self.emit("R", "cpu-increase", "probe", node=name)
+
+        # bandwidth probe: the characterised capacity of the replica links
+        bandwidth = self._min_link_bandwidth()
+        sample["bandwidth"] = bandwidth
+        if bandwidth is not None:
+            if bandwidth < self.thresholds.bandwidth_low and not self._bandwidth_scarce:
+                self._bandwidth_scarce = True
+                self.emit("R", "bandwidth-drop", "probe", bandwidth=bandwidth)
+            elif bandwidth > self.thresholds.bandwidth_high and self._bandwidth_scarce:
+                self._bandwidth_scarce = False
+                self.emit("R", "bandwidth-increase", "probe", bandwidth=bandwidth)
+
+        self.samples.append(sample)
+
+    def _min_link_bandwidth(self) -> Optional[float]:
+        bandwidths = []
+        for a in self.nodes:
+            for b in self.nodes:
+                if a >= b:
+                    continue
+                try:
+                    bandwidths.append(self.world.network.link(a, b).bandwidth)
+                except Exception:  # noqa: BLE001 - nodes may not be linked
+                    continue
+        return min(bandwidths) if bandwidths else None
+
+    # -- window management ---------------------------------------------------------------------
+
+    def reset_window(self) -> None:
+        """Clear error counters (after an adaptation handled them)."""
+        self._window_counts = {key: 0 for key in self._window_counts}

@@ -1,0 +1,157 @@
+"""Operational phases and proactive fault-model management (Sec. 5.4).
+
+The paper: *"In the context of operational phases, one can understand
+that the fault model for a given phase has been anticipated and, for
+critical phases, it is stronger than for non-critical ones ... the
+evolution of the fault model in operation must be addressed in a
+proactive way that performs FTM updates in advance, either because the
+system is getting to a new operational phase or because of an early
+detection of fault model changes."*
+
+:class:`PhaseSchedule` encodes the anticipated phases of a mission —
+each with its fault model — and :class:`PhaseManager` walks the system
+through them, firing the FT-change events **before** each phase starts
+(by ``lead_time_ms``), so the stronger FTM is already in place when the
+critical phase begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Generator, List, Optional, Tuple
+
+from repro.core.parameters import FaultClass
+from repro.core.resilience import ResilienceManager
+from repro.kernel.sim import Timeout
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One anticipated operational phase."""
+
+    name: str
+    duration_ms: float
+    fault_classes: FrozenSet[FaultClass]
+    critical: bool = False
+
+    @staticmethod
+    def of(
+        name: str,
+        duration_ms: float,
+        *fault_classes: FaultClass,
+        critical: bool = False,
+    ) -> "Phase":
+        classes = frozenset(fault_classes) or frozenset({FaultClass.CRASH})
+        return Phase(name, duration_ms, classes, critical)
+
+
+@dataclass
+class PhaseSchedule:
+    """An ordered list of phases with validation."""
+
+    phases: List[Phase] = field(default_factory=list)
+
+    def add(self, phase: Phase) -> "PhaseSchedule":
+        """Append a phase (names unique, durations positive); chainable."""
+        if any(existing.name == phase.name for existing in self.phases):
+            raise ValueError(f"duplicate phase name {phase.name!r}")
+        if phase.duration_ms <= 0:
+            raise ValueError(f"phase {phase.name!r} has non-positive duration")
+        self.phases.append(phase)
+        return self
+
+    def total_duration(self) -> float:
+        """The whole mission duration in virtual ms."""
+        return sum(phase.duration_ms for phase in self.phases)
+
+    def fault_model_deltas(self) -> List[Tuple[str, FrozenSet[FaultClass], FrozenSet[FaultClass]]]:
+        """Per boundary: (next phase name, classes added, classes removed)."""
+        deltas = []
+        previous: FrozenSet[FaultClass] = frozenset({FaultClass.CRASH})
+        for phase in self.phases:
+            deltas.append(
+                (phase.name, phase.fault_classes - previous, previous - phase.fault_classes)
+            )
+            previous = phase.fault_classes
+        return deltas
+
+
+class PhaseManager:
+    """Walks a schedule, firing proactive FT events ahead of each boundary.
+
+    The event vocabulary maps onto the scenario graph: entering a phase
+    whose fault model adds value faults fires ``critical-phase-start`` /
+    ``hardware-aging``; leaving it fires the inverses.  ``lead_time_ms``
+    is how far *before* the boundary the events fire — the proactivity
+    margin (it must exceed the worst-case transition time, ~1.2 s).
+    """
+
+    def __init__(
+        self,
+        world,
+        resilience: ResilienceManager,
+        schedule: PhaseSchedule,
+        lead_time_ms: float = 2_000.0,
+    ):
+        self.world = world
+        self.resilience = resilience
+        self.schedule = schedule
+        self.lead_time_ms = lead_time_ms
+        self.current_phase: Optional[Phase] = None
+        self.log: List[Dict] = []
+
+    def run(self) -> Generator:
+        """Drive the whole schedule (generator process)."""
+        previous_classes: FrozenSet[FaultClass] = frozenset({FaultClass.CRASH})
+        for phase in self.schedule.phases:
+            # fire the FT events *before* the phase starts
+            self._fire_events(previous_classes, phase.fault_classes, phase.name)
+            yield Timeout(self.lead_time_ms)
+
+            self.current_phase = phase
+            self.log.append(
+                {
+                    "phase": phase.name,
+                    "entered_at": self.world.now,
+                    "ftm": self.resilience.engine.pair.ftm,
+                    "critical": phase.critical,
+                }
+            )
+            self.world.trace.record(
+                "phase",
+                "entered",
+                phase=phase.name,
+                ftm=self.resilience.engine.pair.ftm,
+            )
+            remaining = phase.duration_ms - self.lead_time_ms
+            if remaining > 0:
+                yield Timeout(remaining)
+            previous_classes = phase.fault_classes
+        self.current_phase = None
+
+    def _fire_events(
+        self,
+        previous: FrozenSet[FaultClass],
+        target: FrozenSet[FaultClass],
+        phase_name: str,
+    ) -> None:
+        added = target - previous
+        removed = previous - target
+        if FaultClass.PERMANENT_VALUE in added:
+            self.resilience.notify_event("critical-phase-start")
+        elif FaultClass.TRANSIENT_VALUE in added:
+            self.resilience.notify_event("hardware-aging")
+        if FaultClass.PERMANENT_VALUE in removed or FaultClass.TRANSIENT_VALUE in removed:
+            self.resilience.notify_event(
+                "critical-phase-end"
+                if FaultClass.PERMANENT_VALUE in removed
+                else "hardware-replaced"
+            )
+        if added or removed:
+            self.world.trace.record(
+                "phase",
+                "proactive_events",
+                phase=phase_name,
+                added=tuple(sorted(c.value for c in added)),
+                removed=tuple(sorted(c.value for c in removed)),
+            )

@@ -1,0 +1,126 @@
+"""The FTM & Adaptation Repository (the *cold* side of Figure 7).
+
+The repository is where off-line development lands: FTM blueprints and
+validated transition packages.  Packages are validated **off-line**
+(paper Sec. 4.3: "any update impacts the FTM that must be validated
+off-line before it can be used") by statically simulating the script
+against the source architecture; a package that fails validation never
+reaches the Adaptation Engine.
+
+The repository also implements the agility story of Sec. 6.2: an FTM
+*unknown at design time* can be registered during operation
+(:meth:`register_ftm`) and becomes a transition target like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.components.spec import AssemblySpec
+from repro.core.errors import PackageRejected
+from repro.core.transition import TransitionPackage, build_package
+from repro.ftm.catalog import ftm_assembly
+from repro.script.validate import validate_script
+
+
+def spec_architecture(spec: AssemblySpec) -> Dict:
+    """The architecture snapshot a blueprint would have once deployed."""
+    return {
+        "name": spec.name,
+        "components": {component.name: "started" for component in spec.components},
+        "wires": [
+            (w.source, w.reference, w.target, w.service) for w in spec.wires
+        ],
+        "promotions": {
+            p.external: (p.component, p.service) for p in spec.promotions
+        },
+    }
+
+
+#: Builds one replica-side blueprint: (ftm, role, peer) -> AssemblySpec.
+SpecBuilder = Callable[..., AssemblySpec]
+
+
+class Repository:
+    """Blueprint + package store with off-line validation."""
+
+    def __init__(self, spec_builder: SpecBuilder = ftm_assembly):
+        self._spec_builder = spec_builder
+        self._custom_ftms: Dict[str, SpecBuilder] = {}
+        self._cache: Dict[Tuple, TransitionPackage] = {}
+        self.packages_built = 0
+        self.packages_rejected = 0
+
+    # -- agility: FTMs developed during operational life -------------------------
+
+    def register_ftm(self, name: str, spec_builder: SpecBuilder) -> None:
+        """Register an FTM developed off-line *after* initial deployment.
+
+        ``spec_builder(role=..., peer=..., app=..., assertion=...,
+        composite=...)`` must return the replica-side blueprint.
+        """
+        if name in self._custom_ftms:
+            raise ValueError(f"FTM {name!r} already registered")
+        self._custom_ftms[name] = spec_builder
+
+    def knows(self, ftm: str) -> bool:
+        """Can this repository build blueprints for the FTM?"""
+        if ftm in self._custom_ftms:
+            return True
+        try:
+            self.spec(ftm, role="master", peer="_probe")
+            return True
+        except Exception:  # noqa: BLE001 - unknown FTM
+            return False
+
+    def spec(self, ftm: str, **kwargs) -> AssemblySpec:
+        """A replica-side blueprint for the FTM (catalog or custom)."""
+        builder = self._custom_ftms.get(ftm, self._spec_builder)
+        return builder(ftm, **kwargs) if builder is self._spec_builder else builder(**kwargs)
+
+    # -- packages -----------------------------------------------------------------
+
+    def transition_package(
+        self,
+        source_ftm: str,
+        target_ftm: str,
+        role: str,
+        peer: str,
+        app: str = "counter",
+        assertion: str = "always-true",
+        composite: str = "ftm",
+    ) -> TransitionPackage:
+        """Build (or fetch from cache) the validated differential package."""
+        key = (source_ftm, target_ftm, role, peer, app, assertion, composite)
+        if key in self._cache:
+            return self._cache[key]
+
+        common = dict(
+            role=role, peer=peer, app=app, assertion=assertion, composite=composite
+        )
+        source_spec = self.spec(source_ftm, **common)
+        target_spec = self.spec(target_ftm, **common)
+        package = build_package(
+            source_ftm, target_ftm, source_spec, target_spec, composite
+        )
+
+        problems = self.validate(package, source_spec)
+        if problems:
+            self.packages_rejected += 1
+            raise PackageRejected(problems)
+
+        self.packages_built += 1
+        self._cache[key] = package
+        return package
+
+    def validate(
+        self, package: TransitionPackage, source_spec: AssemblySpec
+    ) -> List[str]:
+        """Off-line validation: statically simulate the script."""
+        architecture = {source_spec.name: spec_architecture(source_spec)}
+        return validate_script(
+            package.script,
+            architecture,
+            [spec.name for spec in package.components],
+        )

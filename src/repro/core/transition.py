@@ -1,0 +1,68 @@
+"""Transition packages.
+
+A transition package (paper Fig. 7) is what travels from the *cold*
+(off-line) side to the *hot* (on-line) side: "the new bricks that must be
+integrated into the existing software architecture ... and a script that
+operates the transition".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.components.spec import AssemblyDiff, AssemblySpec, ComponentSpec
+from repro.script.ast import TransitionScript
+from repro.script.generate import script_from_diff
+
+
+@dataclass(frozen=True)
+class TransitionPackage:
+    """New components + the reconfiguration script that installs them."""
+
+    name: str
+    source_ftm: str
+    target_ftm: str
+    script: TransitionScript
+    components: Tuple[ComponentSpec, ...]  #: the shipped bricks
+    removed: Tuple[str, ...]               #: names of bricks the script deletes
+
+    @property
+    def component_count(self) -> int:
+        """Number of components this transition replaces/adds (Figure 9 x-axis)."""
+        return len(self.components)
+
+    @property
+    def size(self) -> int:
+        """Package payload size in bytes (drives the fetch/unpack cost)."""
+        return sum(spec.size for spec in self.components)
+
+    def spec_index(self) -> Dict[str, ComponentSpec]:
+        """Component-name → spec mapping, as the script interpreter wants it."""
+        return {spec.name: spec for spec in self.components}
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.script) == 0
+
+
+def build_package(
+    source_ftm: str,
+    target_ftm: str,
+    source_spec: AssemblySpec,
+    target_spec: AssemblySpec,
+    composite_name: str = "ftm",
+) -> TransitionPackage:
+    """Assemble the differential package between two deployed blueprints."""
+    diff: AssemblyDiff = source_spec.diff(target_spec)
+    script = script_from_diff(
+        diff, composite_name, name=f"{source_ftm}-to-{target_ftm}"
+    )
+    return TransitionPackage(
+        name=f"{source_ftm}-to-{target_ftm}",
+        source_ftm=source_ftm,
+        target_ftm=target_ftm,
+        script=script,
+        components=diff.new_components(),
+        removed=tuple(spec.name for spec in diff.dead_components()),
+    )

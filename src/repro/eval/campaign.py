@@ -1,0 +1,178 @@
+"""Statistical fault-injection campaigns.
+
+Beyond the paper's per-scenario demonstrations, a resilience claim wants
+statistics: across many seeded missions with randomised crash and value
+faults — and adaptations happening *while* faults strike — the system
+must never lose or duplicate a request, and must mask every value fault
+the deployed FTM's model covers.
+
+One mission = deploy PBR⊕TR, run a steady workload, and along the way:
+a random master-or-slave crash (with recovery), a random burst of
+transient value faults, and one on-line transition.  The campaign
+aggregates outcomes over ``missions`` seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.app.workloads import constant
+from repro.core.adaptation_engine import AdaptationEngine
+from repro.eval.format import render_table
+from repro.ftm import Client, deploy_ftm_pair
+from repro.kernel import Timeout, World
+
+
+@dataclass
+class MissionOutcome:
+    seed: int
+    requests: int = 0
+    all_ok: bool = False
+    final_value: int = 0
+    expected_value: int = 0
+    masked_faults: int = 0
+    injected_faults: int = 0
+    crashes: int = 0
+    promotions: int = 0
+    reintegrations: int = 0
+    transitioned_to: str = ""
+
+    @property
+    def exactly_once(self) -> bool:
+        return self.final_value == self.expected_value
+
+    @property
+    def clean(self) -> bool:
+        return self.all_ok and self.exactly_once
+
+
+def run_mission(seed: int, requests: int = 30) -> MissionOutcome:
+    """One randomised mission; fully determined by its seed."""
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta", "client"])
+    rng = world.sim.random.substream("campaign")
+    outcome = MissionOutcome(seed=seed, requests=requests, expected_value=requests)
+
+    def scenario():
+        pair = yield from deploy_ftm_pair(
+            world, "pbr+tr", ["alpha", "beta"], assertion="counter-range"
+        )
+        pair.enable_recovery(restart_delay=300.0)
+        engine = AdaptationEngine(world, pair)
+        client = Client(
+            world, world.cluster.node("client"), "c1", pair.node_names(),
+            timeout=4_000.0, max_attempts=10,
+        )
+
+        # randomised adversity, scheduled inside the workload window
+        span = requests * 120.0
+        victim = rng.choice(["alpha", "beta"])
+        world.faults.schedule_crash(
+            world.cluster.node(victim), at=world.now + rng.uniform(0.3, 0.7) * span
+        )
+        # isolated transient faults (the TR fault model: at most one fault
+        # per request) — separate single-shot windows, far enough apart
+        # that they always hit different requests
+        fault_node = rng.choice(["alpha", "beta"])
+        first_fault = world.now + rng.uniform(0.1, 0.2) * span
+        for shot in range(rng.randint(1, 2)):
+            # bounded window: a shot that finds its node idle (e.g. a
+            # backup that computes nothing) expires instead of lingering
+            # and double-striking the first request after a promotion
+            start = first_fault + shot * 900.0
+            world.faults.arm_transient(
+                fault_node,
+                probability=1.0,
+                start=start,
+                end=start + 400.0,
+                budget=1,
+            )
+        target = rng.choice(["lfr+tr", "pbr+tr", "a+pbr"])
+
+        def adapt():
+            yield Timeout(rng.uniform(0.4, 0.6) * span)
+            if pair.ftm != target:
+                try:
+                    yield from engine.transition(target)
+                except Exception:  # noqa: BLE001 - a crash can race the swap
+                    pass
+
+        world.sim.spawn(adapt())
+
+        result = yield from constant(world, client, count=requests, period_ms=120.0)
+        yield Timeout(8_000.0)  # recovery tail
+
+        outcome.all_ok = result.all_ok
+        outcome.final_value = result.replies[-1].value if result.replies else -1
+        outcome.masked_faults = world.trace.count("ftm", "tr_masked")
+        outcome.injected_faults = world.trace.count("fault", "value_injected")
+        outcome.crashes = world.trace.count("node", "crash")
+        outcome.promotions = world.trace.count("ftm", "promoted")
+        outcome.reintegrations = pair.reintegrations
+        outcome.transitioned_to = pair.ftm
+
+    world.run_process(scenario(), name="mission")
+    return outcome
+
+
+def generate(missions: int = 10, base_seed: int = 5000, requests: int = 30) -> Dict:
+    """Run the campaign and aggregate the per-mission outcomes."""
+    outcomes = [run_mission(base_seed + 101 * m, requests) for m in range(missions)]
+    return {
+        "missions": missions,
+        "outcomes": outcomes,
+        "clean_missions": sum(1 for o in outcomes if o.clean),
+        "total_crashes": sum(o.crashes for o in outcomes),
+        "total_injected": sum(o.injected_faults for o in outcomes),
+        "total_masked": sum(o.masked_faults for o in outcomes),
+        "total_promotions": sum(o.promotions for o in outcomes),
+        "total_reintegrations": sum(o.reintegrations for o in outcomes),
+    }
+
+
+def shape_checks(data: Dict) -> List[str]:
+    """The resilience claims the campaign must uphold (empty = all hold)."""
+    problems: List[str] = []
+    if data["clean_missions"] != data["missions"]:
+        dirty = [o.seed for o in data["outcomes"] if not o.clean]
+        problems.append(f"missions with lost/duplicated work: seeds {dirty}")
+    if data["total_crashes"] < data["missions"]:
+        problems.append("campaign injected fewer crashes than missions")
+    if data["total_masked"] < data["total_injected"] * 0.5:
+        problems.append(
+            f"too few masked faults ({data['total_masked']} of "
+            f"{data['total_injected']} injected)"
+        )
+    return problems
+
+
+def render(data: Dict) -> str:
+    """A per-mission table plus the aggregate summary."""
+    rows = [
+        [
+            o.seed,
+            o.requests,
+            o.clean,
+            o.crashes,
+            o.promotions,
+            o.reintegrations,
+            f"{o.masked_faults}/{o.injected_faults}",
+            o.transitioned_to,
+        ]
+        for o in data["outcomes"]
+    ]
+    table = render_table(
+        ["Seed", "Requests", "Clean", "Crashes", "Promotions",
+         "Reintegrations", "Masked/Injected", "Final FTM"],
+        rows,
+        title=f"Fault-injection campaign ({data['missions']} randomised missions)",
+    )
+    summary = (
+        f"\nclean missions: {data['clean_missions']}/{data['missions']}; "
+        f"crashes {data['total_crashes']}, faults masked "
+        f"{data['total_masked']}/{data['total_injected']}, "
+        f"promotions {data['total_promotions']}, "
+        f"reintegrations {data['total_reintegrations']}"
+    )
+    return table + summary

@@ -1,0 +1,291 @@
+"""Atomic broadcast and N-replica groups (paper Sec. 3.2.1 extension).
+
+The paper notes that duplex strategies generalise: *"We could also
+consider multiple Backups or Followers making thus the use of Atomic
+Broadcast protocols highly useful in the implementation."*  This module
+provides that substrate:
+
+* :class:`AtomicBroadcast` — a fixed-sequencer total-order broadcast with
+  hold-back queues, gap detection + retransmission, and sequencer
+  failover to the next live member;
+* :class:`ReplicatedStateMachine` — active N-replica replication on top
+  of it (the multi-follower generalisation of LFR): every replica applies
+  the totally-ordered operations to its own application instance, so all
+  replicas stay identical as long as the application is deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.app.registry import create_application
+from repro.ftm.messages import estimate_size
+from repro.kernel.errors import NodeDown
+from repro.kernel.sim import TIMEOUT, Timeout
+
+_SUBMIT_PORT = "ab-submit"
+_DELIVER_PORT = "ab-deliver"
+_NACK_PORT = "ab-nack"
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One totally-ordered delivery."""
+
+    sequence: int
+    sender: str
+    payload: Any
+
+
+class AtomicBroadcast:
+    """Fixed-sequencer atomic broadcast over a member group.
+
+    Guarantees (under the crash-fault model): **total order** — all live
+    members deliver the same messages in the same sequence order; **gap
+    freedom** — a member that misses a message NACKs and gets it
+    retransmitted from the sequencer's log; **sequencer failover** — when
+    the sequencer crashes, the next live member takes over at the highest
+    sequence number it has delivered (unsequenced submissions are
+    retransmitted by their senders on timeout).
+    """
+
+    def __init__(
+        self,
+        world,
+        members: List[str],
+        nack_timeout: float = 120.0,
+        takeover_timeout: float = 400.0,
+    ):
+        if len(members) < 2:
+            raise ValueError("an atomic-broadcast group needs >= 2 members")
+        self.world = world
+        self.members = list(members)
+        self.nack_timeout = nack_timeout
+        self.takeover_timeout = takeover_timeout
+        self._subscribers: Dict[str, Callable[[Delivery], None]] = {}
+        self._log: List[Delivery] = []  # replicated at the (live) sequencer
+        self._next_sequence = 0
+        self._delivered_up_to: Dict[str, int] = {m: 0 for m in members}
+        self._processes: List = []
+        self.deliveries = 0
+        self.retransmissions = 0
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def sequencer(self) -> Optional[str]:
+        for member in self.members:
+            node = self.world.cluster.nodes.get(member)
+            if node is not None and node.is_up:
+                return member
+        return None
+
+    def subscribe(self, member: str, callback: Callable[[Delivery], None]) -> None:
+        """Register the in-order delivery callback for one member."""
+        if member not in self.members:
+            raise ValueError(f"{member!r} is not a group member")
+        self._subscribers[member] = callback
+
+    def start(self) -> None:
+        """Spawn the member and sequencer loops on every node."""
+        for member in self.members:
+            node = self.world.cluster.node(member)
+            self._processes.append(
+                node.spawn(self._member_loop(member), name="ab-member")
+            )
+            self._processes.append(
+                node.spawn(self._sequencer_loop(member), name="ab-sequencer")
+            )
+
+    # -- client API --------------------------------------------------------------------
+
+    def broadcast(self, sender: str, payload: Any) -> None:
+        """Submit a message for total ordering (fire-and-forget)."""
+        sequencer = self.sequencer
+        if sequencer is None:
+            return
+        self.world.network.send(
+            sender,
+            sequencer,
+            _SUBMIT_PORT,
+            {"sender": sender, "payload": payload},
+            size=estimate_size(payload),
+        )
+
+    # -- sequencer side -------------------------------------------------------------------
+
+    def _sequencer_loop(self, member: str) -> Generator:
+        """Every member runs this; only the current sequencer acts on it."""
+        submit_box = self.world.network.bind(member, _SUBMIT_PORT)
+        nack_box = self.world.network.bind(member, _NACK_PORT)
+        while True:
+            message = yield submit_box.get(timeout=50.0)
+            if self.sequencer != member:
+                continue  # not (or no longer) the sequencer
+            # serve retransmission requests first
+            for nack in nack_box.drain():
+                self._retransmit(member, nack.payload)
+            if message is TIMEOUT:
+                # idle: announce the high-water mark so a member whose
+                # *last* delivery was lost still detects the gap (nothing
+                # later would otherwise reveal it)
+                if self._log:
+                    for target in self.members:
+                        self._send_sync(member, target)  # incl. self (loopback)
+                continue
+            body = message.payload
+            delivery = Delivery(
+                sequence=self._next_sequence,
+                sender=body["sender"],
+                payload=body["payload"],
+            )
+            self._next_sequence += 1
+            self._log.append(delivery)
+            for target in self.members:
+                self._send_delivery(member, target, delivery)
+
+    def _send_delivery(self, source: str, target: str, delivery: Delivery) -> None:
+        node = self.world.cluster.nodes.get(target)
+        if node is None or not node.is_up:
+            return
+        try:
+            self.world.network.send(
+                source,
+                target,
+                _DELIVER_PORT,
+                delivery,
+                size=estimate_size(delivery.payload),
+            )
+        except NodeDown:  # pragma: no cover - source raced a crash
+            pass
+
+    def _send_sync(self, source: str, target: str) -> None:
+        node = self.world.cluster.nodes.get(target)
+        if node is None or not node.is_up:
+            return
+        try:
+            self.world.network.send(
+                source, target, _DELIVER_PORT, ("sync", self._next_sequence), size=48
+            )
+        except NodeDown:  # pragma: no cover
+            pass
+
+    def _retransmit(self, sequencer: str, nack: Dict) -> None:
+        member = nack["member"]
+        for delivery in self._log[nack["from_sequence"]:]:
+            self.retransmissions += 1
+            self._send_delivery(sequencer, member, delivery)
+
+    # -- member side ------------------------------------------------------------------------
+
+    def _member_loop(self, member: str) -> Generator:
+        deliver_box = self.world.network.bind(member, _DELIVER_PORT)
+        hold_back: Dict[int, Delivery] = {}
+        expected = 0
+        while True:
+            message = yield deliver_box.get(timeout=self.nack_timeout)
+            if message is TIMEOUT:
+                if hold_back:
+                    # a gap is blocking us: ask for everything from `expected`
+                    self._nack(member, expected)
+                continue
+            if isinstance(message.payload, tuple) and message.payload[0] == "sync":
+                _tag, high_water = message.payload
+                if expected < high_water:
+                    self._nack(member, expected)
+                continue
+            delivery: Delivery = message.payload
+            if delivery.sequence < expected:
+                continue  # duplicate (retransmission overlap)
+            hold_back[delivery.sequence] = delivery
+            while expected in hold_back:
+                ready = hold_back.pop(expected)
+                expected += 1
+                self._delivered_up_to[member] = expected
+                self.deliveries += 1
+                callback = self._subscribers.get(member)
+                if callback is not None:
+                    callback(ready)
+                # a member taking over as sequencer must continue the
+                # numbering after everything it has seen
+                if member == self.sequencer and self._next_sequence < expected:
+                    self._next_sequence = expected
+
+    def _nack(self, member: str, from_sequence: int) -> None:
+        sequencer = self.sequencer
+        if sequencer is None:
+            return
+        if sequencer == member:
+            # the sequencer's own member loop recovers straight from the log
+            self._retransmit(member, {"member": member, "from_sequence": from_sequence})
+            return
+        try:
+            self.world.network.send(
+                member,
+                sequencer,
+                _NACK_PORT,
+                {"member": member, "from_sequence": from_sequence},
+                size=64,
+            )
+        except NodeDown:  # pragma: no cover
+            pass
+
+
+class ReplicatedStateMachine:
+    """Active N-replica replication over atomic broadcast.
+
+    The generalisation of LFR to *multiple followers*: each member applies
+    the totally-ordered operations to its own deterministic application
+    instance; any member can answer reads; all replicas stay identical.
+    """
+
+    def __init__(self, world, members: List[str], app: str = "counter"):
+        self.world = world
+        self.members = list(members)
+        self.broadcast_layer = AtomicBroadcast(world, members)
+        self.applications = {member: create_application(app) for member in members}
+        self.results: Dict[str, List[Any]] = {member: [] for member in members}
+        for member in members:
+            self.broadcast_layer.subscribe(member, self._applier(member))
+
+    def start(self) -> None:
+        """Start the underlying broadcast layer."""
+        self.broadcast_layer.start()
+
+    def _applier(self, member: str) -> Callable[[Delivery], None]:
+        def apply(delivery: Delivery) -> None:
+            result = self.applications[member].process(delivery.payload)
+            self.results[member].append(result)
+
+        return apply
+
+    def submit(self, sender: str, payload: Any) -> None:
+        """Submit one operation for totally-ordered execution."""
+        self.broadcast_layer.broadcast(sender, payload)
+
+    def states(self) -> Dict[str, Any]:
+        """Captured application state per member (where supported)."""
+        return {
+            member: app.capture_state()
+            for member, app in self.applications.items()
+            if hasattr(app, "capture_state")
+        }
+
+    def consistent(self) -> bool:
+        """All *live* replicas hold identical state and result histories."""
+        live = [
+            member
+            for member in self.members
+            if self.world.cluster.nodes[member].is_up
+        ]
+        if len(live) < 2:
+            return True
+        reference = self.applications[live[0]].capture_state()
+        reference_results = self.results[live[0]]
+        return all(
+            self.applications[member].capture_state() == reference
+            and self.results[member] == reference_results
+            for member in live[1:]
+        )

@@ -1,0 +1,104 @@
+"""Fault-tolerant clients.
+
+A client addresses the FTM's master replica, retransmits on timeout, and
+fails over to the other replica — observing at-most-once semantics end to
+end (a retransmitted request that was already processed is answered from
+the reply log, never recomputed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from repro.ftm.errors import FTMError
+from repro.ftm.messages import ClientReply, ClientRequest, estimate_size
+from repro.kernel.errors import NodeDown
+from repro.kernel.sim import TIMEOUT, Timeout
+
+
+class Client:
+    """A request/reply client with retransmission and replica failover."""
+
+    def __init__(
+        self,
+        world,
+        node,
+        name: str,
+        targets: List[str],
+        timeout: float = 400.0,
+        max_attempts: int = 8,
+    ):
+        if not targets:
+            raise ValueError("client needs at least one target replica")
+        self.world = world
+        self.node = node
+        self.name = name
+        self.targets = list(targets)
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self._ids = itertools.count(1)
+        self._preferred = 0
+        self.replies: List[ClientReply] = []
+        self.retransmissions = 0
+
+    def request(self, payload: Any) -> Any:
+        """Issue one request (generator; ``yield from`` inside a process).
+
+        Returns the :class:`ClientReply`; raises :class:`FTMError` after
+        ``max_attempts`` unanswered transmissions.
+        """
+        request_id = next(self._ids)
+        port = f"reply-{self.name}-{request_id}"
+        mailbox = self.world.network.bind(self.node.name, port)
+
+        try:
+            for attempt in range(self.max_attempts):
+                target = self.targets[self._preferred]
+                message = ClientRequest(
+                    request_id=request_id,
+                    client=self.name,
+                    payload=payload,
+                    reply_to=self.node.name,
+                    reply_port=port,
+                )
+                if attempt > 0:
+                    self.retransmissions += 1
+                self.world.network.send(
+                    self.node.name,
+                    target,
+                    "requests",
+                    message,
+                    size=estimate_size(payload),
+                )
+                incoming = yield mailbox.get(timeout=self.timeout)
+                if incoming is TIMEOUT:
+                    self._failover()
+                    continue
+                reply: ClientReply = incoming.payload
+                if reply.error == "not-master":
+                    # the replica we addressed is (still) a slave: back off a
+                    # little and try the other one
+                    self._failover()
+                    yield Timeout(self.timeout / 8)
+                    continue
+                self.replies.append(reply)
+                return reply
+            raise FTMError(
+                f"client {self.name}: no reply to request {request_id} after "
+                f"{self.max_attempts} attempts"
+            )
+        finally:
+            self.world.network.unbind(self.node.name, port)
+
+    def _failover(self) -> None:
+        if len(self.targets) > 1:
+            self._preferred = (self._preferred + 1) % len(self.targets)
+
+    def run_workload(self, payloads) -> Any:
+        """Issue a sequence of requests; returns the list of replies."""
+        replies = []
+        for payload in payloads:
+            reply = yield from self.request(payload)
+            replies.append(reply)
+        return replies

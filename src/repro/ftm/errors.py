@@ -1,0 +1,23 @@
+"""Exceptions of the component-based FTM layer."""
+
+from __future__ import annotations
+
+
+class FTMError(Exception):
+    """Base class for FTM-layer errors."""
+
+
+class UnmaskedFault(FTMError):
+    """A value fault escaped the mechanism (no vote, assertion dead-end)."""
+
+
+class NotMaster(FTMError):
+    """A client request reached a replica that is not (yet) the master."""
+
+
+class PeerUnavailable(FTMError):
+    """An operation needed the peer replica, which is gone."""
+
+
+class UnknownFTM(FTMError):
+    """Lookup of an FTM name that the catalog does not define."""

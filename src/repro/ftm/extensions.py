@@ -1,0 +1,140 @@
+"""Field-developed FTM variants (the agility path, end to end).
+
+The paper's core promise: "new FTMs can be designed off-line at any point
+during service life and integrated on-line".  The satellite example and
+the agility benchmark register field FTMs that reuse catalog bricks; this
+module goes further and ships a **brand-new brick**:
+
+:class:`AmortizedPbrSyncAfter` — a PBR agreement step that checkpoints
+every N-th request (plus whenever the reply matters for at-most-once): a
+classic bandwidth/recovery-time trade-off.  Between checkpoints the
+backup logs the replies only, so a failover never double-executes, but
+may serve from a slightly stale application state until the next
+checkpoint lands.
+
+``amortized_pbr_assembly`` builds the full replica blueprint;
+``register_amortized_pbr`` drops it into a repository so the Adaptation
+Engine can transition to it like any catalog FTM.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.components.spec import AssemblySpec
+from repro.ftm.catalog import ftm_assembly
+from repro.ftm.messages import (
+    CHECKPOINT_SCALE,
+    ClientReply,
+    ClientRequest,
+    PeerEnvelope,
+    estimate_size,
+)
+from repro.ftm.sync_after import PbrSyncAfter
+
+#: Registry name under which the variant is published.
+AMORTIZED_PBR = "pbr-amortized"
+
+
+class AmortizedPbrSyncAfter(PbrSyncAfter):
+    """Checkpoint every N-th request; always replicate the reply.
+
+    ``period`` is a component property (default 4) — tunable on-line with
+    a one-statement ``set`` script, the paper's "tuning existing FTMs"
+    case.
+    """
+
+    def on_attach(self) -> None:
+        self._since_checkpoint = 0
+
+    def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
+        """Replicate the reply always; ship a full checkpoint every Nth."""
+        if info["role"] != "master" or info["master_alone"]:
+            return result
+        self._since_checkpoint += 1
+        period = int(self.prop("period", 4))
+        if self._since_checkpoint >= period:
+            self._since_checkpoint = 0
+            state = yield from self.ref("server").invoke("capture")
+            body = {"state": state, "result": result}
+            kind = "checkpoint"
+            size = estimate_size(body, scale=CHECKPOINT_SCALE)
+            self.ctx.trace.record(
+                "ftm", "checkpoint_sent", node=info["node"],
+                request_id=request.request_id,
+            )
+        else:
+            body = {"result": result}
+            kind = "reply_only"
+            size = estimate_size(body)
+        self.ctx.send(
+            info["peer"],
+            "peer",
+            PeerEnvelope(
+                kind=kind,
+                request_id=request.request_id,
+                client=request.client,
+                body=body,
+            ),
+            size=size,
+        )
+        return result
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Backup side: log reply-only envelopes, apply full checkpoints."""
+        if envelope.kind == "reply_only":
+            reply = ClientReply(
+                request_id=envelope.request_id,
+                value=envelope.body["result"],
+                served_by=info["node"],
+            )
+            yield from self.ref("log").invoke(
+                "record", envelope.client, envelope.request_id, reply
+            )
+            return None
+        result = yield from PbrSyncAfter.on_peer(self, envelope, info)
+        return result
+
+
+def amortized_pbr_assembly(
+    role: str,
+    peer: str,
+    app: str = "counter",
+    assertion: str = "always-true",
+    composite: str = "ftm",
+    period: int = 4,
+    **kwargs,
+) -> AssemblySpec:
+    """The replica blueprint: a PBR assembly with the new syncAfter brick."""
+    base = ftm_assembly(
+        "pbr", role=role, peer=peer, app=app, assertion=assertion,
+        composite=composite, **kwargs,
+    )
+    components = tuple(
+        component
+        if component.name != "syncAfter"
+        else type(component).make(
+            "syncAfter", AmortizedPbrSyncAfter, {"period": period}, size=5120
+        )
+        for component in base.components
+    )
+    return AssemblySpec(
+        name=base.name,
+        components=components,
+        wires=base.wires,
+        promotions=base.promotions,
+    )
+
+
+def register_amortized_pbr(repository, period: int = 4) -> str:
+    """Publish the variant in a repository; returns its FTM name."""
+
+    def builder(role, peer, app="counter", assertion="always-true",
+                composite="ftm", **kwargs):
+        return amortized_pbr_assembly(
+            role=role, peer=peer, app=app, assertion=assertion,
+            composite=composite, period=period, **kwargs,
+        )
+
+    repository.register_ftm(AMORTIZED_PBR, builder)
+    return AMORTIZED_PBR

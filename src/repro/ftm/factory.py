@@ -1,0 +1,260 @@
+"""Deploying FTM pairs and managing replica recovery.
+
+:class:`FTMPair` deploys one FTM across two replicas in parallel (the
+paper measures per-replica deployment time because both sides deploy
+concurrently), logs the active configuration in stable storage, and —
+when recovery is enabled — restarts a crashed replica and reintegrates it
+in the configuration recorded there (Sec. 5.3, recovery of adaptation).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.components.spec import AssemblySpec
+from repro.ftm.catalog import check_ftm_name, ftm_assembly
+from repro.ftm.replica import Replica
+from repro.kernel.node import Node
+from repro.kernel.sim import Timeout, all_of
+
+
+class FTMPair:
+    """A fault-tolerance mechanism deployed over two replicas."""
+
+    def __init__(
+        self,
+        world,
+        ftm: str,
+        nodes: List[Node],
+        app: str = "counter",
+        assertion: str = "always-true",
+        composite_name: str = "ftm",
+        fd_period: float = 20.0,
+        fd_timeout: float = 60.0,
+    ):
+        if len(nodes) != 2:
+            raise ValueError(f"an FTM pair needs exactly 2 nodes, got {len(nodes)}")
+        check_ftm_name(ftm)
+        self.world = world
+        self.ftm = ftm
+        self.app = app
+        self.assertion = assertion
+        self.composite_name = composite_name
+        self.fd_period = fd_period
+        self.fd_timeout = fd_timeout
+        self.replicas = [Replica(world, node, composite_name) for node in nodes]
+        self.recovery_enabled = False
+        self.restart_delay = 200.0
+        self.reintegrations = 0
+
+    # -- blueprints --------------------------------------------------------------------
+
+    def spec_for(
+        self,
+        replica_index: int,
+        ftm: Optional[str] = None,
+        app: Optional[str] = None,
+    ) -> AssemblySpec:
+        """The blueprint of one replica side, honouring its *current* role."""
+        replica = self.replicas[replica_index]
+        peer = self.replicas[1 - replica_index].node.name
+        role = replica.role()
+        if role in ("?", "gone"):
+            role = "master" if replica_index == 0 else "slave"
+        return ftm_assembly(
+            ftm or self.ftm,
+            role=role,
+            peer=peer,
+            app=app or self.app,
+            assertion=self.assertion,
+            composite=self.composite_name,
+            fd_period=self.fd_period,
+            fd_timeout=self.fd_timeout,
+        )
+
+    # -- deployment ----------------------------------------------------------------------
+
+    def deploy(self) -> Generator:
+        """Deploy both replicas in parallel; log the initial configuration."""
+        processes = [
+            self.world.sim.spawn(
+                replica.deploy(self.spec_for(index)),
+                name=f"deploy-{replica.node.name}",
+            )
+            for index, replica in enumerate(self.replicas)
+        ]
+        yield from all_of(self.world.sim, processes)
+        for replica in self.replicas:
+            replica.deployed_ftm = self.ftm
+        self._log_configuration(self.ftm)
+        self.world.trace.record("ftm", "deployed", ftm=self.ftm)
+        return self
+
+    def _log_configuration(self, ftm: str) -> None:
+        self.world.storage.append(
+            f"ftm-config:{self.composite_name}",
+            {"ftm": ftm, "app": self.app, "assertion": self.assertion},
+        )
+
+    def logged_configuration(self) -> Optional[dict]:
+        """The configuration currently recorded on stable storage."""
+        entry = self.world.storage.last(f"ftm-config:{self.composite_name}")
+        return entry.value if entry else None
+
+    # -- queries ------------------------------------------------------------------------------
+
+    @property
+    def master(self) -> Optional[Replica]:
+        for replica in self.replicas:
+            if replica.alive and replica.role() == "master":
+                return replica
+        return None
+
+    @property
+    def slave(self) -> Optional[Replica]:
+        for replica in self.replicas:
+            if replica.alive and replica.role() == "slave":
+                return replica
+        return None
+
+    def node_names(self) -> List[str]:
+        """The two replica node names (client target list)."""
+        return [replica.node.name for replica in self.replicas]
+
+    def replica_on(self, node_name: str) -> Replica:
+        """The replica hosted on a given node."""
+        for replica in self.replicas:
+            if replica.node.name == node_name:
+                return replica
+        raise KeyError(f"no replica on node {node_name!r}")
+
+    # -- recovery ---------------------------------------------------------------------------------
+
+    def enable_recovery(self, restart_delay: float = 200.0) -> None:
+        """Restart + reintegrate crashed replicas automatically."""
+        self.recovery_enabled = True
+        self.restart_delay = restart_delay
+        for replica in self.replicas:
+            replica.node.on_crash(self._on_replica_crash)
+
+    def _on_replica_crash(self, node) -> None:
+        if not self.recovery_enabled:
+            return
+        replica = self.replica_on(node.name)
+        replica.on_crash_cleanup()
+        self.world.sim.schedule(self.restart_delay, self._begin_reintegration, replica)
+
+    def _begin_reintegration(self, replica: Replica) -> None:
+        replica.node.restart()
+        self.world.sim.spawn(
+            self._reintegrate(replica), name=f"reintegrate-{replica.node.name}"
+        )
+
+    def _reintegrate(self, replica: Replica) -> Generator:
+        """Redeploy a restarted replica in the *logged* configuration.
+
+        The survivor may have completed a transition while this node was
+        down; stable storage names the configuration to come back in
+        (Sec. 5.3, recovery of adaptation).  The survivor may even be
+        reconfiguring *right now* — so we loop until the configuration we
+        deployed is still the logged one when we finish, and a
+        reconciliation watch (see :meth:`_post_recovery_watch`) covers the
+        residual window.
+        """
+        survivor = self._surviving_peer(replica)
+        index = self.replicas.index(replica)
+        peer = self.replicas[1 - index].node.name
+        from repro.ftm.catalog import ftm_assembly as build
+
+        while True:
+            config = self.logged_configuration() or {
+                "ftm": self.ftm, "app": self.app, "assertion": self.assertion,
+            }
+            ftm = config["ftm"]
+            spec = build(
+                ftm,
+                role="slave",
+                peer=peer,
+                app=config.get("app", self.app),
+                assertion=config.get("assertion", self.assertion),
+                composite=self.composite_name,
+                fd_period=self.fd_period,
+                fd_timeout=self.fd_timeout,
+            )
+            if self.composite_name in replica.runtime.composites:
+                yield from replica.runtime.destroy_composite(self.composite_name)
+                replica.composite = None
+            yield from replica.deploy(spec)
+            replica.deployed_ftm = ftm
+            latest = self.logged_configuration()
+            if latest is None or latest == config:
+                break
+            # the configuration moved while we were deploying: go again
+
+        if survivor is not None and survivor.alive:
+            # state transfer: bring the fresh slave up to date, then tell the
+            # survivor (and its failure detector) that the peer is back
+            try:
+                state = yield from survivor.control("get_state")
+                yield from replica.control("put_state", state)
+            except Exception:  # noqa: BLE001 - app without state access
+                pass
+            yield from survivor.control("peer_recovered", replica.node.name)
+            yield from survivor.composite.call("fd", "reset")
+        self.reintegrations += 1
+        self.world.trace.record(
+            "ftm", "reintegrated", node=replica.node.name, ftm=ftm
+        )
+        # residual race: the survivor might log a new configuration just
+        # after our final check — reconcile shortly after
+        self.world.sim.spawn(
+            self._post_recovery_watch(replica),
+            name=f"reconcile-{replica.node.name}",
+        )
+
+    def _post_recovery_watch(self, replica: Replica) -> Generator:
+        """Re-check (a few times) that the replica runs the logged config."""
+        for _attempt in range(3):
+            yield Timeout(1_500.0)
+            if not replica.alive:
+                return
+            config = self.logged_configuration()
+            if config is None or replica.deployed_ftm == config["ftm"]:
+                continue
+            self.world.trace.record(
+                "ftm",
+                "reconcile",
+                node=replica.node.name,
+                deployed=replica.deployed_ftm,
+                logged=config["ftm"],
+            )
+            yield from self._reintegrate(replica)
+            return
+
+    def _surviving_peer(self, replica: Replica) -> Optional[Replica]:
+        for other in self.replicas:
+            if other is not replica and other.alive:
+                return other
+        return None
+
+
+def deploy_ftm_pair(
+    world,
+    ftm: str,
+    node_names: List[str],
+    app: str = "counter",
+    assertion: str = "always-true",
+    composite_name: str = "ftm",
+    **kwargs,
+) -> Generator:
+    """Convenience: build nodes' replicas and deploy (generator).
+
+    Usage::
+
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+    """
+    nodes = [world.cluster.node(name) for name in node_names]
+    pair = FTMPair(world, ftm, nodes, app=app, assertion=assertion,
+                   composite_name=composite_name, **kwargs)
+    yield from pair.deploy()
+    return pair

@@ -1,0 +1,117 @@
+"""The ``failure detector`` component of Figure 6.
+
+A heartbeat-based crash detector — the paper's "dedicated entity (e.g.,
+heartbeat, watchdog)".  A *common part*: it is never replaced by
+transitions, and its background processes keep running while variable
+features are being swapped, so a real crash during a transition is still
+detected (Sec. 5.3, distributed consistency).
+
+Two processes per replica: a sender emitting heartbeats to the peer, and
+a monitor that suspects the peer when no heartbeat arrives within the
+timeout, then invokes ``peer_failed`` on the protocol component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.components.impl import ComponentImpl
+from repro.components.model import Multiplicity
+from repro.kernel.errors import NodeDown
+from repro.kernel.sim import TIMEOUT, Process, Timeout
+
+
+class HeartbeatFailureDetector(ComponentImpl):
+    """Heartbeat sender + timeout monitor."""
+
+    SERVICES = {"fd": ("status", "reset", "suspend", "resume")}
+    REFERENCES = {"control": Multiplicity.ONE}
+
+    def on_attach(self) -> None:
+        self._processes: List[Process] = []
+        self.suspected = False
+        self.heartbeats_seen = 0
+        self._suspended = False
+        self._started_at = 0.0
+
+    # -- lifecycle hooks -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._started_at = self.ctx.sim.now
+        if self._processes and any(p.alive for p in self._processes):
+            return  # restart after a stop: processes still running
+        node = self.ctx.node
+        self._processes = [
+            node.spawn(self._sender(), name="fd-sender"),
+            node.spawn(self._monitor(), name="fd-monitor"),
+        ]
+
+    def on_stop(self) -> None:
+        # The FD is a common part and is normally never stopped; if a script
+        # does stop it (or the composite is destroyed), kill the loops.
+        for process in self._processes:
+            process.kill()
+        self._processes = []
+
+    # -- service operations ----------------------------------------------------------
+
+    def status(self) -> dict:
+        """Suspicion flag and heartbeat counters."""
+        return {
+            "suspected": self.suspected,
+            "heartbeats_seen": self.heartbeats_seen,
+            "suspended": self._suspended,
+        }
+
+    def reset(self) -> None:
+        """Clear the suspicion (a fresh peer was reintegrated)."""
+        self.suspected = False
+
+    def suspend(self) -> None:
+        """Stop suspecting (e.g. while the peer is deliberately rebooted)."""
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Resume suspecting after a :meth:`suspend`."""
+        self._suspended = False
+
+    # -- background processes ------------------------------------------------------------
+
+    def _sender(self):
+        period = self.prop("period", 20.0)
+        while True:
+            peer = self.prop("peer", "")
+            if peer and self.ctx.node.is_up:
+                try:
+                    self.ctx.send(peer, "fd", ("heartbeat", self.ctx.node.name), size=32)
+                except NodeDown:  # pragma: no cover - killed first in practice
+                    return
+            yield Timeout(period)
+
+    def _monitor(self):
+        timeout = self.prop("timeout", 60.0)
+        mailbox = self.ctx.mailbox("fd")
+        while True:
+            message = yield mailbox.get(timeout=timeout)
+            if message is not TIMEOUT:
+                self.heartbeats_seen += 1
+                if self.suspected and not self._suspended:
+                    # peer is talking again after a suspicion; stay suspected
+                    # until management resets us (reintegration protocol)
+                    pass
+                continue
+            if self._suspended or self.suspected:
+                continue
+            if (
+                self.heartbeats_seen == 0
+                and self.ctx.sim.now - self._started_at < self.prop("grace", 500.0)
+            ):
+                continue  # startup grace: the peer may still be deploying
+            self.suspected = True
+            self.ctx.trace.record(
+                "ftm",
+                "peer_suspected",
+                node=self.ctx.node.name,
+                peer=self.prop("peer", ""),
+            )
+            yield from self.ref("control").invoke("peer_failed")

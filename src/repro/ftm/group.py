@@ -1,0 +1,278 @@
+"""Component-level N-replica active replication (multi-follower LFR).
+
+The duplex FTMs of the catalog generalise to groups (paper Sec. 3.2.1).
+This module provides the component-based version for the simulated
+network: a leader and N−1 followers, rank-ordered for deterministic
+promotion, heartbeats fanned out to the whole group, forwards/notifies
+broadcast to every live follower.
+
+The variable features keep the Figure 6 shape (``syncBefore`` /
+``proceed`` / ``syncAfter``), so the design-for-adaptation story carries
+over; group *reintegration* after a crash is intentionally out of scope
+(pairs have it; groups keep serving with the survivors).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.components.impl import ComponentImpl
+from repro.components.model import Multiplicity
+from repro.components.spec import AssemblySpec, ComponentSpec
+from repro.ftm.catalog import _PROMOTIONS, _WIRES
+from repro.ftm.failure_detector import HeartbeatFailureDetector
+from repro.ftm.messages import ClientRequest, PeerEnvelope, estimate_size
+from repro.ftm.proceed import PlainProceed
+from repro.ftm.protocol import FTProtocol
+from repro.ftm.reply_log import ReplyLog
+from repro.ftm.replica import Replica
+from repro.ftm.server_component import AppServer
+from repro.ftm.sync_after import LfrSyncAfter
+from repro.ftm.sync_before import LfrSyncBefore
+from repro.kernel.errors import NodeDown
+from repro.kernel.sim import TIMEOUT, Timeout
+
+
+class GroupProtocol(FTProtocol):
+    """FTProtocol with rank-ordered group membership.
+
+    The ``group`` property is the ordered member tuple; the current
+    leader is the first member not locally known to be dead.  Roles are
+    *derived*, so promotion is just learning about a death.
+    """
+
+    def on_attach(self) -> None:
+        super().on_attach()
+        self._dead: set = set()
+
+    # -- membership --------------------------------------------------------------
+
+    def group(self) -> Tuple[str, ...]:
+        """The ordered member tuple."""
+        return tuple(self.prop("group", ()))
+
+    def live_members(self) -> List[str]:
+        """Members not locally known to be dead, in rank order."""
+        return [member for member in self.group() if member not in self._dead]
+
+    def leader(self) -> Optional[str]:
+        """The first live member: the current leader."""
+        live = self.live_members()
+        return live[0] if live else None
+
+    def _info(self) -> dict:
+        me = self.ctx.node.name
+        live = self.live_members()
+        leader = live[0] if live else me
+        followers = [member for member in live if member != me]
+        return {
+            "role": "master" if leader == me else "slave",
+            "peer": followers[0] if followers else "",
+            "peers": tuple(followers),
+            "master": leader,
+            "master_alone": not followers,
+            "node": me,
+        }
+
+    # -- failure handling -----------------------------------------------------------
+
+    def peer_failed(self, suspect: str = "") -> Any:
+        """A group member (normally the leader) was suspected."""
+        if not suspect:
+            info = self._info()
+            suspect = info["master"] if info["role"] == "slave" else info["peer"]
+        if not suspect or suspect in self._dead:
+            return None
+        was_leader = self.leader()
+        self._dead.add(suspect)
+        info = self._info()
+        if suspect == was_leader and info["role"] == "master":
+            committed = yield from self.ref("log").invoke(
+                "commit_all_stashed", info["node"]
+            )
+            self.ctx.trace.record(
+                "ftm", "promoted", node=info["node"], committed_stashed=committed
+            )
+        else:
+            self.ctx.trace.record(
+                "ftm", "member_declared_dead", node=info["node"], member=suspect
+            )
+        return None
+
+
+class GroupLfrSyncBefore(LfrSyncBefore):
+    """Leader side: forward the request to *every* live follower."""
+
+    def before(self, request: ClientRequest, info: dict) -> Any:
+        if info["role"] != "master":
+            return None
+        envelope = PeerEnvelope(
+            kind="request",
+            request_id=request.request_id,
+            client=request.client,
+            body={"payload": request.payload},
+        )
+        for follower in info.get("peers", ()):
+            self.ctx.send(
+                follower, "peer", envelope, size=estimate_size(request.payload)
+            )
+        return None
+
+
+class GroupLfrSyncAfter(LfrSyncAfter):
+    """Leader side: notify every live follower."""
+
+    def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
+        """Fan the notify out to every live follower."""
+        if info["role"] == "master":
+            envelope = PeerEnvelope(
+                kind="notify",
+                request_id=request.request_id,
+                client=request.client,
+            )
+            for follower in info.get("peers", ()):
+                self.ctx.send(follower, "peer", envelope, size=96)
+        return result
+
+
+class GroupFailureDetector(HeartbeatFailureDetector):
+    """Heartbeats to the whole group; suspicion targets the current leader."""
+
+    def _sender(self):
+        period = self.prop("period", 20.0)
+        while True:
+            if self.ctx.node.is_up:
+                me = self.ctx.node.name
+                for member in self.prop("group", ()):
+                    if member == me:
+                        continue
+                    try:
+                        self.ctx.send(member, "fd", ("heartbeat", me), size=32)
+                    except NodeDown:  # pragma: no cover
+                        return
+            yield Timeout(period)
+
+    def _monitor(self):
+        timeout = self.prop("timeout", 60.0)
+        mailbox = self.ctx.mailbox("fd")
+        last_seen: dict = {}
+        while True:
+            message = yield mailbox.get(timeout=timeout)
+            now = self.ctx.sim.now
+            if message is not TIMEOUT:
+                self.heartbeats_seen += 1
+                _tag, sender = message.payload
+                last_seen[sender] = now
+            if self._suspended:
+                continue
+            # who should be leading, and have we heard from them lately?
+            described = yield from self.ref("control").invoke("describe")
+            leader = described.get("master", "")
+            me = self.ctx.node.name
+            if not leader or leader == me:
+                continue
+            if self.heartbeats_seen == 0 and now - self._started_at < self.prop(
+                "grace", 500.0
+            ):
+                continue
+            seen_at = last_seen.get(leader)
+            if seen_at is None:
+                seen_at = self._started_at
+            if now - seen_at > timeout * 2:
+                self.ctx.trace.record(
+                    "ftm", "peer_suspected", node=me, peer=leader
+                )
+                yield from self.ref("control").invoke("peer_failed", leader)
+
+
+def group_assembly(
+    group: Tuple[str, ...],
+    app: str = "counter",
+    composite: str = "ftm",
+    fd_period: float = 20.0,
+    fd_timeout: float = 60.0,
+) -> AssemblySpec:
+    """Blueprint of one member of an N-replica active-replication group."""
+    if len(group) < 2:
+        raise ValueError(f"a replica group needs >= 2 members, got {len(group)}")
+    components = (
+        ComponentSpec.make(
+            "protocol", GroupProtocol, {"group": tuple(group)}, size=9216
+        ),
+        ComponentSpec.make("syncBefore", GroupLfrSyncBefore, size=3584),
+        ComponentSpec.make("proceed", PlainProceed, size=4096),
+        ComponentSpec.make("syncAfter", GroupLfrSyncAfter, size=4608),
+        ComponentSpec.make("replyLog", ReplyLog, size=2048),
+        ComponentSpec.make("server", AppServer, {"app": app}, size=6144),
+        ComponentSpec.make(
+            "failureDetector",
+            GroupFailureDetector,
+            {"group": tuple(group), "period": fd_period, "timeout": fd_timeout},
+            size=3072,
+        ),
+    )
+    return AssemblySpec(
+        name=composite, components=components, wires=_WIRES, promotions=_PROMOTIONS
+    )
+
+
+class FTMGroup:
+    """An N-replica active-replication deployment."""
+
+    def __init__(self, world, node_names: List[str], app: str = "counter",
+                 composite_name: str = "ftm"):
+        if len(node_names) < 2:
+            raise ValueError("a group needs >= 2 nodes")
+        self.world = world
+        self.members = tuple(node_names)
+        self.app = app
+        self.composite_name = composite_name
+        self.replicas = [
+            Replica(world, world.cluster.node(name), composite_name)
+            for name in node_names
+        ]
+
+    def deploy(self) -> Generator:
+        """Deploy every member in parallel (generator)."""
+        from repro.kernel.sim import all_of
+
+        spec = group_assembly(self.members, app=self.app,
+                              composite=self.composite_name)
+        processes = [
+            self.world.sim.spawn(
+                replica.deploy(spec), name=f"deploy-{replica.node.name}"
+            )
+            for replica in self.replicas
+        ]
+        yield from all_of(self.world.sim, processes)
+        self.world.trace.record("ftm", "group_deployed", members=self.members)
+        return self
+
+    def node_names(self) -> List[str]:
+        """The member node names (client target list)."""
+        return list(self.members)
+
+    def leader(self) -> Optional[str]:
+        """The node currently acting as leader (None when all down)."""
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            protocol = replica.composite.component("protocol").implementation
+            info = protocol._info()
+            if info["role"] == "master":
+                return replica.node.name
+        return None
+
+    def live_replicas(self) -> List[Replica]:
+        """Replicas whose nodes are up and deployed."""
+        return [replica for replica in self.replicas if replica.alive]
+
+    def application_states(self) -> dict:
+        """Captured application state per live member."""
+        out = {}
+        for replica in self.live_replicas():
+            server = replica.composite.component("server").implementation
+            application = server.application
+            if hasattr(application, "capture_state"):
+                out[replica.node.name] = application.capture_state()
+        return out

@@ -1,0 +1,74 @@
+"""The ``proceed`` variable feature: execution-phase components.
+
+Two variants (paper Sec. 5.2): the elementary proceed that forwards to
+the functional service, and the Time-Redundancy proceed "that repeats
+processing and compares results" — the single component replaced by the
+LFR → LFR⊕TR transition.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.components.impl import ComponentImpl
+from repro.components.model import Multiplicity
+from repro.ftm.errors import UnmaskedFault
+from repro.ftm.messages import ClientRequest
+
+
+class PlainProceed(ComponentImpl):
+    """Elementary execution: forward the request to the functional service."""
+
+    SERVICES = {"exec": ("execute",)}
+    REFERENCES = {"server": Multiplicity.ONE}
+
+    def execute(self, request: ClientRequest, info: dict) -> Any:
+        """Single execution on the functional service."""
+        result = yield from self.ref("server").invoke("execute", request.payload)
+        return result
+
+
+class RedundantProceed(ComponentImpl):
+    """Time-Redundancy execution: compute twice, compare, vote on mismatch.
+
+    Stateless across requests (the snapshot lives only for the duration of
+    one invocation), as the design-for-adaptation process requires of
+    variable features.
+    """
+
+    SERVICES = {"exec": ("execute",)}
+    REFERENCES = {"server": Multiplicity.ONE}
+
+    def execute(self, request: ClientRequest, info: dict) -> Any:
+        """Compute twice and compare; arbitrate with a third on mismatch."""
+        server = self.ref("server")
+        snapshot = yield from server.invoke("capture")
+
+        first = yield from server.invoke("execute", request.payload)
+        yield from self.ctx.compute(self.ctx.costs.result_compare)
+        yield from server.invoke("restore", snapshot)
+        second = yield from server.invoke("execute", request.payload)
+        yield from self.ctx.compute(self.ctx.costs.result_compare)
+        if first == second:
+            return first
+
+        self.ctx.trace.record(
+            "ftm",
+            "tr_mismatch",
+            node=self.ctx.node.name,
+            request_id=request.request_id,
+        )
+        yield from server.invoke("restore", snapshot)
+        third = yield from server.invoke("execute", request.payload)
+        yield from self.ctx.compute(self.ctx.costs.result_compare)
+        if third == first or third == second:
+            self.ctx.trace.record(
+                "ftm",
+                "tr_masked",
+                node=self.ctx.node.name,
+                request_id=request.request_id,
+            )
+            return third
+        raise UnmaskedFault(
+            f"request {request.request_id}: three pairwise-different results"
+        )

@@ -1,0 +1,79 @@
+"""The ``replyLog`` component of Figure 6.
+
+A *common part* holding the FTM's actual state: the reply log enforcing
+at-most-once semantics, plus a small keyed stash used by the active
+strategies for uncommitted follower results.  Because transitions never
+replace this component, at-most-once guarantees survive FTM changes —
+the paper's "no state transfer issues" claim, made concrete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.components.impl import ComponentImpl
+from repro.ftm.messages import ClientReply
+
+
+class ReplyLog(ComponentImpl):
+    """Reply log + stash behind the ``log`` service."""
+
+    SERVICES = {
+        "log": (
+            "lookup",
+            "record",
+            "stash",
+            "unstash",
+            "stashed",
+            "peek_stash",
+            "commit_all_stashed",
+            "entries",
+        ),
+    }
+
+    def on_attach(self) -> None:
+        self._replies: Dict[Tuple[str, int], ClientReply] = {}
+        self._stash: Dict[Tuple[str, int], Any] = {}
+
+    # -- at-most-once log ----------------------------------------------------------
+
+    def lookup(self, client: str, request_id: int) -> Optional[ClientReply]:
+        """The logged reply for a request, or None (at-most-once check)."""
+        return self._replies.get((client, request_id))
+
+    def record(self, client: str, request_id: int, reply: ClientReply) -> None:
+        """Log the reply sent for a request."""
+        self._replies[(client, request_id)] = reply
+
+    def entries(self) -> int:
+        """How many replies are logged."""
+        return len(self._replies)
+
+    # -- uncommitted results (active replication) -----------------------------------
+
+    def stash(self, client: str, request_id: int, value: Any) -> None:
+        """Hold a follower-computed result until the leader's notify."""
+        self._stash[(client, request_id)] = value
+
+    def stashed(self, client: str, request_id: int) -> bool:
+        """Is a result stashed for this request?"""
+        return (client, request_id) in self._stash
+
+    def unstash(self, client: str, request_id: int) -> Any:
+        """Remove and return a stashed result (None when absent)."""
+        return self._stash.pop((client, request_id), None)
+
+    def peek_stash(self, client: str, request_id: int) -> Any:
+        """Read a stashed result without removing it."""
+        return self._stash.get((client, request_id))
+
+    def commit_all_stashed(self, served_by: str) -> int:
+        """Promotion-time commit of everything the dead leader forwarded."""
+        committed = 0
+        for (client, request_id), value in sorted(self._stash.items()):
+            self._replies[(client, request_id)] = ClientReply(
+                request_id=request_id, value=value, served_by=served_by
+            )
+            committed += 1
+        self._stash.clear()
+        return committed

@@ -1,0 +1,67 @@
+"""The ``server`` component of Figure 6: business logic behind a service.
+
+A *common part*: transitions never touch it, so application state
+survives every FTM change (the paper's key argument for differential
+transitions — no state transfer needed).
+
+Every computation charges the application's CPU cost on the host and
+passes the result through the fault injector, which is where transient /
+permanent value faults enter the system.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.registry import application_info
+from repro.components.impl import ComponentImpl
+from repro.ftm.errors import FTMError
+from repro.patterns.server import StateManager
+
+
+class AppServer(ComponentImpl):
+    """Wraps a registered application behind the ``app`` service."""
+
+    SERVICES = {
+        "app": ("execute", "capture", "restore", "describe"),
+    }
+
+    def on_attach(self) -> None:
+        info = application_info(self.prop("app", "counter"))
+        self.info = info
+        self.application = info.factory()
+
+    # -- operations ---------------------------------------------------------------
+
+    def execute(self, payload: Any) -> Any:
+        """Process one request payload (charges CPU; may be fault-injected)."""
+        yield from self.ctx.compute(self.info.processing_cost_ms)
+        result = self.application.process(payload)
+        return self.ctx.faults.filter_value(self.ctx.node.name, result)
+
+    def capture(self) -> Any:
+        """Checkpoint the application state (requires state access)."""
+        if not isinstance(self.application, StateManager):
+            raise FTMError(
+                f"application {self.info.name!r} does not provide state access"
+            )
+        yield from self.ctx.compute(self.ctx.costs.checkpoint_capture)
+        return self.application.capture_state()
+
+    def restore(self, snapshot: Any) -> Any:
+        """Restore the application state from a checkpoint."""
+        if not isinstance(self.application, StateManager):
+            raise FTMError(
+                f"application {self.info.name!r} does not provide state access"
+            )
+        yield from self.ctx.compute(self.ctx.costs.checkpoint_apply)
+        self.application.restore_state(snapshot)
+
+    def describe(self) -> dict:
+        """The application's A-characteristics (read by monitoring/selection)."""
+        return {
+            "name": self.info.name,
+            "deterministic": self.info.deterministic,
+            "state_accessible": self.info.state_accessible,
+            "processing_cost_ms": self.info.processing_cost_ms,
+        }

@@ -1,0 +1,274 @@
+"""The ``syncAfter`` variable feature: agreement-coordination components.
+
+* :class:`PbrSyncAfter` — primary: checkpoint state + reply to the
+  backup; backup: apply the checkpoint and log the reply.
+* :class:`LfrSyncAfter` — leader: notify the follower; follower: commit
+  the stashed locally-computed result.
+* :class:`AssertPbrSyncAfter` / :class:`AssertLfrSyncAfter` — the
+  A&Duplex variants: assert the output first; on failure, re-execute on
+  the *other node* (an ``assist`` round-trip), then continue with the
+  duplex agreement step.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Optional
+
+from repro.app.registry import get_assertion
+from repro.components.impl import ComponentImpl
+from repro.components.model import Multiplicity
+from repro.ftm.errors import UnmaskedFault
+from repro.ftm.messages import (
+    CHECKPOINT_SCALE,
+    ClientReply,
+    ClientRequest,
+    PeerEnvelope,
+    estimate_size,
+)
+from repro.kernel.sim import TIMEOUT
+
+
+def _drive(value):
+    """Run a possibly-plain, possibly-generator method result to completion."""
+    if inspect.isgenerator(value):
+        result = yield from value
+        return result
+    return value
+    yield  # pragma: no cover - generator marker
+
+
+class _SyncAfterBase(ComponentImpl):
+    """Uniform port shape shared by every syncAfter variant.
+
+    Keeping the same services/references across variants means transitions
+    only swap implementations: the wiring topology of Figure 6 is stable.
+    """
+
+    SERVICES = {"sync": ("after", "on_peer")}
+    REFERENCES = {
+        "server": Multiplicity.ONE,
+        "log": Multiplicity.ONE,
+        "exec": Multiplicity.ONE,
+    }
+
+
+class PbrSyncAfter(_SyncAfterBase):
+    """Passive agreement: checkpoint to backup / process checkpoint."""
+
+    def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
+        """Primary side: checkpoint state + reply to the backup."""
+        if info["role"] == "master" and not info["master_alone"]:
+            state = yield from self.ref("server").invoke("capture")
+            envelope = PeerEnvelope(
+                kind="checkpoint",
+                request_id=request.request_id,
+                client=request.client,
+                body={"state": state, "result": result},
+            )
+            self.ctx.send(
+                info["peer"],
+                "peer",
+                envelope,
+                size=estimate_size(envelope.body, scale=CHECKPOINT_SCALE),
+            )
+            self.ctx.trace.record(
+                "ftm",
+                "checkpoint_sent",
+                node=self.ctx.node.name,
+                request_id=request.request_id,
+            )
+        return result
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Backup side: apply the checkpoint and log the reply."""
+        if envelope.kind != "checkpoint":
+            raise ValueError(
+                f"PBR syncAfter cannot handle peer message {envelope.kind!r}"
+            )
+        yield from self.ref("server").invoke("restore", envelope.body["state"])
+        reply = ClientReply(
+            request_id=envelope.request_id,
+            value=envelope.body["result"],
+            served_by=info["node"],
+        )
+        yield from self.ref("log").invoke(
+            "record", envelope.client, envelope.request_id, reply
+        )
+        self.ctx.trace.record(
+            "ftm",
+            "checkpoint_applied",
+            node=self.ctx.node.name,
+            request_id=envelope.request_id,
+        )
+
+
+class LfrSyncAfter(_SyncAfterBase):
+    """Active agreement: notify follower / commit the stashed result."""
+
+    def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
+        """Leader side: notify the follower that the request is done."""
+        if info["role"] == "master" and not info["master_alone"]:
+            envelope = PeerEnvelope(
+                kind="notify",
+                request_id=request.request_id,
+                client=request.client,
+            )
+            self.ctx.send(info["peer"], "peer", envelope, size=96)
+        return result
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Follower side: commit the stashed result on notify."""
+        if envelope.kind != "notify":
+            raise ValueError(
+                f"LFR syncAfter cannot handle peer message {envelope.kind!r}"
+            )
+        log = self.ref("log")
+        stashed = yield from log.invoke("stashed", envelope.client, envelope.request_id)
+        if not stashed:
+            return None  # notify raced ahead of (or lost) the forward
+        value = yield from log.invoke("unstash", envelope.client, envelope.request_id)
+        reply = ClientReply(
+            request_id=envelope.request_id, value=value, served_by=info["node"]
+        )
+        yield from log.invoke("record", envelope.client, envelope.request_id, reply)
+
+
+class _AssertingMixin:
+    """Assertion + remote re-execution, shared by both A&Duplex variants."""
+
+    #: how long the master waits for the peer's assist reply (virtual ms)
+    ASSIST_TIMEOUT = 500.0
+
+    def _check(self, request: ClientRequest, result: Any) -> bool:
+        assertion = get_assertion(self.prop("assertion", "always-true"))
+        return bool(assertion(request.payload, result))
+
+    def _assert_and_recover(
+        self, request: ClientRequest, result: Any, info: dict
+    ):
+        yield from self.ctx.compute(self.ctx.costs.assertion_check)
+        if self._check(request, result):
+            return result
+
+        self.ctx.trace.record(
+            "ftm",
+            "assertion_failed",
+            node=self.ctx.node.name,
+            request_id=request.request_id,
+        )
+        if not info["master_alone"] and info["peer"]:
+            recovered = yield from self._assist_from_peer(request, info)
+            if recovered is not None and self._check(request, recovered["result"]):
+                if recovered["state"] is not None:
+                    yield from self.ref("server").invoke(
+                        "restore", recovered["state"]
+                    )
+                self.ctx.trace.record(
+                    "ftm",
+                    "assertion_recovered",
+                    node=self.ctx.node.name,
+                    request_id=request.request_id,
+                )
+                return recovered["result"]
+        # master-alone (or the peer also failed): local re-execution
+        retry = yield from self.ref("exec").invoke("execute", request, info)
+        yield from self.ctx.compute(self.ctx.costs.assertion_check)
+        if self._check(request, retry):
+            return retry
+        raise UnmaskedFault(
+            f"request {request.request_id}: safety assertion failed and "
+            "re-execution did not recover"
+        )
+
+    def _assist_from_peer(self, request: ClientRequest, info: dict):
+        port = f"assist-{request.client}-{request.request_id}"
+        mailbox = self.ctx.mailbox(port)
+        envelope = PeerEnvelope(
+            kind="assist",
+            request_id=request.request_id,
+            client=request.client,
+            body={"payload": request.payload},
+            reply_to=self.ctx.node.name,
+            reply_port=port,
+        )
+        self.ctx.send(
+            info["peer"], "peer", envelope, size=estimate_size(request.payload)
+        )
+        message = yield mailbox.get(timeout=self.ASSIST_TIMEOUT)
+        self.ctx.network.unbind(self.ctx.node.name, port)
+        if message is TIMEOUT:
+            return None
+        return message.payload.body  # {"result": ..., "state": ...}
+
+    def _on_assist(self, envelope: PeerEnvelope, info: dict):
+        """Peer side: re-execute the request and ship result (+ state)."""
+        log = self.ref("log")
+        stashed = yield from log.invoke("stashed", envelope.client, envelope.request_id)
+        if stashed:
+            # the LFR follower already computed this request on the forward;
+            # computing again would double-apply its state effects
+            result = yield from log.invoke(
+                "peek_stash", envelope.client, envelope.request_id
+            )
+        else:
+            request = ClientRequest(
+                request_id=envelope.request_id,
+                client=envelope.client,
+                payload=envelope.body["payload"],
+                reply_to="",
+                reply_port="",
+            )
+            result = yield from self.ref("exec").invoke("execute", request, info)
+        try:
+            state = yield from self.ref("server").invoke("capture")
+        except Exception:  # noqa: BLE001 - app without state access
+            state = None
+        reply = PeerEnvelope(
+            kind="assist_reply",
+            request_id=envelope.request_id,
+            client=envelope.client,
+            body={"result": result, "state": state},
+        )
+        self.ctx.send(
+            envelope.reply_to,
+            envelope.reply_port,
+            reply,
+            size=estimate_size(reply.body),
+        )
+
+
+class AssertPbrSyncAfter(_AssertingMixin, PbrSyncAfter):
+    """A&PBR agreement: assert (re-execute on backup on failure), checkpoint."""
+
+    def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
+        """Assert (recovering on the backup if needed), then checkpoint."""
+        result = yield from self._assert_and_recover(request, result, info)
+        result = yield from _drive(PbrSyncAfter.after(self, request, result, info))
+        return result
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Handle assists plus the ordinary checkpoint traffic."""
+        if envelope.kind == "assist":
+            yield from self._on_assist(envelope, info)
+            return None
+        result = yield from _drive(PbrSyncAfter.on_peer(self, envelope, info))
+        return result
+
+
+class AssertLfrSyncAfter(_AssertingMixin, LfrSyncAfter):
+    """A&LFR agreement: assert (adopt follower result on failure), notify."""
+
+    def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
+        """Assert (adopting the follower's result if needed), then notify."""
+        result = yield from self._assert_and_recover(request, result, info)
+        result = yield from _drive(LfrSyncAfter.after(self, request, result, info))
+        return result
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Handle assists plus the ordinary notify traffic."""
+        if envelope.kind == "assist":
+            yield from self._on_assist(envelope, info)
+            return None
+        result = yield from _drive(LfrSyncAfter.on_peer(self, envelope, info))
+        return result

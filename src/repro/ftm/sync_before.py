@@ -1,0 +1,86 @@
+"""The ``syncBefore`` variable feature: server-coordination components.
+
+* :class:`PbrSyncBefore` — passive strategy: nothing happens before
+  processing (Table 2, "Nothing").
+* :class:`LfrSyncBefore` — active strategy: the leader forwards the
+  request to the follower before processing; on the follower side the
+  same component receives the forward and runs the local execution chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.components.impl import ComponentImpl
+from repro.components.model import Multiplicity
+from repro.ftm.messages import ClientRequest, PeerEnvelope, estimate_size
+
+
+class PbrSyncBefore(ComponentImpl):
+    """Passive-replication server coordination: nothing to do.
+
+    Declares the uniform syncBefore port shape (exec, log) even though the
+    passive strategy uses neither — keeping the Figure 6 topology stable
+    across FTMs is what makes transitions purely differential.
+    """
+
+    SERVICES = {"sync": ("before", "on_peer")}
+    REFERENCES = {"exec": Multiplicity.ONE, "log": Multiplicity.ONE}
+
+    def before(self, request: ClientRequest, info: dict) -> None:
+        """Table 2: the passive strategy does nothing before processing."""
+        return None
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> None:
+        """PBR's syncBefore never receives peer traffic."""
+        raise ValueError(
+            f"PBR syncBefore received unexpected peer message {envelope.kind!r}"
+        )
+
+
+class LfrSyncBefore(ComponentImpl):
+    """Active-replication server coordination: forward / receive requests."""
+
+    SERVICES = {"sync": ("before", "on_peer")}
+    REFERENCES = {"exec": Multiplicity.ONE, "log": Multiplicity.ONE}
+
+    def before(self, request: ClientRequest, info: dict) -> Any:
+        """Leader side: forward the request to the follower."""
+        if info["role"] != "master" or info["master_alone"]:
+            return None
+        envelope = PeerEnvelope(
+            kind="request",
+            request_id=request.request_id,
+            client=request.client,
+            body={"payload": request.payload},
+        )
+        self.ctx.send(
+            info["peer"], "peer", envelope, size=estimate_size(request.payload)
+        )
+        return None
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Follower side: compute the forwarded request, stash the result."""
+        if envelope.kind != "request":
+            raise ValueError(
+                f"LFR syncBefore cannot handle peer message {envelope.kind!r}"
+            )
+        log = self.ref("log")
+        already_logged = yield from log.invoke(
+            "lookup", envelope.client, envelope.request_id
+        )
+        already_stashed = yield from log.invoke(
+            "stashed", envelope.client, envelope.request_id
+        )
+        if already_logged is not None or already_stashed:
+            return None  # duplicate forward
+        request = ClientRequest(
+            request_id=envelope.request_id,
+            client=envelope.client,
+            payload=envelope.body["payload"],
+            reply_to="",
+            reply_port="",
+        )
+        result = yield from self.ref("exec").invoke("execute", request, info)
+        yield from log.invoke("stash", envelope.client, envelope.request_id, result)
+        return None

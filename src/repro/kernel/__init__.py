@@ -1,0 +1,77 @@
+"""Simulation kernel: the distributed-platform substrate.
+
+Public surface::
+
+    from repro.kernel import World, Timeout, Event, Channel
+
+    world = World(seed=42)
+    alpha = world.add_node("alpha")
+
+    def hello():
+        yield from alpha.compute(5.0)
+        return "done"
+
+    result = world.run_process(hello())
+"""
+
+from repro.kernel.costs import CostModel, DEFAULT_COSTS
+from repro.kernel.errors import (
+    KernelError,
+    NetworkUnreachable,
+    NodeDown,
+    ProcessInterrupted,
+    ProcessKilled,
+    SimulationError,
+    StorageError,
+)
+from repro.kernel.faults import Corrupted, FaultInjector, FaultKind, bit_flip
+from repro.kernel.network import Link, Message, Network
+from repro.kernel.node import Cluster, Node, NodeState
+from repro.kernel.rand import DeterministicRandom
+from repro.kernel.sim import (
+    TIMEOUT,
+    Channel,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+    all_of,
+)
+from repro.kernel.storage import LogEntry, StableStorage
+from repro.kernel.trace import Trace, TraceRecord
+from repro.kernel.world import World
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "KernelError",
+    "NetworkUnreachable",
+    "NodeDown",
+    "ProcessInterrupted",
+    "ProcessKilled",
+    "SimulationError",
+    "StorageError",
+    "Corrupted",
+    "FaultInjector",
+    "FaultKind",
+    "bit_flip",
+    "Link",
+    "Message",
+    "Network",
+    "Cluster",
+    "Node",
+    "NodeState",
+    "DeterministicRandom",
+    "TIMEOUT",
+    "Channel",
+    "Event",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "all_of",
+    "LogEntry",
+    "StableStorage",
+    "Trace",
+    "TraceRecord",
+    "World",
+]

@@ -1,0 +1,221 @@
+"""Fault injection.
+
+Implements the fault classes of the paper's Table 1 (following the
+Avizienis et al. taxonomy the paper cites):
+
+* **crash faults** — fail-stop of a host (node processes killed, volatile
+  state lost);
+* **transient value faults** — bit flips that corrupt a computation result
+  once (e.g. radiation-induced SEUs, electromagnetic interference);
+* **permanent value faults** — a host that systematically corrupts
+  computations from some instant on (hardware aging);
+* **omission faults** — message loss on the network.
+
+Value faults are injected at the *computation* boundary: application
+servers pass every computed result through
+:meth:`FaultInjector.filter_value`, which corrupts it when an armed fault
+campaign says so.  This mirrors how the paper's FTMs observe faults — TR
+compares two executions of the same request, Assertion checks a safety
+predicate on the output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.kernel.sim import Simulator
+from repro.kernel.trace import Trace
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault classes (Table 1 vocabulary)."""
+
+    CRASH = "crash"
+    TRANSIENT_VALUE = "transient_value"
+    PERMANENT_VALUE = "permanent_value"
+    OMISSION = "omission"
+
+
+@dataclass
+class _ValueCampaign:
+    """An armed window of value-fault injection on one node."""
+
+    kind: FaultKind
+    node: str
+    start: float
+    end: Optional[float]  # None = forever (permanent)
+    probability: float
+    injected: int = 0
+    budget: Optional[int] = None  # max number of corruptions, None = unlimited
+
+    def active(self, now: float) -> bool:
+        if now < self.start:
+            return False
+        if self.end is not None and now > self.end:
+            return False
+        if self.budget is not None and self.injected >= self.budget:
+            return False
+        return True
+
+
+def bit_flip(value: Any, bit: int) -> Any:
+    """Corrupt a value the way a hardware bit flip would.
+
+    Integers get one bit flipped; floats are corrupted through their
+    integer significand; strings/bytes get one character's bit flipped;
+    anything else is wrapped in a :class:`Corrupted` marker (detectable by
+    comparison, like a real corrupted record).
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << (bit % 31))
+    if isinstance(value, float):
+        # model a significand bit flip as a relative perturbation: exact
+        # integer arithmetic on huge floats would round the flip away
+        if value == 0.0:
+            return (1 << (bit % 16)) / 2**10
+        corrupted = value * (1.0 + 1.0 / (1 << (bit % 20 + 2)))
+        if corrupted == value:  # pragma: no cover - paranoia
+            corrupted = value * 2.0
+        return corrupted
+    if isinstance(value, str):
+        if not value:
+            return "\x01"
+        index = bit % len(value)
+        corrupted = chr(ord(value[index]) ^ (1 << (bit % 7)))
+        return value[:index] + corrupted + value[index + 1 :]
+    if isinstance(value, bytes):
+        if not value:
+            return b"\x01"
+        index = bit % len(value)
+        corrupted = bytes([value[index] ^ (1 << (bit % 8))])
+        return value[:index] + corrupted + value[index + 1 :]
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return Corrupted(value)
+        items = list(value)
+        index = bit % len(items)
+        items[index] = bit_flip(items[index], bit // max(len(items), 1) + 1)
+        return type(value)(items) if isinstance(value, tuple) else items
+    return Corrupted(value)
+
+
+@dataclass(frozen=True)
+class Corrupted:
+    """Marker wrapper for corrupted values with no bit-level representation."""
+
+    original: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Corrupted {self.original!r}>"
+
+
+class FaultInjector:
+    """Central fault-injection authority for one simulation."""
+
+    def __init__(self, sim: Simulator, trace: Trace):
+        self.sim = sim
+        self.trace = trace
+        self._campaigns: List[_ValueCampaign] = []
+        self._rand = sim.random.substream("faults")
+        self.injected_counts: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+
+    # -- crash faults -------------------------------------------------------------
+
+    def schedule_crash(self, node, at: float, restart_after: Optional[float] = None):
+        """Crash ``node`` at absolute time ``at`` (optionally restart later)."""
+
+        def fire() -> None:
+            self.injected_counts[FaultKind.CRASH] += 1
+            self.trace.record("fault", "crash_injected", node=node.name)
+            node.crash()
+            if restart_after is not None:
+                node.schedule_restart(restart_after)
+
+        delay = max(0.0, at - self.sim.now)
+        self.sim.schedule(delay, fire)
+
+    # -- value faults -----------------------------------------------------------------
+
+    def arm_transient(
+        self,
+        node_name: str,
+        probability: float,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        budget: Optional[int] = None,
+    ) -> None:
+        """Arm a window of transient value faults on a node's computations."""
+        self._campaigns.append(
+            _ValueCampaign(
+                kind=FaultKind.TRANSIENT_VALUE,
+                node=node_name,
+                start=start,
+                end=end,
+                probability=probability,
+                budget=budget,
+            )
+        )
+        self.trace.record(
+            "fault", "arm_transient", node=node_name, probability=probability
+        )
+
+    def arm_permanent(self, node_name: str, start: float = 0.0) -> None:
+        """From ``start`` on, every computation on the node is corrupted."""
+        self._campaigns.append(
+            _ValueCampaign(
+                kind=FaultKind.PERMANENT_VALUE,
+                node=node_name,
+                start=start,
+                end=None,
+                probability=1.0,
+            )
+        )
+        self.trace.record("fault", "arm_permanent", node=node_name)
+
+    def disarm(self, node_name: str) -> None:
+        """Cancel all value-fault campaigns on a node (hardware replaced)."""
+        self._campaigns = [c for c in self._campaigns if c.node != node_name]
+        self.trace.record("fault", "disarm", node=node_name)
+
+    def filter_value(self, node_name: str, value: Any) -> Any:
+        """Pass a computation result through the armed campaigns.
+
+        Transient campaigns corrupt *this one result* with their
+        probability; permanent campaigns corrupt every result.  Each
+        corruption is an independent bit flip.
+        """
+        for campaign in self._campaigns:
+            if campaign.node != node_name or not campaign.active(self.sim.now):
+                continue
+            if not self._rand.chance(campaign.probability):
+                continue
+            campaign.injected += 1
+            self.injected_counts[campaign.kind] += 1
+            bit = self._rand.randint(0, 30)
+            corrupted = bit_flip(value, bit)
+            self.trace.record(
+                "fault",
+                "value_injected",
+                node=node_name,
+                kind=campaign.kind.value,
+                bit=bit,
+            )
+            return corrupted
+        return value
+
+    def has_active_campaign(self, node_name: str) -> bool:
+        """Is any value-fault campaign currently live on the node?"""
+        return any(
+            c.node == node_name and c.active(self.sim.now) for c in self._campaigns
+        )
+
+    # -- omission faults -----------------------------------------------------------
+
+    def set_omission_rate(self, network, probability: float) -> None:
+        """Inject omission faults: network-wide message loss."""
+        network.set_loss_probability(probability)
+        self.trace.record("fault", "omission_rate", probability=probability)

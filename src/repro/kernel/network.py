@@ -1,0 +1,268 @@
+"""Simulated network: links, mailboxes, partitions, loss and corruption.
+
+The network connects :class:`repro.kernel.node.Node` instances with
+point-to-point links characterised by latency and bandwidth.  Processes
+receive messages through *mailboxes* — named :class:`Channel` endpoints
+bound to ``(node, port)`` addresses.
+
+The model is deliberately simple but charges the costs the paper's
+evaluation depends on: a message of ``size`` bytes takes
+``latency + size / bandwidth`` (plus jitter) to arrive, sender energy is
+charged per byte, and per-node byte counters feed the Monitoring Engine's
+bandwidth probe.  Links can be re-characterised at runtime — that is how
+the ``bandwidth drop`` adaptation trigger of Figure 8 is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.kernel.costs import CostModel, DEFAULT_COSTS
+from repro.kernel.errors import NetworkUnreachable, NodeDown
+from repro.kernel.node import Node
+from repro.kernel.sim import Channel, Simulator
+from repro.kernel.trace import Trace
+
+
+@dataclass(frozen=True)
+class Message:
+    """An envelope delivered to a mailbox."""
+
+    source: str
+    destination: str
+    port: str
+    payload: Any
+    size: int
+    sent_at: float
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message {self.source}->{self.destination}:{self.port} "
+            f"size={self.size}>"
+        )
+
+
+@dataclass
+class Link:
+    """Directed link characteristics (shared for both directions by default)."""
+
+    latency: float
+    bandwidth: float  # bytes per millisecond
+
+    def transfer_time(self, size: int) -> float:
+        """Latency plus serialisation delay for ``size`` bytes."""
+        return self.latency + size / self.bandwidth
+
+
+class Network:
+    """The message-passing fabric between nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: Trace,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.sim = sim
+        self.trace = trace
+        self.costs = costs
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._mailboxes: Dict[Tuple[str, str], Channel] = {}
+        self._partitions: Set[FrozenSet[str]] = set()
+        self._loss_probability = 0.0
+        self._delivery_filters: List[Callable[[Message], Optional[Message]]] = []
+        self._rand = sim.random.substream("network")
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def join(self, node: Node) -> None:
+        """Attach a node; links to existing nodes default to the cost model."""
+        if node.name in self._nodes:
+            raise ValueError(f"node {node.name!r} already joined")
+        for other in self._nodes:
+            self._links[(node.name, other)] = self._default_link()
+            self._links[(other, node.name)] = self._default_link()
+        self._nodes[node.name] = node
+
+    def _default_link(self) -> Link:
+        return Link(latency=self.costs.link_latency, bandwidth=self.costs.link_bandwidth)
+
+    def link(self, source: str, destination: str) -> Link:
+        """The directed link between two nodes."""
+        try:
+            return self._links[(source, destination)]
+        except KeyError:
+            raise NetworkUnreachable(source, destination) from None
+
+    def set_link(
+        self,
+        source: str,
+        destination: str,
+        latency: Optional[float] = None,
+        bandwidth: Optional[float] = None,
+        symmetric: bool = True,
+    ) -> None:
+        """Re-characterise a link at runtime (e.g. to simulate bandwidth drop)."""
+        pairs = [(source, destination)]
+        if symmetric:
+            pairs.append((destination, source))
+        for pair in pairs:
+            link = self.link(*pair)
+            if latency is not None:
+                link.latency = latency
+            if bandwidth is not None:
+                link.bandwidth = bandwidth
+        self.trace.record(
+            "network",
+            "link_change",
+            source=source,
+            destination=destination,
+            latency=latency,
+            bandwidth=bandwidth,
+        )
+
+    def set_all_bandwidth(self, bandwidth: float) -> None:
+        """Re-characterise every link at once (fleet-wide degradation)."""
+        for link in self._links.values():
+            link.bandwidth = bandwidth
+        self.trace.record("network", "bandwidth_change", bandwidth=bandwidth)
+
+    # -- partitions & loss ---------------------------------------------------------
+
+    def partition(self, group_a: List[str], group_b: List[str]) -> None:
+        """Block all traffic between the two node groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+        self.trace.record("network", "partition", group_a=tuple(group_a), group_b=tuple(group_b))
+
+    def heal(self) -> None:
+        """Remove every partition."""
+        self._partitions.clear()
+        self.trace.record("network", "heal")
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """Is traffic between the two nodes currently blocked?"""
+        return frozenset((a, b)) in self._partitions
+
+    def set_loss_probability(self, probability: float) -> None:
+        """Drop each message independently with this probability."""
+        self._loss_probability = probability
+
+    def add_delivery_filter(
+        self, filter_fn: Callable[[Message], Optional[Message]]
+    ) -> None:
+        """Install a hook that may transform or drop (return None) messages.
+
+        The fault injector uses this to corrupt payloads in flight.
+        """
+        self._delivery_filters.append(filter_fn)
+
+    # -- mailboxes --------------------------------------------------------------
+
+    def bind(self, node: str, port: str) -> Channel:
+        """Create (or fetch) the mailbox for ``(node, port)``."""
+        if node not in self._nodes:
+            raise KeyError(f"unknown node {node!r}")
+        key = (node, port)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = Channel(self.sim, name=f"{node}:{port}")
+        return self._mailboxes[key]
+
+    def unbind(self, node: str, port: str) -> None:
+        """Remove a mailbox; subsequent deliveries to it are dropped."""
+        self._mailboxes.pop((node, port), None)
+
+    def flush_node(self, node: str) -> None:
+        """Drop all buffered messages for a node (used on crash)."""
+        for (owner, _port), mailbox in self._mailboxes.items():
+            if owner == node:
+                mailbox.drain()
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        port: str,
+        payload: Any,
+        size: int = 256,
+    ) -> None:
+        """Fire-and-forget message send (datagram semantics).
+
+        Raises :class:`NodeDown` if the *source* is crashed.  Messages to a
+        crashed or partitioned destination are silently dropped, like a
+        real datagram — failure detection is the protocols' job.
+        """
+        src_node = self._nodes.get(source)
+        if src_node is None:
+            raise KeyError(f"unknown node {source!r}")
+        if destination not in self._nodes:
+            raise KeyError(f"unknown node {destination!r}")
+        if not src_node.is_up:
+            raise NodeDown(source, "send")
+
+        message = Message(
+            source=source,
+            destination=destination,
+            port=port,
+            payload=payload,
+            size=size,
+            sent_at=self.sim.now,
+        )
+        self.messages_sent += 1
+        src_node.charge_energy_for_send(size)
+
+        if source == destination:
+            delay = 0.01  # loopback
+        else:
+            if self.partitioned(source, destination):
+                self._drop(message, "partition")
+                return
+            if self._rand.chance(self._loss_probability):
+                self._drop(message, "loss")
+                return
+            link = self.link(source, destination)
+            delay = self._rand.jitter(
+                link.transfer_time(size), self.costs.jitter_fraction
+            )
+        self.sim.schedule(delay, self._deliver, message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        self.trace.record(
+            "network",
+            "drop",
+            source=message.source,
+            destination=message.destination,
+            port=message.port,
+            reason=reason,
+        )
+
+    def _deliver(self, message: Message) -> None:
+        destination = self._nodes[message.destination]
+        if not destination.is_up:
+            self._drop(message, "destination_down")
+            return
+        if self.partitioned(message.source, message.destination):
+            self._drop(message, "partition")
+            return
+        for filter_fn in self._delivery_filters:
+            filtered = filter_fn(message)
+            if filtered is None:
+                self._drop(message, "filtered")
+                return
+            message = filtered
+        mailbox = self._mailboxes.get((message.destination, message.port))
+        if mailbox is None:
+            self._drop(message, "no_mailbox")
+            return
+        destination.bytes_received += message.size
+        self.messages_delivered += 1
+        mailbox.put(message)

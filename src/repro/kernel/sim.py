@@ -1,0 +1,490 @@
+"""A deterministic discrete-event simulator with generator-based processes.
+
+This module is the execution substrate for the whole reproduction: nodes,
+networks, fault-tolerance protocols and the adaptation engine all run as
+:class:`Process` instances over a single :class:`Simulator`.
+
+Processes are plain Python generators that *yield* wait descriptors:
+
+``yield Timeout(5.0)``
+    resume 5 time units later.
+
+``yield event``
+    resume when the :class:`Event` is triggered; the ``yield`` evaluates
+    to the value the event was triggered with.
+
+``yield channel.get()``
+    resume when an item is available on the :class:`Channel`; an optional
+    ``timeout=`` resumes with the :data:`TIMEOUT` sentinel instead.
+
+``yield process``
+    join: resume when the other process terminates; the ``yield``
+    evaluates to its return value, or re-raises its failure.
+
+Time is virtual: the simulator jumps from event to event, so a simulated
+second costs microseconds of wall time, and two runs with the same seed
+produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator, List, Optional
+
+from repro.kernel.errors import (
+    ProcessInterrupted,
+    ProcessKilled,
+    SimulationError,
+)
+from repro.kernel.rand import DeterministicRandom
+
+
+class _Sentinel:
+    def __init__(self, label: str):
+        self._label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{self._label}>"
+
+
+#: Returned by ``channel.get(timeout=...)`` when the timeout expires first.
+TIMEOUT = _Sentinel("TIMEOUT")
+
+
+class Handle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("_cancelled", "_fired")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from firing."""
+        self._cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not (self._cancelled or self._fired)
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.random = DeterministicRandom(seed)
+        self._queue: List = []
+        self._seq = 0
+        self._running = False
+        self.processes: List["Process"] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Handle:
+        """Run ``fn(*args)`` after ``delay`` time units; returns a Handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        handle = Handle()
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, handle, fn, args))
+        return handle
+
+    def spawn(self, gen: Generator, name: str = "proc") -> "Process":
+        """Wrap a generator into a Process and start it at the current time."""
+        process = Process(self, gen, name)
+        self.processes.append(process)
+        self.schedule(0.0, process._resume, None, None)
+        return process
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the earliest pending event. Returns False when idle."""
+        while self._queue:
+            time, _seq, handle, fn, args = heapq.heappop(self._queue)
+            if handle._cancelled:
+                continue
+            handle._fired = True
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``).
+
+        Returns the simulation time when execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue:
+                time = self._queue[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                if not self.step():
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "main") -> Any:
+        """Spawn ``gen``, run until it terminates, and return its result.
+
+        The convenience entry point used by examples and tests: failures in
+        the process propagate to the caller.  Execution stops as soon as
+        the process finishes — background daemons (failure detectors,
+        pumps) may still have pending events; they simply resume on the
+        next ``run`` call.
+        """
+        process = self.spawn(gen, name)
+        while not process.terminated.triggered:
+            if not self.step():
+                break
+        if not process.terminated.triggered:
+            raise SimulationError(f"process {name!r} never terminated (deadlock?)")
+        if process.exception is not None:
+            raise process.exception
+        return process.result
+
+
+# ---------------------------------------------------------------------------
+# Wait descriptors
+# ---------------------------------------------------------------------------
+
+
+class Timeout:
+    """Wait descriptor: resume the yielding process after ``delay``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def _subscribe(self, process: "Process") -> Callable[[], None]:
+        handle = process.sim.schedule(self.delay, process._resume, None, None)
+        return handle.cancel
+
+
+class Event:
+    """A one-shot level-triggered event.
+
+    Processes yield the event to wait for it; :meth:`trigger` resumes all
+    waiters with a value, :meth:`fail` resumes them with an exception.
+    Waiting on an already-triggered event resumes immediately — events are
+    levels, not edges, which makes join/termination race-free.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._resume, value, None)
+
+    def fail(self, exception: BaseException) -> None:
+        """Fire the event by raising ``exception`` in every waiter."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.exception = exception
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._resume, None, exception)
+
+    def _subscribe(self, process: "Process") -> Callable[[], None]:
+        if self.triggered:
+            if self.exception is not None:
+                self.sim.schedule(0.0, process._resume, None, self.exception)
+            else:
+                self.sim.schedule(0.0, process._resume, self.value, None)
+            return lambda: None
+        self._waiters.append(process)
+
+        def cancel() -> None:
+            if process in self._waiters:
+                self._waiters.remove(process)
+
+        return cancel
+
+
+class _Get:
+    """Wait descriptor produced by :meth:`Channel.get`."""
+
+    __slots__ = ("channel", "timeout")
+
+    def __init__(self, channel: "Channel", timeout: Optional[float]):
+        self.channel = channel
+        self.timeout = timeout
+
+    def _subscribe(self, process: "Process") -> Callable[[], None]:
+        return self.channel._subscribe_get(process, self.timeout)
+
+
+class Channel:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns a wait descriptor.  Items put
+    while a getter is pending are handed over in FIFO order among getters.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "channel"):
+        self.sim = sim
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[tuple] = []  # (process, timeout_handle)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item (hands it straight to the oldest pending getter)."""
+        while self._getters:
+            process, timeout_handle = self._getters.pop(0)
+            if timeout_handle is not None and not timeout_handle.active:
+                continue  # stale: its timeout already fired
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+            process._clear_wait()
+            self.sim.schedule(0.0, process._resume, item, None)
+            return
+        self._items.append(item)
+
+    def get(self, timeout: Optional[float] = None) -> _Get:
+        """A wait descriptor: yield it to receive the next item (or TIMEOUT)."""
+        return _Get(self, timeout)
+
+    def drain(self) -> List[Any]:
+        """Remove and return all buffered items (no waiting)."""
+        items, self._items = self._items, []
+        return items
+
+    def _subscribe_get(
+        self, process: "Process", timeout: Optional[float]
+    ) -> Callable[[], None]:
+        if self._items:
+            item = self._items.pop(0)
+            self.sim.schedule(0.0, process._resume, item, None)
+            return lambda: None
+
+        timeout_handle: Optional[Handle] = None
+        entry = None
+
+        def expire() -> None:
+            if entry in self._getters:
+                self._getters.remove(entry)
+            process._clear_wait()
+            process._resume(TIMEOUT, None)
+
+        if timeout is not None:
+            timeout_handle = self.sim.schedule(timeout, expire)
+        entry = (process, timeout_handle)
+        self._getters.append(entry)
+
+        def cancel() -> None:
+            if entry in self._getters:
+                self._getters.remove(entry)
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+
+        return cancel
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+
+
+class Process:
+    """A generator-based cooperative process.
+
+    Created via :meth:`Simulator.spawn`.  A process terminates when its
+    generator returns (``StopIteration``), raises, or is killed.  The
+    :attr:`terminated` event carries the return value and makes joining
+    (``yield process``) race-free.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str):
+        if not isinstance(gen, Iterator):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}: "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.terminated = Event(sim, name=f"{name}.terminated")
+        self._cancel_wait: Optional[Callable[[], None]] = None
+        self._killed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.terminated.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def alive(self) -> bool:
+        return not self.terminated.triggered
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _clear_wait(self) -> None:
+        self._cancel_wait = None
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.terminated.triggered:
+            return
+        self._cancel_wait = None
+        try:
+            if exc is not None:
+                descriptor = self.gen.throw(exc)
+            else:
+                descriptor = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except (ProcessKilled, ProcessInterrupted) as terminal:
+            self._finish(None, terminal)
+            return
+        except BaseException as failure:  # noqa: BLE001 - deliberate funnel
+            self._finish(None, failure)
+            return
+        self._wait_on(descriptor)
+
+    def _wait_on(self, descriptor: Any) -> None:
+        if isinstance(descriptor, Process):
+            descriptor = descriptor.terminated_with_result()
+        subscribe = getattr(descriptor, "_subscribe", None)
+        if subscribe is None:
+            self._finish(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded a non-waitable "
+                    f"{type(descriptor).__name__}"
+                ),
+            )
+            return
+        self._cancel_wait = subscribe(self)
+
+    def terminated_with_result(self) -> "_Join":
+        """A join descriptor: yields the result / re-raises the failure."""
+        return _Join(self)
+
+    def _finish(self, result: Any, exception: Optional[BaseException]) -> None:
+        self.result = result
+        self.exception = exception
+        self.terminated.trigger((result, exception))
+
+    # -- external control --------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process.
+
+        A process blocked on a wait is detached from it first; a process
+        that is not currently waiting (i.e. scheduled to resume) sees the
+        interrupt at its next yield point.
+        """
+        if not self.alive:
+            return
+        if self._cancel_wait is not None:
+            self._cancel_wait()
+            self._cancel_wait = None
+        self.sim.schedule(0.0, self._resume, None, ProcessInterrupted(cause))
+
+    def kill(self) -> None:
+        """Terminate the process immediately (used for node crashes).
+
+        The generator is closed synchronously so no further code in it runs
+        after the crash instant — crash faults are fail-stop.
+        """
+        if not self.alive or self._killed:
+            return
+        self._killed = True
+        if self._cancel_wait is not None:
+            self._cancel_wait()
+            self._cancel_wait = None
+        try:
+            self.gen.close()
+        except BaseException:  # noqa: BLE001 - a dying process can't veto death
+            pass
+        self._finish(None, ProcessKilled(f"process {self.name} killed"))
+
+
+class _Join:
+    """Wait descriptor for joining a process; re-raises its failure."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: Process):
+        self.process = process
+
+    def _subscribe(self, joiner: Process) -> Callable[[], None]:
+        target = self.process
+
+        def deliver(_value: Any = None) -> None:
+            if target.exception is not None:
+                joiner._resume(None, target.exception)
+            else:
+                joiner._resume(target.result, None)
+
+        if target.terminated.triggered:
+            handle = joiner.sim.schedule(0.0, deliver)
+            return handle.cancel
+        waiter_event = target.terminated
+        waiter_event._waiters.append(_Forwarder(deliver, joiner))
+
+        def cancel() -> None:
+            waiter_event._waiters[:] = [
+                w
+                for w in waiter_event._waiters
+                if not (isinstance(w, _Forwarder) and w.joiner is joiner)
+            ]
+
+        return cancel
+
+
+class _Forwarder:
+    """Adapter so a _Join can sit in an Event waiter list."""
+
+    __slots__ = ("deliver", "joiner")
+
+    def __init__(self, deliver: Callable, joiner: Process):
+        self.deliver = deliver
+        self.joiner = joiner
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        self.deliver(value)
+
+
+def all_of(sim: Simulator, processes: List[Process]) -> Generator:
+    """A helper generator that joins every process in ``processes``.
+
+    Usage: ``results = yield from all_of(sim, procs)``.
+    """
+    results = []
+    for process in processes:
+        result = yield process
+        results.append(result)
+    return results

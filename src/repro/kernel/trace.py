@@ -1,0 +1,111 @@
+"""Structured event tracing for simulations.
+
+Every subsystem records what it does through a :class:`Trace`; the
+evaluation harness and the integration tests read the trace back instead
+of scraping stdout.  Records are plain tuples so traces are cheap and
+comparable across runs (determinism checks diff two traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    event: str
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """One detail value by key."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        kv = " ".join(f"{k}={v!r}" for k, v in self.details)
+        return f"[{self.time:10.3f}] {self.category}.{self.event} {kv}"
+
+
+@dataclass
+class Trace:
+    """An append-only log of :class:`TraceRecord` with simple querying."""
+
+    clock: Callable[[], float]
+    records: List[TraceRecord] = field(default_factory=list)
+    enabled: bool = True
+    _subscribers: List[Callable[[TraceRecord], None]] = field(default_factory=list)
+
+    def record(self, category: str, event: str, **details: Any) -> None:
+        """Append one record at the current simulation time."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(
+            time=self.clock(),
+            category=category,
+            event=event,
+            details=tuple(sorted(details.items())),
+        )
+        self.records.append(rec)
+        for subscriber in self._subscribers:
+            subscriber(rec)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a live observer (used by the Monitoring Engine)."""
+        self._subscribers.append(callback)
+
+    # -- queries -----------------------------------------------------------
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = 0.0,
+        **details: Any,
+    ) -> List[TraceRecord]:
+        """All records matching the filters, as a list."""
+        return [r for r in self.iter(category, event, since, **details)]
+
+    def iter(
+        self,
+        category: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = 0.0,
+        **details: Any,
+    ) -> Iterator[TraceRecord]:
+        """Lazily iterate records matching the filters."""
+        for rec in self.records:
+            if rec.time < since:
+                continue
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if any(rec.detail(k) != v for k, v in details.items()):
+                continue
+            yield rec
+
+    def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        """How many records match."""
+        return sum(1 for _ in self.iter(category, event))
+
+    def last(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> Optional[TraceRecord]:
+        """The newest matching record (None when nothing matches)."""
+        found = self.select(category, event)
+        return found[-1] if found else None
+
+    def summary(self) -> Dict[str, int]:
+        """Histogram of ``category.event`` → count."""
+        out: Dict[str, int] = {}
+        for rec in self.records:
+            key = f"{rec.category}.{rec.event}"
+            out[key] = out.get(key, 0) + 1
+        return out

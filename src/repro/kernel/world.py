@@ -1,0 +1,53 @@
+"""The :class:`World` — one fully wired simulated platform.
+
+Bundles the simulator, trace, cluster, network, fault injector and stable
+storage, which otherwise must be threaded through every constructor.  All
+examples, tests and benchmarks start from ``World(seed=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel.costs import CostModel, DEFAULT_COSTS
+from repro.kernel.faults import FaultInjector
+from repro.kernel.network import Network
+from repro.kernel.node import Cluster, Node
+from repro.kernel.sim import Simulator
+from repro.kernel.storage import StableStorage
+from repro.kernel.trace import Trace
+
+
+class World:
+    """A simulated distributed platform."""
+
+    def __init__(self, seed: int = 0, costs: CostModel = DEFAULT_COSTS):
+        self.sim = Simulator(seed=seed)
+        self.trace = Trace(clock=lambda: self.sim.now)
+        self.costs = costs
+        self.cluster = Cluster(self.sim, self.trace, costs)
+        self.network = Network(self.sim, self.trace, costs)
+        self.faults = FaultInjector(self.sim, self.trace)
+        self.storage = StableStorage(self.trace, clock=lambda: self.sim.now)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def add_node(self, name: str, cpu_speed: float = 1.0) -> Node:
+        """Create a node and attach it to the network."""
+        node = self.cluster.add_node(name, cpu_speed)
+        self.network.join(node)
+        return node
+
+    def add_nodes(self, names: List[str], cpu_speed: float = 1.0) -> List[Node]:
+        """Create several nodes at once."""
+        return [self.add_node(name, cpu_speed) for name in names]
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (optionally stopping at ``until``)."""
+        return self.sim.run(until=until)
+
+    def run_process(self, gen, name: str = "main"):
+        """Spawn a process, run until it finishes, return its result."""
+        return self.sim.run_process(gen, name=name)

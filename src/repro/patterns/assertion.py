@@ -1,0 +1,90 @@
+"""Assertion-based fault tolerance (the A of A&Duplex).
+
+After processing, a safety assertion — derived from a safety analysis of
+the system, e.g. an FMECA (paper Sec. 3.2.1) — checks the output.  On
+failure the request is re-executed; standalone, the re-execution is local
+(after a state restore), while in the A&Duplex compositions it is
+delegated to the *other node*, which is what lets A&Duplex cover
+permanent value faults: a host that systematically corrupts results never
+passes its work off as correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, ClassVar, Optional
+
+from repro.patterns.base import FaultToleranceProtocol
+from repro.patterns.errors import AssertionFailedError, PatternError
+from repro.patterns.messages import Request
+from repro.patterns.server import Server, StateManager
+
+#: An application-defined safety predicate over (request, result).
+SafetyAssertion = Callable[[Request, Any], bool]
+
+
+class Assertion(FaultToleranceProtocol):
+    """Figure 3's ``Assertion``."""
+
+    NAME: ClassVar[str] = "assertion"
+    FAULT_MODELS = frozenset({"transient_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = True  # standalone variant restores before retry
+    BANDWIDTH = "n/a"
+    CPU = "high"
+    HOSTS = 1
+    SCHEME = {
+        "Assertion": {
+            "before": "Capture state",
+            "proceed": "Compute",
+            "after": "Assert output (re-execute on failure)",
+        }
+    }
+
+    #: How many re-executions before giving up.
+    MAX_RETRIES: ClassVar[int] = 1
+
+    def __init__(
+        self,
+        server: Server,
+        assertion: Optional[SafetyAssertion] = None,
+        **kwargs: Any,
+    ):
+        super().__init__(server, **kwargs)
+        if assertion is None:
+            raise PatternError(
+                "Assertion-based FT needs an application-defined safety "
+                "assertion (pass assertion=...)"
+            )
+        self.assertion = assertion
+        self._snapshot: Any = None
+        self.assertion_failures = 0
+        self.recoveries = 0
+
+    # -- the generic scheme, specialised ---------------------------------------------
+
+    def sync_before(self, request: Request) -> None:
+        super().sync_before(request)
+        if isinstance(self.server, StateManager):
+            self._snapshot = self.server.capture_state()
+
+    def sync_after(self, request: Request, result: Any) -> Any:
+        if not self.assertion(request, result):
+            self.assertion_failures += 1
+            result = self._recover(request, result)
+        return super().sync_after(request, result)
+
+    # -- recovery strategy (overridden by the A&Duplex compositions) ------------------
+
+    def _recover(self, request: Request, bad_result: Any) -> Any:
+        """Standalone recovery: restore state and recompute locally."""
+        for _attempt in range(self.MAX_RETRIES):
+            if isinstance(self.server, StateManager) and self._snapshot is not None:
+                self.server.restore_state(self._snapshot)
+            retry = FaultToleranceProtocol.proceed(self, request)
+            if self.assertion(request, retry):
+                self.recoveries += 1
+                return retry
+        raise AssertionFailedError(
+            f"request {request.request_id}: result {bad_result!r} violates the "
+            f"safety assertion and re-execution did not recover"
+        )

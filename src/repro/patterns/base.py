@@ -1,0 +1,135 @@
+"""Design loop 2: the root of the pattern system.
+
+:class:`FaultToleranceProtocol` factors out *"what is common to all
+FTMs"* (paper Sec. 4.2): communication with the client, preservation of
+at-most-once semantics through a reply log, and request forwarding to the
+concrete functional service.  The generic **Before–Proceed–After**
+execution scheme (Sec. 4.1, Table 2) is the protocol's skeleton: every
+concrete FTM specialises ``sync_before`` / ``proceed`` / ``sync_after``
+cooperatively (always calling ``super()``), which is what makes the ⊕
+compositions of Figure 3 one-liners.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.patterns.messages import Reply, Request
+from repro.patterns.server import Server
+
+
+class FaultToleranceProtocol(abc.ABC):
+    """Abstract base of every FTM (Figure 3's ``FaultToleranceProtocol``)."""
+
+    # ------------------------------------------------------------------
+    # (FT, A, R) metadata — Table 1.  Subclasses override; compositions merge.
+    # ------------------------------------------------------------------
+    NAME: ClassVar[str] = "abstract"
+    #: Fault models tolerated: subset of {"crash", "transient_value",
+    #: "permanent_value"}.
+    FAULT_MODELS: ClassVar[FrozenSet[str]] = frozenset()
+    #: Works for deterministic applications (all our FTMs do).
+    HANDLES_DETERMINISM: ClassVar[bool] = True
+    #: Also works for non-deterministic applications.
+    HANDLES_NON_DETERMINISM: ClassVar[bool] = True
+    #: Needs the application to expose state capture/restore.
+    REQUIRES_STATE_ACCESS: ClassVar[bool] = False
+    #: Qualitative bandwidth demand: "high" / "low" / "n/a".
+    BANDWIDTH: ClassVar[str] = "n/a"
+    #: Qualitative CPU demand: "low" / "high".
+    CPU: ClassVar[str] = "low"
+    #: Number of hosts the FTM occupies.
+    HOSTS: ClassVar[int] = 1
+
+    # ------------------------------------------------------------------
+    # Before–Proceed–After content per role — Table 2.
+    # ------------------------------------------------------------------
+    SCHEME: ClassVar[Mapping[str, Mapping[str, str]]] = {
+        "server": {"before": "Nothing", "proceed": "Compute", "after": "Nothing"}
+    }
+
+    def __init__(self, server: Server, name: str = "replica", **kwargs: Any):
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        self.server = server
+        self.name = name
+        self.reply_log: Dict[Tuple[str, int], Reply] = {}
+        self.requests_handled = 0
+
+    # -- the generic execution scheme -----------------------------------------
+
+    def handle_request(self, request: Request) -> Reply:
+        """Client entry point: at-most-once + Before–Proceed–After."""
+        key = (request.client, request.request_id)
+        cached = self.reply_log.get(key)
+        if cached is not None:
+            return Reply(
+                request_id=cached.request_id,
+                value=cached.value,
+                served_by=self.name,
+                replayed=True,
+            )
+        self.sync_before(request)
+        result = self.proceed(request)
+        result = self.sync_after(request, result)
+        reply = Reply(request_id=request.request_id, value=result, served_by=self.name)
+        self.reply_log[key] = reply
+        self.requests_handled += 1
+        return reply
+
+    # -- the three variable features (cooperative overrides) -----------------------
+
+    def sync_before(self, request: Request) -> None:
+        """Server-coordination phase (synchronisation *before* processing)."""
+
+    def proceed(self, request: Request) -> Any:
+        """Execution phase: forward to the functional service."""
+        return self.server.process(request.payload)
+
+    def sync_after(self, request: Request, result: Any) -> Any:
+        """Agreement-coordination phase (synchronisation *after* processing)."""
+        return result
+
+    # -- metadata accessors (feed the Table 1 / Table 2 harnesses) -------------------
+
+    @classmethod
+    def characteristics(cls) -> Dict[str, Any]:
+        """The FTM's (FT, A, R) row of Table 1."""
+        return {
+            "name": cls.NAME,
+            "fault_models": tuple(sorted(cls.FAULT_MODELS)),
+            "deterministic": cls.HANDLES_DETERMINISM,
+            "non_deterministic": cls.HANDLES_NON_DETERMINISM,
+            "requires_state_access": cls.REQUIRES_STATE_ACCESS,
+            "bandwidth": cls.BANDWIDTH,
+            "cpu": cls.CPU,
+            "hosts": cls.HOSTS,
+        }
+
+    @classmethod
+    def execution_scheme(cls) -> Dict[str, Dict[str, str]]:
+        """The FTM's Before/Proceed/After rows of Table 2 (one per role)."""
+        return {role: dict(steps) for role, steps in cls.SCHEME.items()}
+
+    @classmethod
+    def accepts_application(cls, server_class) -> Tuple[bool, str]:
+        """Can this FTM protect the given application class?
+
+        Returns ``(ok, reason)`` — the A-dimension validity check.
+        """
+        deterministic = getattr(server_class, "DETERMINISTIC", True)
+        state_accessible = getattr(server_class, "STATE_ACCESSIBLE", False)
+        if deterministic and not cls.HANDLES_DETERMINISM:  # pragma: no cover
+            return False, f"{cls.NAME} cannot protect deterministic applications"
+        if not deterministic and not cls.HANDLES_NON_DETERMINISM:
+            return False, (
+                f"{cls.NAME} requires determinism but "
+                f"{server_class.__name__} is non-deterministic"
+            )
+        if cls.REQUIRES_STATE_ACCESS and not state_accessible:
+            return False, (
+                f"{cls.NAME} requires state access but "
+                f"{server_class.__name__} does not provide it"
+            )
+        return True, "ok"

@@ -1,0 +1,180 @@
+"""FTM compositions (the ⊕ operator of Figure 2).
+
+The paper's most striking design result: after the two design loops,
+composing a duplex strategy with a value-fault mechanism is *almost
+immediate* — each composition below is a class statement plus metadata.
+Cooperative ``super()`` chaining through the Before–Proceed–After scheme
+does the rest:
+
+* ``PBR_TR`` / ``LFR_TR`` — crash + transient value faults (duplex with
+  redundant execution on every replica that computes);
+* ``PBR_A`` / ``LFR_A`` — the two A&Duplex variants: crash + value
+  faults, with assertion-failed requests re-executed **on the other
+  node**, which also covers permanent value faults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.patterns.assertion import Assertion
+from repro.patterns.errors import AssertionFailedError, NoPeerError
+from repro.patterns.lfr import LFR
+from repro.patterns.messages import PeerMessage, Request
+from repro.patterns.pbr import PBR
+from repro.patterns.server import StateManager
+from repro.patterns.time_redundancy import TimeRedundancy
+
+
+class PBR_TR(TimeRedundancy, PBR):
+    """PBR ⊕ TR: passive replication with redundant execution on the primary."""
+
+    NAME: ClassVar[str] = "pbr+tr"
+    FAULT_MODELS = frozenset({"crash", "transient_value"})
+    HANDLES_NON_DETERMINISM = False  # TR compares executions
+    REQUIRES_STATE_ACCESS = True
+    BANDWIDTH = "high"
+    CPU = "high"
+    HOSTS = 2
+    SCHEME = {
+        "PBR⊕TR (Primary)": {
+            "before": "Capture state",
+            "proceed": "Compute twice, compare (vote on mismatch)",
+            "after": "Checkpoint to Backup",
+        },
+        "PBR⊕TR (Backup)": {
+            "before": "Nothing",
+            "proceed": "Nothing",
+            "after": "Process checkpoint",
+        },
+    }
+
+
+class LFR_TR(TimeRedundancy, LFR):
+    """LFR ⊕ TR: active replication with redundant execution on both replicas."""
+
+    NAME: ClassVar[str] = "lfr+tr"
+    FAULT_MODELS = frozenset({"crash", "transient_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = True  # TR restores state between executions
+    BANDWIDTH = "low"
+    CPU = "high"
+    HOSTS = 2
+    SCHEME = {
+        "LFR⊕TR (Leader)": {
+            "before": "Forward request; capture state",
+            "proceed": "Compute twice, compare (vote on mismatch)",
+            "after": "Notify Follower",
+        },
+        "LFR⊕TR (Follower)": {
+            "before": "Receive request",
+            "proceed": "Compute twice, compare (vote on mismatch)",
+            "after": "Process notification",
+        },
+    }
+
+
+class _DuplexAssertion(Assertion):
+    """Assertion whose recovery re-executes on the *other node* (A&Duplex).
+
+    The peer answers an ``assist`` query by computing the request on its
+    own server — a different host, so a permanent value fault on the
+    master cannot recur in the re-execution — and ships its resulting
+    state so the master can adopt it.
+    """
+
+    def _recover(self, request: Request, bad_result: Any) -> Any:
+        if self.linked and not self.master_alone:
+            try:
+                response = self.query_peer(
+                    PeerMessage(
+                        kind="assist",
+                        request_id=request.request_id,
+                        body={"client": request.client, "payload": request.payload},
+                    )
+                )
+            except NoPeerError:
+                response = None
+            if response is not None and self.assertion(request, response["result"]):
+                if (
+                    isinstance(self.server, StateManager)
+                    and response["state"] is not None
+                ):
+                    self.server.restore_state(response["state"])
+                self.recoveries += 1
+                return response["result"]
+        # no peer (master-alone) or the peer's result also failed: last-ditch
+        # local re-execution, then give up
+        return super()._recover(request, bad_result)
+
+    def _query_assist(self, message: PeerMessage) -> Any:
+        """Peer side of the re-execution."""
+        request = Request(
+            request_id=message.request_id,
+            client=message.body["client"],
+            payload=message.body["payload"],
+        )
+        key = (request.client, request.request_id)
+        uncommitted = getattr(self, "_uncommitted", None)
+        if uncommitted is not None and key in uncommitted:
+            # LFR follower already computed this request when it was
+            # forwarded; computing again would double-apply state effects
+            result = uncommitted[key]
+        else:
+            result = Assertion.proceed(self, request)
+        state = (
+            self.server.capture_state()
+            if isinstance(self.server, StateManager)
+            else None
+        )
+        return {"result": result, "state": state}
+
+
+class PBR_A(_DuplexAssertion, PBR):
+    """A&PBR: passive replication + safety assertion with remote re-execution."""
+
+    NAME: ClassVar[str] = "a+pbr"
+    FAULT_MODELS = frozenset({"crash", "transient_value", "permanent_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = True
+    BANDWIDTH = "high"
+    CPU = "high"
+    HOSTS = 2
+    SCHEME = {
+        "A&PBR (Primary)": {
+            "before": "Nothing",
+            "proceed": "Compute",
+            "after": "Assert output (re-execute on Backup on failure); "
+            "checkpoint to Backup",
+        },
+        "A&PBR (Backup)": {
+            "before": "Nothing",
+            "proceed": "Nothing (compute on assist)",
+            "after": "Process checkpoint",
+        },
+    }
+
+
+class LFR_A(_DuplexAssertion, LFR):
+    """A&LFR: active replication + safety assertion with remote re-execution."""
+
+    NAME: ClassVar[str] = "a+lfr"
+    FAULT_MODELS = frozenset({"crash", "transient_value", "permanent_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = False
+    BANDWIDTH = "low"
+    CPU = "high"
+    HOSTS = 2
+    SCHEME = {
+        "A&LFR (Leader)": {
+            "before": "Forward request",
+            "proceed": "Compute",
+            "after": "Assert output (adopt Follower result on failure); "
+            "notify Follower",
+        },
+        "A&LFR (Follower)": {
+            "before": "Receive request",
+            "proceed": "Compute",
+            "after": "Process notification",
+        },
+    }

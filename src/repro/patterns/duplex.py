@@ -1,0 +1,139 @@
+"""Design loop 1: the common core of all duplex (two-replica) protocols.
+
+:class:`DuplexProtocol` factors what PBR and LFR share — two replicas
+with master/slave roles, an inter-replica link, crash detection and
+recovery by promotion.  Concrete duplex FTMs specialise only the
+inter-replica synchronisation steps of the generic execution scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, ClassVar, Dict, Optional
+
+from repro.patterns.base import FaultToleranceProtocol
+from repro.patterns.errors import NoPeerError, NotMasterError
+from repro.patterns.messages import PeerMessage, Reply, Request
+from repro.patterns.server import Server
+
+
+class Role(enum.Enum):
+    """Which side of the duplex a replica currently plays."""
+
+    MASTER = "master"
+    SLAVE = "slave"
+
+
+class LocalLink:
+    """A synchronous in-process inter-replica link (for the OO framework).
+
+    The component-based FTMs of :mod:`repro.ftm` replace this with real
+    simulated networking; the pattern framework is about *design*, so the
+    link is deliberately the simplest thing that lets two protocol objects
+    talk: direct delivery, with a breakable flag to emulate a crash.
+    """
+
+    def __init__(self, left: "DuplexProtocol", right: "DuplexProtocol"):
+        self.left = left
+        self.right = right
+        self.broken = False
+        self.messages_carried = 0
+        left._link = self
+        right._link = self
+
+    def peer_of(self, protocol: "DuplexProtocol") -> "DuplexProtocol":
+        """The other endpoint of the link."""
+        return self.right if protocol is self.left else self.left
+
+    def deliver(self, sender: "DuplexProtocol", message: PeerMessage) -> None:
+        """Hand a datagram to the peer (dropped when the link is broken)."""
+        if self.broken:
+            return  # datagram semantics: losses are the FD's problem
+        self.messages_carried += 1
+        self.peer_of(sender).on_peer_message(message)
+
+    def query(self, sender: "DuplexProtocol", message: PeerMessage) -> Any:
+        """Synchronous request/response across the link (assist calls)."""
+        if self.broken:
+            raise NoPeerError("link broken")
+        self.messages_carried += 2
+        return self.peer_of(sender).on_peer_query(message)
+
+    def break_(self) -> None:
+        """Sever the link (emulates a peer crash at this design level)."""
+        self.broken = True
+
+
+class DuplexProtocol(FaultToleranceProtocol):
+    """Abstract duplex protocol (Figure 3's ``DuplexProtocol``)."""
+
+    NAME: ClassVar[str] = "duplex"
+    FAULT_MODELS = frozenset({"crash"})
+    HOSTS = 2
+
+    def __init__(self, server: Server, role: Role = Role.MASTER, **kwargs: Any):
+        super().__init__(server, **kwargs)
+        self.role = role
+        self._link: Optional[LocalLink] = None
+        self.master_alone = False
+        self.promotions = 0
+
+    # -- peer plumbing ------------------------------------------------------------
+
+    @property
+    def linked(self) -> bool:
+        return self._link is not None and not self._link.broken
+
+    def send_to_peer(self, message: PeerMessage) -> None:
+        """Datagram to the peer; silently dropped in master-alone mode."""
+        if self._link is None:
+            raise NoPeerError(f"{self.name} has no inter-replica link")
+        self._link.deliver(self, message)
+
+    def query_peer(self, message: PeerMessage) -> Any:
+        """Synchronous request/response to the peer (assist calls)."""
+        if self._link is None:
+            raise NoPeerError(f"{self.name} has no inter-replica link")
+        return self._link.query(self, message)
+
+    def on_peer_message(self, message: PeerMessage) -> None:
+        """Dispatch an incoming peer datagram to ``_on_<kind>``."""
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            raise ValueError(f"{type(self).__name__} cannot handle {message.kind!r}")
+        handler(message)
+
+    def on_peer_query(self, message: PeerMessage) -> Any:
+        """Dispatch an incoming synchronous query to ``_query_<kind>``."""
+        handler = getattr(self, f"_query_{message.kind}", None)
+        if handler is None:
+            raise ValueError(
+                f"{type(self).__name__} cannot answer query {message.kind!r}"
+            )
+        return handler(message)
+
+    # -- role management ----------------------------------------------------------------
+
+    def handle_request(self, request: Request) -> Reply:
+        if self.role != Role.MASTER:
+            raise NotMasterError(
+                f"replica {self.name} is {self.role.value}, not master"
+            )
+        return super().handle_request(request)
+
+    def peer_failed(self) -> None:
+        """Failure-detector callback: the other replica crashed.
+
+        A slave promotes itself to master (recovery); a master continues
+        alone.  Either way the survivor is in *master-alone* mode until a
+        new peer is connected.
+        """
+        if self.role == Role.SLAVE:
+            self.role = Role.MASTER
+            self.promotions += 1
+        self.master_alone = True
+
+    def peer_recovered(self, link: LocalLink) -> None:
+        """A fresh peer was started and linked; leave master-alone mode."""
+        self._link = link
+        self.master_alone = False

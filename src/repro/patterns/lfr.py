@@ -1,0 +1,117 @@
+"""Leader-Follower Replication (active duplex strategy).
+
+Both replicas process every request; only the leader replies to the
+client.  The leader forwards each request *before* processing (server
+coordination) and notifies the follower *after* (agreement coordination),
+so the follower can commit its locally computed reply to the log.
+Tolerates crash faults; requires determinism (both replicas must compute
+the same thing); does not need state access; bandwidth-light, CPU-heavy
+(Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, Tuple
+
+from repro.patterns.duplex import DuplexProtocol, Role
+from repro.patterns.messages import PeerMessage, Reply, Request
+
+
+class LFR(DuplexProtocol):
+    """Figure 3's ``LFR`` (Leader-Follower Replication)."""
+
+    NAME: ClassVar[str] = "lfr"
+    FAULT_MODELS = frozenset({"crash"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = False
+    BANDWIDTH = "low"
+    CPU = "high"
+    SCHEME = {
+        "LFR (Leader)": {
+            "before": "Forward request",
+            "proceed": "Compute",
+            "after": "Notify Follower",
+        },
+        "LFR (Follower)": {
+            "before": "Receive request",
+            "proceed": "Compute",
+            "after": "Process notification",
+        },
+    }
+
+    def __init__(self, server, role: Role = Role.MASTER, **kwargs: Any):
+        super().__init__(server, role=role, **kwargs)
+        #: follower-side results computed but not yet committed by a notify
+        self._uncommitted: Dict[Tuple[str, int], Any] = {}
+        self.forwarded = 0
+        self.notifications = 0
+
+    # -- leader side -----------------------------------------------------------
+
+    def sync_before(self, request: Request) -> None:
+        super().sync_before(request)
+        if self.linked and not self.master_alone:
+            self.forwarded += 1
+            self.send_to_peer(
+                PeerMessage(
+                    kind="request",
+                    request_id=request.request_id,
+                    body={"client": request.client, "payload": request.payload},
+                )
+            )
+
+    def sync_after(self, request: Request, result: Any) -> Any:
+        result = super().sync_after(request, result)
+        if self.linked and not self.master_alone:
+            self.notifications += 1
+            self.send_to_peer(
+                PeerMessage(
+                    kind="notify",
+                    request_id=request.request_id,
+                    body={"client": request.client},
+                )
+            )
+        return result
+
+    # -- follower side ----------------------------------------------------------------
+
+    def _on_request(self, message: PeerMessage) -> None:
+        body = message.body
+        request = Request(
+            request_id=message.request_id,
+            client=body["client"],
+            payload=body["payload"],
+        )
+        key = (request.client, request.request_id)
+        if key in self.reply_log or key in self._uncommitted:
+            return  # duplicate forward
+        # The follower runs the full proceed chain, so compositions
+        # (e.g. LFR⊕TR) apply their redundancy on the follower too.
+        self._uncommitted[key] = self.proceed(request)
+
+    def _on_notify(self, message: PeerMessage) -> None:
+        key = (message.body["client"], message.request_id)
+        if key not in self._uncommitted:
+            return  # notify raced ahead of the request forward (lost msg)
+        value = self._uncommitted.pop(key)
+        self.reply_log[key] = Reply(
+            request_id=message.request_id, value=value, served_by=self.name
+        )
+
+    def peer_failed(self) -> None:
+        """On promotion, commit everything the dead leader already forwarded.
+
+        The leader only replies after both replicas hold the request, so a
+        forwarded-but-unnotified request may or may not have been answered;
+        committing it preserves at-most-once either way (a retransmission
+        replays the logged reply instead of recomputing).
+        """
+        was_slave = self.role == Role.SLAVE
+        super().peer_failed()
+        if was_slave:
+            for key, value in sorted(self._uncommitted.items()):
+                client, request_id = key
+                self.reply_log[key] = Reply(
+                    request_id=request_id, value=value, served_by=self.name
+                )
+            self._uncommitted.clear()

@@ -1,0 +1,38 @@
+"""Request/reply envelopes and the inter-replica message vocabulary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request with the identity needed for at-most-once semantics."""
+
+    request_id: int
+    client: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Reply:
+    """The reply sent back to the client."""
+
+    request_id: int
+    value: Any
+    served_by: str = "master"
+    replayed: bool = False  #: True when answered from the reply log
+
+
+@dataclass(frozen=True)
+class PeerMessage:
+    """One inter-replica protocol message.
+
+    ``kind`` is protocol-specific: PBR sends ``checkpoint``, LFR sends
+    ``request`` and ``notify``, A&Duplex adds ``assist`` / ``assist-reply``.
+    """
+
+    kind: str
+    request_id: int
+    body: Any = None

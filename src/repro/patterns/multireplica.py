@@ -1,0 +1,139 @@
+"""N-replica generalisations of the duplex strategies (paper Sec. 3.2.1).
+
+*"We could also consider multiple Backups or Followers"* — these classes
+generalise :class:`~repro.patterns.pbr.PBR` and
+:class:`~repro.patterns.lfr.LFR` from one peer to a *group*:
+
+* :class:`GroupPBR` — one primary, N backups: checkpoints go to every
+  backup; any backup can be promoted; the system tolerates N crashes.
+* :class:`GroupLFR` — one leader, N followers: all replicas compute
+  every request (a deterministic state machine); promotion commits the
+  uncommitted stash exactly like duplex LFR.
+
+A :class:`GroupLink` carries the group communication; at this OO design
+level it delivers in submission order, playing the role the
+component-level :class:`repro.ftm.broadcast.AtomicBroadcast` plays on the
+simulated network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, List, Optional
+
+from repro.patterns.duplex import DuplexProtocol, Role
+from repro.patterns.errors import NoPeerError
+from repro.patterns.lfr import LFR
+from repro.patterns.messages import PeerMessage, Reply, Request
+from repro.patterns.pbr import PBR
+
+
+class GroupLink:
+    """Ordered group delivery between one master and N slaves."""
+
+    def __init__(self, master: "DuplexProtocol", slaves: List["DuplexProtocol"]):
+        if not slaves:
+            raise NoPeerError("a group needs at least one slave")
+        self.master = master
+        self.slaves = list(slaves)
+        self.crashed: set = set()
+        self.messages_carried = 0
+        master._link = self
+        for slave in slaves:
+            slave._link = self
+
+    def peer_of(self, protocol):  # pragma: no cover - duplex-compat shim
+        """Duplex-compat: the first live counterpart."""
+        others = self.live_slaves() if protocol is self.master else [self.master]
+        return others[0] if others else None
+
+    def live_slaves(self) -> List["DuplexProtocol"]:
+        """Slaves not known to be crashed."""
+        return [slave for slave in self.slaves if slave not in self.crashed]
+
+    @property
+    def broken(self) -> bool:
+        return not self.live_slaves()
+
+    def deliver(self, sender, message: PeerMessage) -> None:
+        """Master → all live slaves; slave → master."""
+        if sender is self.master:
+            for slave in self.live_slaves():
+                self.messages_carried += 1
+                slave.on_peer_message(message)
+        else:
+            self.messages_carried += 1
+            self.master.on_peer_message(message)
+
+    def query(self, sender, message: PeerMessage) -> Any:
+        """Synchronous request/response to the first live counterpart."""
+        targets = self.live_slaves() if sender is self.master else [self.master]
+        if not targets:
+            raise NoPeerError("no live group member to query")
+        self.messages_carried += 2
+        return targets[0].on_peer_query(message)
+
+    def crash(self, protocol) -> None:
+        """Mark one member crashed (the group-level failure detector)."""
+        self.crashed.add(protocol)
+        if protocol is self.master:
+            survivor = self.promote_next()
+            if survivor is not None:
+                self.master = survivor
+
+    def promote_next(self) -> Optional["DuplexProtocol"]:
+        """Promote the lowest-rank live slave; returns the new master."""
+        live = self.live_slaves()
+        if not live:
+            return None
+        chosen = live[0]
+        self.slaves.remove(chosen)
+        chosen.peer_failed()  # promotes itself
+        chosen.master_alone = not self.live_slaves()
+        return chosen
+
+
+class GroupPBR(PBR):
+    """Passive replication with N backups."""
+
+    NAME: ClassVar[str] = "group-pbr"
+    HOSTS = 0  # group-sized; set per deployment
+
+    @property
+    def backup_count(self) -> int:
+        if self._link is None:
+            return 0
+        return len(self._link.live_slaves())
+
+
+class GroupLFR(LFR):
+    """Active replication with N followers."""
+
+    NAME: ClassVar[str] = "group-lfr"
+    HOSTS = 0
+
+    @property
+    def follower_count(self) -> int:
+        if self._link is None:
+            return 0
+        return len(self._link.live_slaves())
+
+
+def make_group(
+    cls,
+    server_factory,
+    size: int,
+    name_prefix: str = "replica",
+    **kwargs: Any,
+):
+    """Build a master + (size-1) slaves wired through one GroupLink."""
+    if size < 2:
+        raise NoPeerError(f"a replica group needs >= 2 members, got {size}")
+    master = cls(
+        server_factory(), role=Role.MASTER, name=f"{name_prefix}-0", **kwargs
+    )
+    slaves = [
+        cls(server_factory(), role=Role.SLAVE, name=f"{name_prefix}-{i}", **kwargs)
+        for i in range(1, size)
+    ]
+    link = GroupLink(master, slaves)
+    return master, slaves, link

@@ -1,0 +1,65 @@
+"""N-Version Programming.
+
+Section 8 of the paper names NVP as a mechanism the Before–Proceed–After
+scheme "can be directly reused on".  This module demonstrates it: the N
+diversified versions execute in *proceed*, the decision algorithm in
+*sync_after* — same skeleton, different bricks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, List, Sequence
+
+from repro.patterns.base import FaultToleranceProtocol
+from repro.patterns.errors import PatternError
+from repro.patterns.messages import Request
+from repro.patterns.server import Server
+from repro.patterns.tmr import Voter, majority_voter
+
+
+class NVersionProgramming(FaultToleranceProtocol):
+    """N diversified versions + a decision algorithm (Avizienis's NVP)."""
+
+    NAME: ClassVar[str] = "nvp"
+    FAULT_MODELS = frozenset({"software", "transient_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = False
+    BANDWIDTH = "n/a"
+    CPU = "high"
+    SCHEME = {
+        "NVP": {
+            "before": "Dispatch to N versions",
+            "proceed": "Compute all versions",
+            "after": "Decision algorithm",
+        }
+    }
+
+    def __init__(
+        self,
+        server: Server,
+        versions: Sequence[Server] = (),
+        voter: Voter = majority_voter,
+        **kwargs: Any,
+    ):
+        super().__init__(server, **kwargs)
+        self.versions: List[Server] = [server, *versions]
+        if len(self.versions) < 2:
+            raise PatternError(
+                f"NVP needs at least 2 versions, got {len(self.versions)}"
+            )
+        self.voter = voter
+        self._last_results: List[Any] = []
+        self.disagreements = 0
+
+    def proceed(self, request: Request) -> Any:
+        self._last_results = [
+            version.process(request.payload) for version in self.versions
+        ]
+        return self._last_results[0]
+
+    def sync_after(self, request: Request, result: Any) -> Any:
+        decision = self.voter(self._last_results)
+        if any(r != decision for r in self._last_results):
+            self.disagreements += 1
+        self._last_results = []
+        return super().sync_after(request, decision)

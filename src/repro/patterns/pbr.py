@@ -1,0 +1,82 @@
+"""Primary-Backup Replication (passive duplex strategy).
+
+Only the primary processes client requests; after processing it sends a
+checkpoint carrying its state (and the reply, so at-most-once survives
+promotion) to the backup.  Tolerates crash faults; accepts
+non-deterministic applications (the backup never computes); requires
+state access; bandwidth-hungry, CPU-light (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.patterns.duplex import DuplexProtocol, Role
+from repro.patterns.errors import PatternError
+from repro.patterns.messages import PeerMessage, Reply, Request
+from repro.patterns.server import Server, StateManager
+
+
+class PBR(DuplexProtocol):
+    """Figure 3's ``PBR`` (Primary-Backup Replication)."""
+
+    NAME: ClassVar[str] = "pbr"
+    FAULT_MODELS = frozenset({"crash"})
+    HANDLES_NON_DETERMINISM = True
+    REQUIRES_STATE_ACCESS = True
+    BANDWIDTH = "high"
+    CPU = "low"
+    SCHEME = {
+        "PBR (Primary)": {
+            "before": "Nothing",
+            "proceed": "Compute",
+            "after": "Checkpoint to Backup",
+        },
+        "PBR (Backup)": {
+            "before": "Nothing",
+            "proceed": "Nothing",
+            "after": "Process checkpoint",
+        },
+    }
+
+    def __init__(self, server: Server, role: Role = Role.MASTER, **kwargs: Any):
+        if not isinstance(server, StateManager):
+            raise PatternError(
+                f"PBR requires state access; {type(server).__name__} "
+                "does not implement StateManager"
+            )
+        super().__init__(server, role=role, **kwargs)
+        self.checkpoints_sent = 0
+        self.checkpoints_applied = 0
+
+    # -- primary side --------------------------------------------------------
+
+    def sync_after(self, request: Request, result: Any) -> Any:
+        result = super().sync_after(request, result)
+        if self.linked and not self.master_alone:
+            self.checkpoints_sent += 1
+            self.send_to_peer(
+                PeerMessage(
+                    kind="checkpoint",
+                    request_id=request.request_id,
+                    body={
+                        "state": self.server.capture_state(),
+                        "client": request.client,
+                        "result": result,
+                    },
+                )
+            )
+        return result
+
+    # -- backup side -------------------------------------------------------------
+
+    def _on_checkpoint(self, message: PeerMessage) -> None:
+        body = message.body
+        self.server.restore_state(body["state"])
+        self.checkpoints_applied += 1
+        # Remember the reply: after promotion, a retransmitted request must
+        # be answered from the log, not recomputed (at-most-once).
+        key = (body["client"], message.request_id)
+        self.reply_log[key] = Reply(
+            request_id=message.request_id, value=body["result"], served_by=self.name
+        )

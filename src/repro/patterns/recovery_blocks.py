@@ -1,0 +1,103 @@
+"""Recovery Blocks — software fault tolerance via diversified alternates.
+
+Section 3.2.1 of the paper argues the Lego-brick approach extends to
+software FT techniques "without changing the execution logic of the
+mechanism — for RB, an update consists of changing the acceptance test".
+:class:`RecoveryBlocks` therefore keeps the acceptance test and the
+alternates as replaceable parts (``set_acceptance_test`` /
+``add_alternate``), which the adaptation examples exercise.
+
+The execution logic is the classic one (Randell): run the primary
+alternate; if the acceptance test rejects the result, restore the
+checkpoint and try the next alternate; fail only when every alternate is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, ClassVar, List, Optional, Sequence
+
+from repro.patterns.base import FaultToleranceProtocol
+from repro.patterns.errors import AcceptanceTestFailed, PatternError
+from repro.patterns.messages import Request
+from repro.patterns.server import Server, StateManager
+
+#: An alternate implementation of the business function.
+Alternate = Callable[[Any], Any]
+#: The acceptance test over (request, result).
+AcceptanceTest = Callable[[Request, Any], bool]
+
+
+class RecoveryBlocks(FaultToleranceProtocol):
+    """A recovery-block wrapper around diversified implementations.
+
+    The *primary* alternate is the protected server itself; extra
+    alternates are plain callables over the request payload (diversified
+    implementations of the same function).
+    """
+
+    NAME: ClassVar[str] = "recovery-blocks"
+    FAULT_MODELS = frozenset({"transient_value", "software"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = True
+    BANDWIDTH = "n/a"
+    CPU = "high"
+    HOSTS = 1
+    SCHEME = {
+        "RB": {
+            "before": "Checkpoint state",
+            "proceed": "Run alternate i",
+            "after": "Acceptance test (next alternate on failure)",
+        }
+    }
+
+    def __init__(
+        self,
+        server: Server,
+        acceptance_test: Optional[AcceptanceTest] = None,
+        alternates: Sequence[Alternate] = (),
+        **kwargs: Any,
+    ):
+        if not isinstance(server, StateManager):
+            raise PatternError(
+                "Recovery Blocks need state access to roll back between "
+                "alternates"
+            )
+        super().__init__(server, **kwargs)
+        if acceptance_test is None:
+            raise PatternError("Recovery Blocks need an acceptance test")
+        self.acceptance_test = acceptance_test
+        self.alternates: List[Alternate] = list(alternates)
+        self.primary_failures = 0
+        self.alternate_successes = 0
+
+    # -- the updatable bricks ---------------------------------------------------
+
+    def set_acceptance_test(self, acceptance_test: AcceptanceTest) -> None:
+        """Replace the acceptance test (the paper's RB update scenario)."""
+        self.acceptance_test = acceptance_test
+
+    def add_alternate(self, alternate: Alternate) -> None:
+        """Register one more diversified implementation."""
+        self.alternates.append(alternate)
+
+    # -- execution logic -----------------------------------------------------------
+
+    def proceed(self, request: Request) -> Any:
+        checkpoint = self.server.capture_state()
+        result = super().proceed(request)
+        if self.acceptance_test(request, result):
+            return result
+
+        self.primary_failures += 1
+        for alternate in self.alternates:
+            self.server.restore_state(checkpoint)
+            result = alternate(request.payload)
+            if self.acceptance_test(request, result):
+                self.alternate_successes += 1
+                return result
+        self.server.restore_state(checkpoint)
+        raise AcceptanceTestFailed(
+            f"request {request.request_id}: primary and all "
+            f"{len(self.alternates)} alternates rejected by the acceptance test"
+        )

@@ -1,0 +1,97 @@
+"""Time Redundancy: masking transient value faults by repeated execution.
+
+A request is processed twice (restoring the captured state in between);
+if the two results differ — a transient fault hit one execution — the
+request is processed a third time and a 2-out-of-3 vote decides.  Runs on
+a single host; requires state access (restore between executions) and
+determinism (otherwise honest executions differ); no bandwidth, high CPU
+(Table 1).
+
+Written as a *cooperative* override of the generic scheme so it doubles
+as a composition mixin: ``class LFR_TR(TimeRedundancy, LFR)`` gives the
+follower and the leader redundant execution with zero extra code — the
+paper's half-day composition result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.patterns.base import FaultToleranceProtocol
+from repro.patterns.errors import PatternError, UnmaskedFaultError
+from repro.patterns.messages import Request
+from repro.patterns.server import Server, StateManager
+
+
+class TimeRedundancy(FaultToleranceProtocol):
+    """Figure 3's ``TimeRedundancy``."""
+
+    NAME: ClassVar[str] = "tr"
+    FAULT_MODELS = frozenset({"transient_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = True
+    BANDWIDTH = "n/a"
+    CPU = "high"
+    HOSTS = 1
+    SCHEME = {
+        "TR": {
+            "before": "Capture state",
+            "proceed": "Compute (twice, compare; vote on mismatch)",
+            "after": "Restore state",
+        }
+    }
+
+    def __init__(self, server: Server, **kwargs: Any):
+        if not isinstance(server, StateManager):
+            raise PatternError(
+                f"Time Redundancy requires state access; "
+                f"{type(server).__name__} does not implement StateManager"
+            )
+        super().__init__(server, **kwargs)
+        self._snapshot: Any = None
+        self.masked_faults = 0
+        self.executions = 0
+
+    # -- the generic scheme, specialised ------------------------------------------
+
+    def sync_before(self, request: Request) -> None:
+        super().sync_before(request)
+        self._snapshot = self.server.capture_state()
+
+    def proceed(self, request: Request) -> Any:
+        compute = super().proceed  # the rest of the MRO chain
+        # ``sync_before`` captured a snapshot on the client path; on other
+        # paths (e.g. an LFR follower processing a forwarded request) the
+        # redundant execution captures its own.
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self.server.capture_state()
+
+        self.executions += 2
+        first = compute(request)
+        self.server.restore_state(snapshot)
+        second = compute(request)
+        if first == second:
+            return first
+
+        # results differ: one execution was hit by a transient fault;
+        # a third execution arbitrates (2-out-of-3)
+        self.executions += 1
+        self.server.restore_state(snapshot)
+        third = compute(request)
+        if third == first:
+            self.masked_faults += 1
+            return first
+        if third == second:
+            self.masked_faults += 1
+            # the *first* execution was the corrupted one, but its state
+            # effects were already overwritten by the re-executions
+            return second
+        raise UnmaskedFaultError(
+            f"request {request.request_id}: three pairwise-different results "
+            f"({first!r}, {second!r}, {third!r}) — fault is not transient"
+        )
+
+    def sync_after(self, request: Request, result: Any) -> Any:
+        self._snapshot = None
+        return super().sync_after(request, result)

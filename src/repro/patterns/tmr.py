@@ -1,0 +1,110 @@
+"""Triple Modular Redundancy with a replaceable decision algorithm.
+
+The paper (Sec. 3.2.1) names TMR as another technique where the
+Lego-brick update applies: "for TMR, an update consists of replacing the
+decision algorithm".  The voter is therefore a first-class replaceable
+part: :meth:`TMR.set_voter` swaps it at runtime without touching the
+execution logic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, ClassVar, List, Optional, Sequence
+
+from repro.patterns.base import FaultToleranceProtocol
+from repro.patterns.errors import PatternError, UnmaskedFaultError
+from repro.patterns.messages import Request
+from repro.patterns.server import Server
+
+#: Decides the final result from the three channel results (raises
+#: UnmaskedFaultError when no decision is possible).
+Voter = Callable[[Sequence[Any]], Any]
+
+
+def majority_voter(results: Sequence[Any]) -> Any:
+    """The classic 2-out-of-N exact-match vote."""
+    counts = Counter()
+    for result in results:
+        counts[_key(result)] += 1
+    key, count = counts.most_common(1)[0]
+    if count < 2:
+        raise UnmaskedFaultError(
+            f"no majority among {len(results)} channel results: {list(results)!r}"
+        )
+    for result in results:
+        if _key(result) == key:
+            return result
+    raise UnmaskedFaultError("majority key vanished")  # pragma: no cover
+
+
+def median_voter(results: Sequence[Any]) -> Any:
+    """A numeric mid-value select (tolerates small divergences).
+
+    Useful when diversified channels legitimately produce slightly
+    different numeric answers — the classic alternative decision
+    algorithm swapped in by the TMR update scenario.
+    """
+    try:
+        ordered = sorted(results)
+    except TypeError as exc:
+        raise UnmaskedFaultError(f"results not orderable: {results!r}") from exc
+    return ordered[len(ordered) // 2]
+
+
+def _key(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+class TMR(FaultToleranceProtocol):
+    """Three computation channels + a voter.
+
+    Channels are three server instances (ideally diversified); the
+    protected ``server`` is channel 0.
+    """
+
+    NAME: ClassVar[str] = "tmr"
+    FAULT_MODELS = frozenset({"transient_value", "permanent_value"})
+    HANDLES_NON_DETERMINISM = False
+    REQUIRES_STATE_ACCESS = False
+    BANDWIDTH = "n/a"
+    CPU = "high"
+    HOSTS = 3
+    SCHEME = {
+        "TMR": {
+            "before": "Broadcast request to channels",
+            "proceed": "Compute on all three channels",
+            "after": "Vote (decision algorithm)",
+        }
+    }
+
+    def __init__(
+        self,
+        server: Server,
+        channels: Sequence[Server] = (),
+        voter: Voter = majority_voter,
+        **kwargs: Any,
+    ):
+        super().__init__(server, **kwargs)
+        self.channels: List[Server] = [server, *channels]
+        if len(self.channels) != 3:
+            raise PatternError(
+                f"TMR needs exactly 3 channels, got {len(self.channels)}"
+            )
+        self.voter = voter
+        self.masked_faults = 0
+
+    def set_voter(self, voter: Voter) -> None:
+        """Replace the decision algorithm (the paper's TMR update scenario)."""
+        self.voter = voter
+
+    def proceed(self, request: Request) -> Any:
+        results = [channel.process(request.payload) for channel in self.channels]
+        decision = self.voter(results)
+        if any(_key(result) != _key(decision) for result in results):
+            self.masked_faults += 1
+        return decision

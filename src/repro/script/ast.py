@@ -1,0 +1,176 @@
+"""Abstract syntax of the reconfiguration DSL.
+
+A script is a named *transition* containing an ordered list of
+architectural statements.  Statements address components with
+``composite/component`` paths and ports with ``path.port`` suffixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Path:
+    """``composite/component`` address."""
+
+    composite: str
+    component: str
+
+    def __str__(self) -> str:
+        return f"{self.composite}/{self.component}"
+
+
+@dataclass(frozen=True)
+class Stop:
+    """``stop composite/component;`` — lifecycle stop with quiescence."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class Start:
+    """``start composite/component;``"""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class Add:
+    """``add composite/component from package;``
+
+    The component's spec is looked up *by component name* in the transition
+    package shipped alongside the script.
+    """
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class Remove:
+    """``remove composite/component;``"""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class WireStmt:
+    """``wire src/comp.ref -> dst/comp.svc;``"""
+
+    source: Path
+    reference: str
+    target: Path
+    service: str
+
+
+@dataclass(frozen=True)
+class UnwireStmt:
+    """``unwire src/comp.ref -> dst/comp.svc;``"""
+
+    source: Path
+    reference: str
+    target: Path
+    service: str
+
+
+@dataclass(frozen=True)
+class SetProperty:
+    """``set composite/component.key = literal;``"""
+
+    path: Path
+    key: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Promote:
+    """``promote external -> composite/component.service;``"""
+
+    external: str
+    composite: str
+    component: str
+    service: str
+
+
+@dataclass(frozen=True)
+class Demote:
+    """``demote composite external;``  (drops a promoted service)"""
+
+    composite: str
+    external: str
+
+
+Statement = Union[
+    Stop, Start, Add, Remove, WireStmt, UnwireStmt, SetProperty, Promote, Demote
+]
+
+
+@dataclass(frozen=True)
+class TransitionScript:
+    """A parsed script: ``transition "name" { statements }``."""
+
+    name: str
+    statements: Tuple[Statement, ...]
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def touched_components(self) -> Tuple[str, ...]:
+        """Names of components this script adds or replaces (for Figure 9)."""
+        added = {s.path.component for s in self.statements if isinstance(s, Add)}
+        return tuple(sorted(added))
+
+
+def render(script: TransitionScript) -> str:
+    """Pretty-print a script back to (re-parsable) source text."""
+    lines = [f'transition "{script.name}" {{']
+    for statement in script.statements:
+        lines.append(f"    {_render_statement(statement)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_literal(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def _render_statement(statement: Statement) -> str:
+    if isinstance(statement, Stop):
+        return f"stop {statement.path};"
+    if isinstance(statement, Start):
+        return f"start {statement.path};"
+    if isinstance(statement, Add):
+        return f"add {statement.path} from package;"
+    if isinstance(statement, Remove):
+        return f"remove {statement.path};"
+    if isinstance(statement, WireStmt):
+        return (
+            f"wire {statement.source}.{statement.reference} -> "
+            f"{statement.target}.{statement.service};"
+        )
+    if isinstance(statement, UnwireStmt):
+        return (
+            f"unwire {statement.source}.{statement.reference} -> "
+            f"{statement.target}.{statement.service};"
+        )
+    if isinstance(statement, SetProperty):
+        return (
+            f"set {statement.path}.{statement.key} = "
+            f"{_render_literal(statement.value)};"
+        )
+    if isinstance(statement, Promote):
+        return (
+            f"promote {statement.external} -> "
+            f"{statement.composite}/{statement.component}.{statement.service};"
+        )
+    if isinstance(statement, Demote):
+        return f"demote {statement.composite} {statement.external};"
+    raise TypeError(f"unknown statement {statement!r}")

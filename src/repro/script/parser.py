@@ -1,0 +1,172 @@
+"""Recursive-descent parser for the reconfiguration DSL."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.script.ast import (
+    Add,
+    Demote,
+    Path,
+    Promote,
+    Remove,
+    SetProperty,
+    Start,
+    Statement,
+    Stop,
+    TransitionScript,
+    UnwireStmt,
+    WireStmt,
+)
+from repro.script.errors import ScriptSyntaxError
+from repro.script.tokens import Token, TokenKind, tokenize
+
+
+def parse(text: str) -> TransitionScript:
+    """Parse script source into a :class:`TransitionScript`."""
+    return _Parser(tokenize(text)).parse_script()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> ScriptSyntaxError:
+        token = self._current
+        return ScriptSyntaxError(
+            f"{message} (found {token.kind.value} {token.text!r})",
+            token.line,
+            token.column,
+        )
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if self._current.kind != kind:
+            raise self._error(f"expected {kind.value}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if self._current.kind != TokenKind.IDENT or self._current.text != word:
+            raise self._error(f"expected {word!r}")
+        return self._advance()
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse_script(self) -> TransitionScript:
+        self._expect_keyword("transition")
+        name = self._expect(TokenKind.STRING).text
+        self._expect(TokenKind.LBRACE)
+        statements: List[Statement] = []
+        while self._current.kind != TokenKind.RBRACE:
+            if self._current.kind == TokenKind.EOF:
+                raise self._error("unterminated transition block")
+            statements.append(self._statement())
+        self._expect(TokenKind.RBRACE)
+        self._expect(TokenKind.EOF)
+        return TransitionScript(name=name, statements=tuple(statements))
+
+    def _statement(self) -> Statement:
+        keyword = self._expect(TokenKind.IDENT).text
+        handlers = {
+            "stop": self._stop,
+            "start": self._start,
+            "add": self._add,
+            "remove": self._remove,
+            "wire": self._wire,
+            "unwire": self._unwire,
+            "set": self._set,
+            "promote": self._promote,
+            "demote": self._demote,
+        }
+        handler = handlers.get(keyword)
+        if handler is None:
+            raise self._error(f"unknown statement keyword {keyword!r}")
+        statement = handler()
+        self._expect(TokenKind.SEMICOLON)
+        return statement
+
+    def _path(self) -> Path:
+        composite = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.SLASH)
+        component = self._expect(TokenKind.IDENT).text
+        return Path(composite, component)
+
+    def _port(self) -> str:
+        self._expect(TokenKind.DOT)
+        return self._expect(TokenKind.IDENT).text
+
+    def _stop(self) -> Stop:
+        return Stop(self._path())
+
+    def _start(self) -> Start:
+        return Start(self._path())
+
+    def _add(self) -> Add:
+        path = self._path()
+        self._expect_keyword("from")
+        self._expect_keyword("package")
+        return Add(path)
+
+    def _remove(self) -> Remove:
+        return Remove(self._path())
+
+    def _wire(self) -> WireStmt:
+        source = self._path()
+        reference = self._port()
+        self._expect(TokenKind.ARROW)
+        target = self._path()
+        service = self._port()
+        return WireStmt(source, reference, target, service)
+
+    def _unwire(self) -> UnwireStmt:
+        source = self._path()
+        reference = self._port()
+        self._expect(TokenKind.ARROW)
+        target = self._path()
+        service = self._port()
+        return UnwireStmt(source, reference, target, service)
+
+    def _set(self) -> SetProperty:
+        path = self._path()
+        key = self._port()
+        self._expect(TokenKind.EQUALS)
+        value = self._literal()
+        return SetProperty(path, key, value)
+
+    def _promote(self) -> Promote:
+        external = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.ARROW)
+        path = self._path()
+        service = self._port()
+        return Promote(external, path.composite, path.component, service)
+
+    def _demote(self) -> Demote:
+        composite = self._expect(TokenKind.IDENT).text
+        external = self._expect(TokenKind.IDENT).text
+        return Demote(composite, external)
+
+    def _literal(self) -> Any:
+        token = self._current
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return token.text
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.kind == TokenKind.IDENT and token.text in ("true", "false", "null"):
+            self._advance()
+            return {"true": True, "false": False, "null": None}[token.text]
+        raise self._error("expected literal (string, number, true, false, null)")

@@ -1,0 +1,188 @@
+"""Static (off-line) validation of transition scripts.
+
+The paper's development process validates FTMs and transitions *off-line*
+before they reach the repository (Sec. 4.3).  This module simulates a
+script against an architecture snapshot — no runtime, no virtual time —
+and reports every problem it can find statically.  The transactional
+interpreter still re-checks integrity at commit; this pass exists so that
+broken packages are rejected before deployment, not during it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.script.ast import (
+    Add,
+    Demote,
+    Promote,
+    Remove,
+    SetProperty,
+    Start,
+    Stop,
+    TransitionScript,
+    UnwireStmt,
+    WireStmt,
+)
+
+
+class _CompositeModel:
+    """Mutable mirror of a composite's architecture snapshot."""
+
+    def __init__(self, snapshot: Dict):
+        self.components: Dict[str, str] = dict(snapshot.get("components", {}))
+        self.wires: Set[Tuple[str, str, str, str]] = {
+            tuple(w) for w in snapshot.get("wires", [])
+        }
+        self.promotions: Dict[str, Tuple[str, str]] = {
+            k: tuple(v) for k, v in snapshot.get("promotions", {}).items()
+        }
+
+
+def validate_script(
+    script: TransitionScript,
+    architectures: Dict[str, Dict],
+    package_contents: Iterable[str] = (),
+) -> List[str]:
+    """Return the list of problems (empty = script is statically sound).
+
+    ``architectures`` maps composite name → ``Composite.architecture()``
+    snapshot; ``package_contents`` is the set of component names shipped in
+    the transition package.
+    """
+    problems: List[str] = []
+    models = {name: _CompositeModel(snap) for name, snap in architectures.items()}
+    package = set(package_contents)
+
+    def model_for(composite: str, context: str):
+        model = models.get(composite)
+        if model is None:
+            problems.append(f"{context}: unknown composite {composite!r}")
+        return model
+
+    for index, statement in enumerate(script.statements):
+        context = f"statement {index} ({type(statement).__name__})"
+
+        if isinstance(statement, (Stop, Start, Remove, Add, SetProperty)):
+            composite = statement.path.composite
+            component = statement.path.component
+            model = model_for(composite, context)
+            if model is None:
+                continue
+
+            if isinstance(statement, Add):
+                if component in model.components:
+                    problems.append(
+                        f"{context}: component {component!r} already exists"
+                    )
+                elif component not in package:
+                    problems.append(
+                        f"{context}: component {component!r} not in package "
+                        f"(package has: {sorted(package)})"
+                    )
+                else:
+                    model.components[component] = "installed"
+                continue
+
+            if component not in model.components:
+                problems.append(f"{context}: unknown component {component!r}")
+                continue
+
+            if isinstance(statement, Stop):
+                model.components[component] = "stopped"
+            elif isinstance(statement, Start):
+                if model.components[component] == "removed":
+                    problems.append(f"{context}: cannot start removed {component!r}")
+                else:
+                    model.components[component] = "started"
+            elif isinstance(statement, Remove):
+                if model.components[component] == "started":
+                    problems.append(
+                        f"{context}: removing started component {component!r} "
+                        "(stop it first)"
+                    )
+                incoming = [w for w in model.wires if w[2] == component]
+                outgoing = [w for w in model.wires if w[0] == component]
+                if incoming or outgoing:
+                    problems.append(
+                        f"{context}: component {component!r} still wired "
+                        f"({len(incoming)} in, {len(outgoing)} out)"
+                    )
+                promoted = [
+                    ext
+                    for ext, (comp, _svc) in model.promotions.items()
+                    if comp == component
+                ]
+                if promoted:
+                    problems.append(
+                        f"{context}: component {component!r} still promoted as "
+                        f"{promoted}"
+                    )
+                del model.components[component]
+            continue
+
+        if isinstance(statement, (WireStmt, UnwireStmt)):
+            composite = statement.source.composite
+            if composite != statement.target.composite:
+                problems.append(f"{context}: cross-composite wire")
+                continue
+            model = model_for(composite, context)
+            if model is None:
+                continue
+            wire = (
+                statement.source.component,
+                statement.reference,
+                statement.target.component,
+                statement.service,
+            )
+            for endpoint in (wire[0], wire[2]):
+                if endpoint not in model.components:
+                    problems.append(f"{context}: unknown component {endpoint!r}")
+            if isinstance(statement, WireStmt):
+                if wire in model.wires:
+                    problems.append(f"{context}: duplicate wire {wire}")
+                model.wires.add(wire)
+            else:
+                if wire not in model.wires:
+                    problems.append(f"{context}: no such wire {wire}")
+                model.wires.discard(wire)
+            continue
+
+        if isinstance(statement, Promote):
+            model = model_for(statement.composite, context)
+            if model is None:
+                continue
+            if statement.component not in model.components:
+                problems.append(
+                    f"{context}: promotion targets unknown component "
+                    f"{statement.component!r}"
+                )
+            model.promotions[statement.external] = (
+                statement.component,
+                statement.service,
+            )
+            continue
+
+        if isinstance(statement, Demote):
+            model = model_for(statement.composite, context)
+            if model is None:
+                continue
+            if statement.external not in model.promotions:
+                problems.append(
+                    f"{context}: no promoted service {statement.external!r}"
+                )
+            model.promotions.pop(statement.external, None)
+            continue
+
+    # final-state checks: nothing left stopped, nothing dangling
+    for name, model in models.items():
+        for component, state in model.components.items():
+            if state == "stopped":
+                problems.append(
+                    f"final state: component {name}/{component} left stopped"
+                )
+        for wire in model.wires:
+            if wire[0] not in model.components or wire[2] not in model.components:
+                problems.append(f"final state: dangling wire {wire} in {name!r}")
+
+    return problems

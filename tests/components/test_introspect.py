@@ -1,0 +1,106 @@
+"""Tests for on-line architecture exploration."""
+
+import pytest
+
+from repro.components import LifecycleState, make_runtime
+from repro.components.introspect import (
+    components_in_state,
+    dependencies_of,
+    dependents_of,
+    describe,
+    find_by_implementation,
+    invocation_counts,
+    orphans,
+    reachable_from,
+)
+from repro.ftm import deploy_ftm_pair, Client
+from repro.kernel import World
+
+
+@pytest.fixture
+def deployed():
+    world = World(seed=110)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def do():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        return pair
+
+    pair = world.run_process(do(), name="deploy")
+    return world, pair, pair.replicas[0].composite
+
+
+def test_components_in_state(deployed):
+    _world, _pair, composite = deployed
+    started = components_in_state(composite, LifecycleState.STARTED)
+    assert len(started) == 7
+    assert components_in_state(composite, LifecycleState.STOPPED) == []
+
+
+def test_find_by_implementation(deployed):
+    _world, _pair, composite = deployed
+    found = find_by_implementation(composite, "PbrSyncAfter")
+    assert [c.name for c in found] == ["syncAfter"]
+    assert find_by_implementation(composite, "Nothing") == []
+
+
+def test_dependencies_and_dependents(deployed):
+    _world, _pair, composite = deployed
+    assert dependencies_of(composite, "protocol") == {
+        "syncBefore", "proceed", "syncAfter", "replyLog", "server",
+    }
+    assert "protocol" in dependents_of(composite, "proceed")
+    assert "syncBefore" in dependents_of(composite, "proceed")
+
+
+def test_reachable_from_protocol_covers_everything_but_fd(deployed):
+    _world, _pair, composite = deployed
+    reachable = reachable_from(composite, "protocol")
+    assert reachable == {"syncBefore", "proceed", "syncAfter", "replyLog", "server"}
+    # the failure detector reaches the protocol, hence everything
+    assert "server" in reachable_from(composite, "failureDetector")
+
+
+def test_no_orphans_in_a_healthy_ftm(deployed):
+    _world, _pair, composite = deployed
+    assert orphans(composite) == []
+
+
+def test_no_orphans_after_a_transition(deployed):
+    world, pair, composite = deployed
+    from repro.core import AdaptationEngine
+
+    engine = AdaptationEngine(world, pair)
+
+    def do():
+        yield from engine.transition("lfr+tr")
+
+    world.run_process(do(), name="transition")
+    # the differential transition left no residual bricks behind
+    assert orphans(composite) == []
+    assert len(composite.components) == 7
+
+
+def test_invocation_counts_accumulate(deployed):
+    world, pair, composite = deployed
+    client = Client(world, world.cluster.node("client"), "c1", pair.node_names())
+
+    def do():
+        for _ in range(3):
+            yield from client.request(("add", 1))
+
+    world.run_process(do(), name="load")
+    counts = invocation_counts(composite)
+    assert counts["protocol"] >= 3
+    assert counts["server"] >= 3
+
+
+def test_describe_report(deployed):
+    _world, _pair, composite = deployed
+    report = describe(composite)
+    assert "composite 'ftm'" in report
+    assert "7 components" in report
+    assert "[started  ] protocol" in report
+    assert ".before -> syncBefore.sync" in report
+    assert "service 'request' => protocol.request" in report
+    assert "ORPHANS" not in report

@@ -1,0 +1,138 @@
+"""Tests for on-line application updates (the paper's A-change pathway)."""
+
+import pytest
+
+from repro.app import register_application
+from repro.core import AdaptationEngine
+from repro.ftm import Client, deploy_ftm_pair
+from repro.kernel import World
+from repro.patterns.server import CounterServer
+
+
+class CounterServerV2(CounterServer):
+    """Version 2: counts in steps of two (observably different behaviour)."""
+
+    def process(self, payload):
+        if isinstance(payload, tuple) and payload and payload[0] == "add":
+            self.processed += 1
+            self.total += 2 * payload[1]
+            return self.total
+        return super().process(payload)
+
+
+def _register_v2():
+    try:
+        register_application(
+            "counter-v2", CounterServerV2, deterministic=True,
+            state_accessible=True, processing_cost_ms=5.0,
+        )
+    except ValueError:
+        pass  # already registered by an earlier test
+
+
+@pytest.fixture
+def setup():
+    _register_v2()
+    world = World(seed=90)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def do():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        return pair
+
+    pair = world.run_process(do(), name="deploy")
+    engine = AdaptationEngine(world, pair)
+    client = Client(world, world.cluster.node("client"), "c1", pair.node_names())
+    return world, pair, engine, client
+
+
+def test_application_update_changes_behaviour(setup):
+    world, pair, engine, client = setup
+
+    def scenario():
+        r1 = yield from client.request(("add", 5))      # v1: +5
+        yield from engine.update_application("counter-v2")
+        r2 = yield from client.request(("add", 5))      # v2: +10
+        return r1, r2
+
+    r1, r2 = world.run_process(scenario(), name="scenario")
+    assert r1.value == 5
+    assert r2.value == 15  # 5 (transferred) + 2*5 (v2 semantics)
+    assert pair.app == "counter-v2"
+
+
+def test_application_update_transfers_state(setup):
+    world, pair, engine, client = setup
+
+    def scenario():
+        for _ in range(4):
+            yield from client.request(("add", 10))
+        yield from engine.update_application("counter-v2")
+        reply = yield from client.request(("get",))
+        return reply
+
+    reply = world.run_process(scenario(), name="scenario")
+    assert reply.value == 40  # state survived the version change
+
+
+def test_application_update_without_state_transfer(setup):
+    world, pair, engine, client = setup
+
+    def scenario():
+        yield from client.request(("add", 10))
+        yield from engine.update_application("counter-v2", transfer_state=False)
+        reply = yield from client.request(("get",))
+        return reply
+
+    reply = world.run_process(scenario(), name="scenario")
+    assert reply.value == 0  # fresh v2 instance, blank state
+
+
+def test_application_update_replaces_only_the_server(setup):
+    world, pair, engine, _client = setup
+
+    def scenario():
+        report = yield from engine.update_application("counter-v2")
+        return report
+
+    report = world.run_process(scenario(), name="scenario")
+    assert report.success
+    assert report.component_count == 1
+    # FTM variable features untouched: still a PBR assembly
+    sync_before = pair.replicas[0].composite.component("syncBefore")
+    assert type(sync_before.implementation).__name__ == "PbrSyncBefore"
+    # the reply log (common part) survived too
+    assert pair.replicas[0].composite.has("replyLog")
+
+
+def test_application_update_noop(setup):
+    world, pair, engine, _client = setup
+
+    def scenario():
+        report = yield from engine.update_application("counter")
+        return report
+
+    report = world.run_process(scenario(), name="scenario")
+    assert report.replicas == []
+    assert pair.app == "counter"
+
+
+def test_application_update_logged_for_recovery(setup):
+    world, pair, engine, client = setup
+    pair.enable_recovery(restart_delay=300.0)
+
+    def scenario():
+        yield from client.request(("add", 5))
+        yield from engine.update_application("counter-v2")
+        # crash the backup; it must come back with the NEW app version
+        world.cluster.node("beta").crash()
+        from repro.kernel import Timeout
+
+        yield Timeout(8_000.0)
+
+    world.run_process(scenario(), name="scenario")
+    assert pair.logged_configuration()["app"] == "counter-v2"
+    beta = pair.replica_on("beta")
+    assert beta.alive
+    server = beta.composite.component("server").implementation
+    assert type(server.application).__name__ == "CounterServerV2"

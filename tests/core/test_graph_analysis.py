@@ -1,0 +1,58 @@
+"""Tests for the networkx-based analysis of the scenario graph."""
+
+import pytest
+
+from repro.core.graph_analysis import (
+    eccentricity_from,
+    figure2_dot,
+    mandatory_cycles,
+    reachable_states,
+    scenario_digraph,
+    scenario_dot,
+    trap_states,
+)
+
+
+def test_graph_has_expected_shape():
+    graph = scenario_digraph()
+    assert graph.number_of_nodes() == 8
+    assert graph.number_of_edges() > 30
+
+
+def test_no_trap_states():
+    """From every state, some event path returns to PBR (determinism)."""
+    assert trap_states() == []
+
+
+def test_mandatory_subgraph_has_no_cycles():
+    """The automatic loop can never cycle without a manager decision."""
+    assert mandatory_cycles() == []
+
+
+def test_every_state_reachable_from_initial():
+    reachable = reachable_states()
+    assert len(reachable) == 8  # including the no-generic-solution sink
+
+
+def test_eccentricity_is_small():
+    """Any configuration is at most a few parameter events away."""
+    distances = eccentricity_from()
+    assert max(distances.values()) <= 3
+    assert distances["a+duplex"] == 1  # one critical-phase-start away
+
+
+def test_scenario_dot_is_wellformed():
+    dot = scenario_dot()
+    assert dot.startswith("digraph scenario {")
+    assert dot.rstrip().endswith("}")
+    assert '"pbr (determinism)" -> "lfr (state access)"' in dot
+    assert "doubleoctagon" in dot  # the sink stands out
+    # every kind appears with its style
+    assert 'color="red"' in dot and 'color="darkgreen"' in dot
+
+
+def test_figure2_dot_is_wellformed():
+    dot = figure2_dot()
+    assert dot.startswith("graph ftms {")
+    assert '"pbr" -- "lfr"' in dot
+    assert "A,R" in dot

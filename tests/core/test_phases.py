@@ -1,0 +1,120 @@
+"""Tests for the operational-phase manager (proactive FT adaptation)."""
+
+import pytest
+
+from repro.core import (
+    AdaptationEngine,
+    FaultClass,
+    MonitoringEngine,
+    ResilienceManager,
+    SystemManager,
+)
+from repro.core.phases import Phase, PhaseManager, PhaseSchedule
+from repro.core.transition_graph import _ctx
+from repro.ftm import deploy_ftm_pair
+from repro.kernel import World
+
+
+def build(seed=100):
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta"])
+
+    def do():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        return pair
+
+    pair = world.run_process(do(), name="deploy")
+    engine = AdaptationEngine(world, pair)
+    monitoring = MonitoringEngine(world, ["alpha", "beta"])
+    resilience = ResilienceManager(
+        world, engine, monitoring, _ctx(),
+        system_manager=SystemManager(auto_approve=True),
+    )
+    monitoring.start()
+    resilience.start()
+    return world, pair, resilience
+
+
+def mission_schedule():
+    return (
+        PhaseSchedule()
+        .add(Phase.of("cruise", 10_000.0, FaultClass.CRASH))
+        .add(
+            Phase.of(
+                "orbit-insertion",
+                8_000.0,
+                FaultClass.CRASH,
+                FaultClass.TRANSIENT_VALUE,
+                FaultClass.PERMANENT_VALUE,
+                critical=True,
+            )
+        )
+        .add(Phase.of("science", 10_000.0, FaultClass.CRASH))
+    )
+
+
+# -- schedule validation ---------------------------------------------------------
+
+
+def test_schedule_rejects_duplicates():
+    schedule = PhaseSchedule().add(Phase.of("a", 10.0))
+    with pytest.raises(ValueError, match="duplicate"):
+        schedule.add(Phase.of("a", 20.0))
+
+
+def test_schedule_rejects_nonpositive_duration():
+    with pytest.raises(ValueError, match="duration"):
+        PhaseSchedule().add(Phase.of("a", 0.0))
+
+
+def test_schedule_deltas():
+    deltas = mission_schedule().fault_model_deltas()
+    assert deltas[0] == ("cruise", frozenset(), frozenset())
+    name, added, removed = deltas[1]
+    assert name == "orbit-insertion"
+    assert added == {FaultClass.TRANSIENT_VALUE, FaultClass.PERMANENT_VALUE}
+    name, added, removed = deltas[2]
+    assert removed == {FaultClass.TRANSIENT_VALUE, FaultClass.PERMANENT_VALUE}
+
+
+def test_total_duration():
+    assert mission_schedule().total_duration() == 28_000.0
+
+
+# -- the phase manager driving the loop ----------------------------------------------
+
+
+def test_critical_phase_hardens_proactively():
+    world, pair, resilience = build()
+    manager = PhaseManager(world, resilience, mission_schedule(), lead_time_ms=3_000.0)
+    world.run_process(manager.run(), name="mission")
+
+    entries = {entry["phase"]: entry for entry in manager.log}
+    # during cruise: the cheap crash-only FTM
+    assert entries["cruise"]["ftm"] == "pbr"
+    # the critical phase was ENTERED with A&Duplex already in place
+    assert entries["orbit-insertion"]["ftm"] in ("a+pbr", "a+lfr")
+    # after the burn the manager relaxed (auto-approve policy)
+    assert entries["science"]["ftm"] == "pbr"
+
+
+def test_hardening_completes_before_phase_entry():
+    world, pair, resilience = build(seed=101)
+    manager = PhaseManager(world, resilience, mission_schedule(), lead_time_ms=3_000.0)
+    world.run_process(manager.run(), name="mission")
+
+    entered = world.trace.select("phase", "entered", phase="orbit-insertion")[0]
+    transitions = world.trace.select("adaptation", "transition_complete")
+    hardening = [t for t in transitions if t.detail("target") in ("a+pbr", "a+lfr")]
+    assert hardening
+    assert hardening[0].time <= entered.time  # proactive, not reactive
+
+
+def test_phase_trace_records_proactive_events():
+    world, _pair, resilience = build(seed=102)
+    manager = PhaseManager(world, resilience, mission_schedule(), lead_time_ms=2_500.0)
+    world.run_process(manager.run(), name="mission")
+    events = world.trace.select("phase", "proactive_events")
+    assert any(
+        "permanent_value" in record.detail("added", ()) for record in events
+    )

@@ -1,0 +1,151 @@
+"""Tests for the field-developed amortized-checkpoint PBR variant."""
+
+import pytest
+
+from repro.core import AdaptationEngine
+from repro.ftm import Client, deploy_ftm_pair
+from repro.ftm.extensions import (
+    AMORTIZED_PBR,
+    amortized_pbr_assembly,
+    register_amortized_pbr,
+)
+from repro.kernel import Timeout, World
+
+
+@pytest.fixture
+def setup():
+    world = World(seed=120)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def do():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        return pair
+
+    pair = world.run_process(do(), name="deploy")
+    engine = AdaptationEngine(world, pair)
+    register_amortized_pbr(engine.repository, period=4)
+    client = Client(world, world.cluster.node("client"), "c1", pair.node_names())
+    return world, pair, engine, client
+
+
+def test_assembly_validates():
+    spec = amortized_pbr_assembly(role="master", peer="beta")
+    assert spec.validate() == []
+    assert spec.component("syncAfter").impl_class.__name__ == "AmortizedPbrSyncAfter"
+
+
+def test_online_transition_to_field_ftm(setup):
+    world, pair, engine, client = setup
+
+    def scenario():
+        yield from client.request(("add", 1))
+        report = yield from engine.transition(AMORTIZED_PBR)
+        yield from client.request(("add", 1))
+        return report
+
+    report = world.run_process(scenario(), name="scenario")
+    assert report.success
+    assert report.component_count == 1  # only the new brick shipped
+    assert pair.ftm == AMORTIZED_PBR
+
+
+def test_checkpoints_are_amortized(setup):
+    world, pair, engine, client = setup
+
+    def scenario():
+        yield from engine.transition(AMORTIZED_PBR)
+        for _ in range(8):
+            yield from client.request(("add", 1))
+        yield Timeout(100.0)
+
+    world.run_process(scenario(), name="scenario")
+    # 8 requests, period 4 -> exactly 2 checkpoints
+    checkpoints = world.trace.select(
+        "ftm", "checkpoint_sent", node="alpha",
+    )
+    assert len(checkpoints) == 2
+    # but every reply was replicated for at-most-once
+    log = pair.replica_on("beta").composite.component("replyLog").implementation
+    assert log.entries() == 8
+
+
+def test_failover_preserves_at_most_once_despite_stale_state(setup):
+    world, pair, engine, client = setup
+
+    def scenario():
+        yield from engine.transition(AMORTIZED_PBR)
+        for _ in range(5):  # one checkpoint (after request 4), one reply-only
+            yield from client.request(("add", 10))
+        yield Timeout(100.0)
+        world.cluster.node("alpha").crash()
+        # a retransmission of request 5 must be replayed, not recomputed
+        from repro.ftm.messages import ClientRequest
+
+        mailbox = world.network.bind("client", "probe")
+        yield Timeout(300.0)  # promotion window
+        world.network.send(
+            "client", "beta", "requests",
+            ClientRequest(5, "c1", ("add", 10), "client", "probe"), size=128,
+        )
+        message = yield mailbox.get(timeout=2_000.0)
+        return message.payload
+
+    reply = world.run_process(scenario(), name="scenario")
+    assert reply.replayed
+    assert reply.value == 50
+    # state is stale at 40 (last checkpoint) but no double execution
+    backup = pair.replica_on("beta").composite.component("server").implementation
+    assert backup.application.total == 40
+
+
+def test_uses_less_bandwidth_than_plain_pbr(setup):
+    world, pair, engine, client = setup
+    baseline_world = World(seed=121)
+    baseline_world.add_nodes(["alpha", "beta", "client"])
+
+    def baseline():
+        baseline_pair = yield from deploy_ftm_pair(
+            baseline_world, "pbr", ["alpha", "beta"]
+        )
+        baseline_client = Client(
+            baseline_world, baseline_world.cluster.node("client"), "c1",
+            baseline_pair.node_names(),
+        )
+        for _ in range(12):
+            yield from baseline_client.request(("add", 1))
+        yield Timeout(100.0)
+
+    baseline_world.run_process(baseline(), name="baseline")
+    baseline_bytes = baseline_world.cluster.node("alpha").bytes_sent
+
+    def amortized():
+        yield from engine.transition(AMORTIZED_PBR)
+        start = world.cluster.node("alpha").bytes_sent
+        for _ in range(12):
+            yield from client.request(("add", 1))
+        yield Timeout(100.0)
+        return world.cluster.node("alpha").bytes_sent - start
+
+    amortized_bytes = world.run_process(amortized(), name="amortized")
+    assert amortized_bytes < baseline_bytes * 0.6
+
+
+def test_period_is_tunable_online(setup):
+    world, pair, engine, client = setup
+    from repro.script import ScriptInterpreter, parse
+
+    def scenario():
+        yield from engine.transition(AMORTIZED_PBR)
+        # tune the trade-off with a one-statement script
+        for replica in pair.replicas:
+            interpreter = ScriptInterpreter(replica.runtime)
+            yield from interpreter.execute(
+                parse('transition "tune" { set ftm/syncAfter.period = 2; }'), {}
+            )
+        for _ in range(4):
+            yield from client.request(("add", 1))
+        yield Timeout(100.0)
+
+    world.run_process(scenario(), name="scenario")
+    checkpoints = world.trace.select("ftm", "checkpoint_sent", node="alpha")
+    assert len(checkpoints) == 2  # period 2 over 4 requests

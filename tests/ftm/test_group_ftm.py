@@ -1,0 +1,129 @@
+"""Tests for the component-level N-replica active-replication group."""
+
+import pytest
+
+from repro.ftm import Client
+from repro.ftm.group import FTMGroup, group_assembly
+from repro.kernel import Timeout, World
+
+MEMBERS = ["g1", "g2", "g3"]
+
+
+def make_group(seed=130, members=MEMBERS):
+    world = World(seed=seed)
+    world.add_nodes(list(members) + ["client"])
+    group = FTMGroup(world, list(members))
+
+    def do():
+        yield from group.deploy()
+        return group
+
+    world.run_process(do(), name="deploy")
+    client = Client(
+        world, world.cluster.node("client"), "c1", group.node_names(),
+        timeout=2_000.0, max_attempts=12,
+    )
+    return world, group, client
+
+
+def test_assembly_validates():
+    spec = group_assembly(("a", "b", "c"))
+    assert spec.validate() == []
+    with pytest.raises(ValueError):
+        group_assembly(("solo",))
+
+
+def test_group_serves_and_replicates_everywhere():
+    world, group, client = make_group()
+    assert group.leader() == "g1"
+
+    def workload():
+        replies = []
+        for _ in range(4):
+            reply = yield from client.request(("add", 5))
+            replies.append(reply)
+        yield Timeout(300.0)
+        return replies
+
+    replies = world.run_process(workload(), name="workload")
+    assert [r.value for r in replies] == [5, 10, 15, 20]
+    states = group.application_states()
+    assert set(states) == set(MEMBERS)
+    assert all(state["total"] == 20 for state in states.values())
+
+
+def test_leader_crash_promotes_by_rank():
+    world, group, client = make_group()
+
+    def scenario():
+        yield from client.request(("add", 1))
+        world.cluster.node("g1").crash()
+        reply = yield from client.request(("add", 1))
+        return reply
+
+    reply = world.run_process(scenario(), name="scenario")
+    assert reply.ok and reply.value == 2
+    assert group.leader() == "g2"
+    assert world.trace.count("ftm", "promoted") == 1
+
+
+def test_group_survives_two_crashes():
+    world, group, client = make_group()
+
+    def scenario():
+        yield from client.request(("add", 1))
+        world.cluster.node("g1").crash()
+        yield from client.request(("add", 1))
+        yield Timeout(500.0)
+        world.cluster.node("g2").crash()
+        reply = yield from client.request(("add", 1))
+        return reply
+
+    reply = world.run_process(scenario(), name="scenario")
+    assert reply.ok and reply.value == 3
+    assert group.leader() == "g3"
+
+
+def test_at_most_once_across_group_failover():
+    world, group, client = make_group()
+
+    def scenario():
+        reply1 = yield from client.request(("add", 7))
+        yield Timeout(200.0)  # forward + notify land on the followers
+        world.cluster.node("g1").crash()
+        yield Timeout(300.0)  # promotion window
+        # retransmit the same request id to the new leader
+        from repro.ftm.messages import ClientRequest
+
+        mailbox = world.network.bind("client", "probe")
+        world.network.send(
+            "client", "g2", "requests",
+            ClientRequest(1, "c1", ("add", 7), "client", "probe"), size=128,
+        )
+        message = yield mailbox.get(timeout=3_000.0)
+        return reply1, message.payload
+
+    reply1, replay = world.run_process(scenario(), name="scenario")
+    assert replay.replayed
+    assert replay.value == reply1.value == 7
+    # the new leader's state reflects exactly one execution
+    states = group.application_states()
+    assert states["g2"]["total"] == 7
+
+
+def test_followers_stay_mutually_consistent_after_failover():
+    world, group, client = make_group(seed=131)
+
+    def scenario():
+        for _ in range(3):
+            yield from client.request(("add", 2))
+        world.cluster.node("g1").crash()
+        for _ in range(3):
+            yield from client.request(("add", 2))
+        yield Timeout(300.0)
+
+    world.run_process(scenario(), name="scenario")
+    states = group.application_states()
+    assert set(states) == {"g2", "g3"}
+    assert states["g2"] == states["g3"]
+    assert states["g2"]["total"] == 12

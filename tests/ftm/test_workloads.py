@@ -1,0 +1,72 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.app.workloads import WorkloadResult, bursty, constant, phased
+from repro.ftm import Client, deploy_ftm_pair
+from repro.kernel import World
+
+
+@pytest.fixture
+def setup():
+    world = World(seed=70)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def do():
+        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+        return pair
+
+    pair = world.run_process(do(), name="deploy")
+    client = Client(world, world.cluster.node("client"), "c1", pair.node_names())
+    return world, pair, client
+
+
+def test_constant_workload(setup):
+    world, _pair, client = setup
+    result = world.run_process(
+        constant(world, client, count=10, period_ms=25.0), name="load"
+    )
+    assert result.sent == result.ok == 10
+    assert result.all_ok
+    assert result.replies[-1].value == 10
+    assert result.mean_latency_ms > 0
+    assert result.max_latency_ms >= result.mean_latency_ms
+
+
+def test_bursty_workload(setup):
+    world, _pair, client = setup
+    started = world.now
+    result = world.run_process(
+        bursty(world, client, bursts=3, burst_size=4, gap_ms=300.0), name="load"
+    )
+    assert result.sent == 12
+    assert result.all_ok
+    assert world.now - started >= 3 * 300.0  # the gaps actually elapsed
+
+
+def test_phased_workload(setup):
+    world, _pair, client = setup
+    result = world.run_process(
+        phased(world, client, [(5, 10.0), (5, 100.0)]), name="load"
+    )
+    assert result.sent == 10
+    assert result.replies[-1].value == 10
+
+
+def test_custom_payload_fn(setup):
+    world, _pair, client = setup
+    result = world.run_process(
+        constant(
+            world, client, count=3, period_ms=5.0,
+            payload_fn=lambda i: ("add", i * 10),
+        ),
+        name="load",
+    )
+    assert [r.value for r in result.replies] == [0, 10, 30]
+
+
+def test_empty_workload_result():
+    result = WorkloadResult()
+    assert not result.all_ok
+    assert result.mean_latency_ms == 0.0
+    assert result.max_latency_ms == 0.0

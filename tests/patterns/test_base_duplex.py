@@ -1,0 +1,175 @@
+"""Tests for the generic execution scheme, at-most-once, and duplex core."""
+
+import pytest
+
+from repro.patterns import (
+    LFR,
+    PBR,
+    CounterServer,
+    DuplexProtocol,
+    FaultToleranceProtocol,
+    LocalLink,
+    NonDeterministicServer,
+    NoPeerError,
+    NotMasterError,
+    PatternError,
+    Reply,
+    Request,
+    Role,
+)
+
+
+class PlainProtocol(FaultToleranceProtocol):
+    """Concrete no-op FTM for testing the base skeleton."""
+
+    NAME = "plain"
+
+    def __init__(self, server, **kwargs):
+        super().__init__(server, **kwargs)
+        self.calls = []
+
+    def sync_before(self, request):
+        self.calls.append("before")
+        super().sync_before(request)
+
+    def proceed(self, request):
+        self.calls.append("proceed")
+        return super().proceed(request)
+
+    def sync_after(self, request, result):
+        self.calls.append("after")
+        return super().sync_after(request, result)
+
+
+def request(request_id=1, payload=("add", 1), client="c1"):
+    return Request(request_id=request_id, client=client, payload=payload)
+
+
+# -- base skeleton ------------------------------------------------------------
+
+
+def test_before_proceed_after_order():
+    protocol = PlainProtocol(CounterServer())
+    protocol.handle_request(request())
+    assert protocol.calls == ["before", "proceed", "after"]
+
+
+def test_reply_carries_result():
+    protocol = PlainProtocol(CounterServer())
+    reply = protocol.handle_request(request(payload=("add", 5)))
+    assert reply.value == 5
+    assert reply.request_id == 1
+    assert not reply.replayed
+
+
+def test_at_most_once_replays_from_log():
+    server = CounterServer()
+    protocol = PlainProtocol(server)
+    first = protocol.handle_request(request(payload=("add", 5)))
+    duplicate = protocol.handle_request(request(payload=("add", 5)))
+    assert duplicate.value == first.value == 5
+    assert duplicate.replayed
+    assert server.total == 5  # processed exactly once
+
+
+def test_at_most_once_is_per_client():
+    server = CounterServer()
+    protocol = PlainProtocol(server)
+    protocol.handle_request(request(request_id=1, client="a", payload=("add", 1)))
+    protocol.handle_request(request(request_id=1, client="b", payload=("add", 1)))
+    assert server.total == 2
+
+
+def test_unexpected_kwargs_rejected():
+    with pytest.raises(TypeError, match="unexpected"):
+        PlainProtocol(CounterServer(), bogus=1)
+
+
+def test_characteristics_metadata():
+    chars = PBR.characteristics()
+    assert chars["name"] == "pbr"
+    assert chars["fault_models"] == ("crash",)
+    assert chars["requires_state_access"] is True
+    assert chars["bandwidth"] == "high"
+    assert chars["cpu"] == "low"
+
+
+def test_execution_scheme_metadata():
+    scheme = PBR.execution_scheme()
+    assert scheme["PBR (Primary)"]["after"] == "Checkpoint to Backup"
+    assert scheme["PBR (Backup)"]["proceed"] == "Nothing"
+
+
+def test_accepts_application_determinism_gate():
+    ok, _reason = LFR.accepts_application(NonDeterministicServer)
+    assert not ok
+    ok, _reason = PBR.accepts_application(CounterServer)
+    assert ok
+
+
+def test_accepts_application_state_access_gate():
+    ok, reason = PBR.accepts_application(NonDeterministicServer)
+    assert not ok
+    assert "state access" in reason
+
+
+# -- duplex core -------------------------------------------------------------------
+
+
+def duplex_pair(cls=PBR, server_factory=CounterServer, **kwargs):
+    master = cls(server_factory(), role=Role.MASTER, name="master", **kwargs)
+    slave = cls(server_factory(), role=Role.SLAVE, name="slave", **kwargs)
+    link = LocalLink(master, slave)
+    return master, slave, link
+
+
+def test_slave_rejects_client_requests():
+    _master, slave, _link = duplex_pair()
+    with pytest.raises(NotMasterError):
+        slave.handle_request(request())
+
+
+def test_send_without_link_raises():
+    protocol = PBR(CounterServer(), role=Role.MASTER)
+    from repro.patterns import PeerMessage
+
+    with pytest.raises(NoPeerError):
+        protocol.send_to_peer(PeerMessage(kind="checkpoint", request_id=1))
+
+
+def test_unknown_peer_message_kind():
+    master, slave, _link = duplex_pair()
+    from repro.patterns import PeerMessage
+
+    with pytest.raises(ValueError, match="cannot handle"):
+        slave.on_peer_message(PeerMessage(kind="gibberish", request_id=1))
+
+
+def test_slave_promotes_on_peer_failure():
+    _master, slave, _link = duplex_pair()
+    assert slave.role == Role.SLAVE
+    slave.peer_failed()
+    assert slave.role == Role.MASTER
+    assert slave.master_alone
+    assert slave.promotions == 1
+
+
+def test_master_survives_peer_failure_alone():
+    master, _slave, _link = duplex_pair()
+    master.peer_failed()
+    assert master.role == Role.MASTER
+    assert master.master_alone
+    # still serves requests, without checkpointing
+    reply = master.handle_request(request(payload=("add", 2)))
+    assert reply.value == 2
+
+
+def test_peer_recovered_resumes_replication():
+    master, _slave, link = duplex_pair()
+    master.peer_failed()
+    fresh_slave = PBR(CounterServer(), role=Role.SLAVE, name="slave2")
+    new_link = LocalLink(master, fresh_slave)
+    master.peer_recovered(new_link)
+    assert not master.master_alone
+    master.handle_request(request(payload=("add", 3)))
+    assert fresh_slave.server.total == 3

@@ -1,0 +1,165 @@
+"""Tests for the extension patterns: Recovery Blocks, TMR, NVP."""
+
+import pytest
+
+from repro.patterns import (
+    TMR,
+    AcceptanceTestFailed,
+    CounterServer,
+    FlakyServer,
+    NVersionProgramming,
+    PatternError,
+    RecoveryBlocks,
+    Request,
+    UnmaskedFaultError,
+    majority_voter,
+    median_voter,
+)
+
+
+def request(request_id, payload=("add", 1), client="c1"):
+    return Request(request_id=request_id, client=client, payload=payload)
+
+
+# -- Recovery Blocks ----------------------------------------------------------
+
+
+def accept_exact(server):
+    def test(_request, result):
+        return result == server.inner.total
+
+    return test
+
+
+def test_rb_primary_passes():
+    server = FlakyServer()
+    rb = RecoveryBlocks(server, acceptance_test=accept_exact(server))
+    reply = rb.handle_request(request(1, ("add", 5)))
+    assert reply.value == 5
+    assert rb.primary_failures == 0
+
+
+def test_rb_alternate_rescues_failed_primary():
+    server = FlakyServer()
+    shadow_total = {"value": 0}
+
+    def alternate(payload):
+        # diversified implementation of the same function
+        shadow_total["value"] = server.inner.total + payload[1]
+        server.inner.total = shadow_total["value"]
+        return shadow_total["value"]
+
+    def acceptance(_request, result):
+        return result == server.inner.total and result not in (None,)
+
+    rb = RecoveryBlocks(server, acceptance_test=acceptance, alternates=[alternate])
+    server.fail_next(1)
+    reply = rb.handle_request(request(1, ("add", 5)))
+    assert reply.value == 5
+    assert rb.primary_failures == 1
+    assert rb.alternate_successes == 1
+
+
+def test_rb_all_alternates_fail():
+    server = FlakyServer()
+    rb = RecoveryBlocks(
+        server,
+        acceptance_test=lambda _r, _v: False,
+        alternates=[lambda payload: -1],
+    )
+    with pytest.raises(AcceptanceTestFailed):
+        rb.handle_request(request(1, ("add", 5)))
+    # state rolled back to the pre-request checkpoint
+    assert server.inner.total == 0
+
+
+def test_rb_acceptance_test_is_replaceable():
+    """The paper's RB update scenario: swap the acceptance test brick."""
+    server = FlakyServer()
+    rb = RecoveryBlocks(server, acceptance_test=lambda _r, _v: True)
+    rb.handle_request(request(1, ("add", 5)))
+    rb.set_acceptance_test(lambda _r, v: isinstance(v, int) and v < 100)
+    reply = rb.handle_request(request(2, ("add", 5)))
+    assert reply.value == 10
+
+
+def test_rb_requires_state_access():
+    from repro.patterns import NonDeterministicServer
+
+    with pytest.raises(PatternError):
+        RecoveryBlocks(NonDeterministicServer(), acceptance_test=lambda r, v: True)
+
+
+def test_rb_requires_acceptance_test():
+    with pytest.raises(PatternError):
+        RecoveryBlocks(FlakyServer())
+
+
+# -- TMR -----------------------------------------------------------------------------
+
+
+class Fixed(CounterServer):
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+    def process(self, payload):
+        return self.value
+
+
+def test_tmr_majority_masks_one_bad_channel():
+    tmr = TMR(Fixed(7), channels=[Fixed(7), Fixed(999)])
+    reply = tmr.handle_request(request(1))
+    assert reply.value == 7
+    assert tmr.masked_faults == 1
+
+
+def test_tmr_no_majority_raises():
+    tmr = TMR(Fixed(1), channels=[Fixed(2), Fixed(3)])
+    with pytest.raises(UnmaskedFaultError):
+        tmr.handle_request(request(1))
+
+
+def test_tmr_needs_exactly_three_channels():
+    with pytest.raises(PatternError, match="exactly 3"):
+        TMR(Fixed(1), channels=[Fixed(2)])
+
+
+def test_tmr_voter_is_replaceable():
+    """The paper's TMR update scenario: swap the decision algorithm."""
+    tmr = TMR(Fixed(10), channels=[Fixed(11), Fixed(12)])
+    with pytest.raises(UnmaskedFaultError):
+        tmr.handle_request(request(1))
+    tmr.set_voter(median_voter)
+    reply = tmr.handle_request(request(2))
+    assert reply.value == 11  # mid-value select tolerates the divergence
+
+
+def test_median_voter_rejects_unorderable():
+    with pytest.raises(UnmaskedFaultError):
+        median_voter([1, "a", None])
+
+
+def test_majority_voter_handles_unhashable():
+    assert majority_voter([[1], [1], [2]]) == [1]
+
+
+# -- NVP ------------------------------------------------------------------------------
+
+
+def test_nvp_votes_across_versions():
+    nvp = NVersionProgramming(Fixed(5), versions=[Fixed(5), Fixed(6)])
+    reply = nvp.handle_request(request(1))
+    assert reply.value == 5
+    assert nvp.disagreements == 1
+
+
+def test_nvp_needs_two_versions():
+    with pytest.raises(PatternError, match="at least 2"):
+        NVersionProgramming(Fixed(5))
+
+
+def test_nvp_unanimous_no_disagreement():
+    nvp = NVersionProgramming(Fixed(5), versions=[Fixed(5), Fixed(5)])
+    nvp.handle_request(request(1))
+    assert nvp.disagreements == 0

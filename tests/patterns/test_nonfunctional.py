@@ -1,0 +1,91 @@
+"""Tests for the encryption mixin (the Sec. 8 generality claim)."""
+
+import pytest
+
+from repro.patterns import PBR, CounterServer, LocalLink, Request, Role
+from repro.patterns.nonfunctional import (
+    EncryptedChannel,
+    TamperedMessageError,
+    seal,
+    unseal,
+)
+
+KEY = b"ground-segment-key"
+
+
+class SecurePBR(EncryptedChannel, PBR):
+    """Composition by class statement — the same trick as PBR_TR."""
+
+    NAME = "secure-pbr"
+
+
+def secure_pair():
+    master = SecurePBR(CounterServer(), key=KEY, role=Role.MASTER)
+    slave = SecurePBR(CounterServer(), key=KEY, role=Role.SLAVE)
+    LocalLink(master, slave)
+    return master, slave
+
+
+# -- the toy AEAD itself -----------------------------------------------------
+
+
+def test_seal_unseal_roundtrip():
+    for payload in [("add", 5), "text", 42, [1, 2], None]:
+        assert unseal(KEY, seal(KEY, 7, payload)) == payload
+
+
+def test_unseal_detects_tampering():
+    nonce, ciphertext, mac = seal(KEY, 7, ("add", 5))
+    corrupted = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(TamperedMessageError):
+        unseal(KEY, (nonce, corrupted, mac))
+
+
+def test_unseal_detects_wrong_key():
+    sealed = seal(KEY, 7, ("add", 5))
+    with pytest.raises(TamperedMessageError):
+        unseal(b"wrong", sealed)
+
+
+def test_different_nonces_different_ciphertexts():
+    _n1, c1, _m1 = seal(KEY, 1, ("add", 5))
+    _n2, c2, _m2 = seal(KEY, 2, ("add", 5))
+    assert c1 != c2
+
+
+# -- composition with an FTM ---------------------------------------------------------
+
+
+def test_secure_pbr_end_to_end():
+    master, slave = secure_pair()
+    request = Request(1, "client", seal(KEY, 1, ("add", 5)))
+    reply = master.handle_request(request)
+    # the reply value travels sealed; the client opens it
+    assert master.open_reply(reply) == 5
+    # replication still works underneath: the backup got the checkpoint
+    assert slave.server.total == 5
+
+
+def test_secure_pbr_rejects_tampered_requests():
+    master, _slave = secure_pair()
+    nonce, ciphertext, mac = seal(KEY, 1, ("add", 5))
+    bad = (nonce, ciphertext, b"\x00" * 32)
+    with pytest.raises(TamperedMessageError):
+        master.handle_request(Request(1, "client", bad))
+    assert master.rejected_messages == 1
+    assert master.server.total == 0  # nothing executed
+
+
+def test_secure_pbr_at_most_once_still_holds():
+    master, _slave = secure_pair()
+    request = Request(1, "client", seal(KEY, 1, ("add", 5)))
+    first = master.handle_request(request)
+    replay = master.handle_request(request)
+    assert replay.replayed
+    assert master.open_reply(replay) == master.open_reply(first) == 5
+    assert master.server.total == 5
+
+
+def test_mro_places_encryption_outside_replication():
+    names = [cls.__name__ for cls in SecurePBR.__mro__]
+    assert names.index("EncryptedChannel") < names.index("PBR")

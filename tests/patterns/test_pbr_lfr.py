@@ -1,0 +1,186 @@
+"""Behavioural tests of PBR and LFR, including crash/recovery semantics."""
+
+import pytest
+
+from repro.patterns import (
+    LFR,
+    PBR,
+    CounterServer,
+    LocalLink,
+    NonDeterministicServer,
+    PatternError,
+    Request,
+    Role,
+)
+
+
+def request(request_id, payload=("add", 1), client="c1"):
+    return Request(request_id=request_id, client=client, payload=payload)
+
+
+def pbr_pair():
+    master = PBR(CounterServer(), role=Role.MASTER, name="primary")
+    slave = PBR(CounterServer(), role=Role.SLAVE, name="backup")
+    link = LocalLink(master, slave)
+    return master, slave, link
+
+
+def lfr_pair():
+    master = LFR(CounterServer(), role=Role.MASTER, name="leader")
+    slave = LFR(CounterServer(), role=Role.SLAVE, name="follower")
+    link = LocalLink(master, slave)
+    return master, slave, link
+
+
+# -- PBR ------------------------------------------------------------------------
+
+
+def test_pbr_backup_state_follows_primary():
+    master, slave, _link = pbr_pair()
+    for i in range(1, 4):
+        master.handle_request(request(i, ("add", 10)))
+    assert master.server.total == 30
+    assert slave.server.total == 30
+    assert master.checkpoints_sent == 3
+    assert slave.checkpoints_applied == 3
+
+
+def test_pbr_backup_never_computes():
+    compute_calls = {"master": 0, "backup": 0}
+
+    class Instrumented(CounterServer):
+        def __init__(self, tag):
+            super().__init__()
+            self.tag = tag
+
+        def process(self, payload):
+            compute_calls[self.tag] += 1
+            return super().process(payload)
+
+    master = PBR(Instrumented("master"), role=Role.MASTER)
+    slave = PBR(Instrumented("backup"), role=Role.SLAVE)
+    LocalLink(master, slave)
+    master.handle_request(request(1, ("add", 10)))
+    # state came via checkpoint, not via computation on the backup
+    assert compute_calls == {"master": 1, "backup": 0}
+    assert slave.server.total == 10
+
+
+def test_pbr_accepts_non_deterministic_application():
+    # PBR protects non-deterministic apps as long as they expose state.
+    # CounterServer stands in; the class-level gate is what matters:
+    assert PBR.HANDLES_NON_DETERMINISM is True
+
+
+def test_pbr_requires_state_manager_instance():
+    with pytest.raises(PatternError, match="state access"):
+        PBR(NonDeterministicServer(), role=Role.MASTER)
+
+
+def test_pbr_crash_failover_preserves_state_and_replies():
+    master, slave, link = pbr_pair()
+    reply1 = master.handle_request(request(1, ("add", 7)))
+    # primary crashes
+    link.break_()
+    slave.peer_failed()
+    assert slave.role == Role.MASTER
+    # retransmitted request is replayed from the checkpointed log
+    replay = slave.handle_request(request(1, ("add", 7)))
+    assert replay.value == reply1.value == 7
+    assert replay.replayed
+    # new requests continue from the checkpointed state
+    reply2 = slave.handle_request(request(2, ("add", 3)))
+    assert reply2.value == 10
+
+
+def test_pbr_master_alone_stops_checkpointing():
+    master, _slave, link = pbr_pair()
+    link.break_()
+    master.peer_failed()
+    master.handle_request(request(1, ("add", 1)))
+    assert master.checkpoints_sent == 0
+
+
+# -- LFR --------------------------------------------------------------------------
+
+
+def test_lfr_both_replicas_compute():
+    master, slave, _link = lfr_pair()
+    for i in range(1, 4):
+        master.handle_request(request(i, ("add", 5)))
+    assert master.server.total == 15
+    assert slave.server.total == 15
+    assert master.server.processed == 3
+    assert slave.server.processed == 3  # active replication
+
+
+def test_lfr_follower_commits_on_notify():
+    master, slave, _link = lfr_pair()
+    master.handle_request(request(1, ("add", 5)))
+    assert ("c1", 1) in slave.reply_log
+    assert slave.reply_log[("c1", 1)].value == 5
+
+
+def test_lfr_duplicate_forward_ignored():
+    master, slave, _link = lfr_pair()
+    master.handle_request(request(1, ("add", 5)))
+    from repro.patterns import PeerMessage
+
+    slave.on_peer_message(
+        PeerMessage(kind="request", request_id=1, body={"client": "c1", "payload": ("add", 5)})
+    )
+    assert slave.server.total == 5  # not applied twice
+
+
+def test_lfr_crash_failover_at_most_once():
+    master, slave, link = lfr_pair()
+    reply1 = master.handle_request(request(1, ("add", 4)))
+    link.break_()
+    slave.peer_failed()
+    replay = slave.handle_request(request(1, ("add", 4)))
+    assert replay.replayed
+    assert replay.value == reply1.value
+    assert slave.server.total == 4
+
+
+def test_lfr_promotion_commits_uncommitted():
+    master, slave, _link = lfr_pair()
+    # deliver the forward but not the notify (leader crashed in between)
+    from repro.patterns import PeerMessage
+
+    slave.on_peer_message(
+        PeerMessage(kind="request", request_id=9, body={"client": "c1", "payload": ("add", 2)})
+    )
+    slave.peer_failed()
+    replay = slave.handle_request(request(9, ("add", 2)))
+    assert replay.replayed  # committed at promotion, not recomputed
+    assert slave.server.total == 2
+
+
+def test_lfr_notify_without_request_is_ignored():
+    _master, slave, _link = lfr_pair()
+    from repro.patterns import PeerMessage
+
+    slave.on_peer_message(
+        PeerMessage(kind="notify", request_id=3, body={"client": "c1"})
+    )
+    assert ("c1", 3) not in slave.reply_log
+
+
+def test_lfr_determinism_divergence_demonstrated():
+    """Why LFR demands determinism: divergent replicas after active replication."""
+    master = LFR(NonDeterministicServer(seed=1), role=Role.MASTER)
+    slave = LFR(NonDeterministicServer(seed=2), role=Role.SLAVE)
+    LocalLink(master, slave)
+    reply = master.handle_request(request(1, "draw"))
+    follower_value = slave.reply_log[("c1", 1)].value
+    assert reply.value != follower_value  # replicas diverged -> LFR invalid
+    ok, _ = LFR.accepts_application(NonDeterministicServer)
+    assert not ok  # and the A-gate rejects exactly this
+
+
+def test_lfr_works_without_state_access():
+    assert LFR.REQUIRES_STATE_ACCESS is False
+    # LFR happily protects a server with no StateManager implementation
+    master = LFR(NonDeterministicServer(seed=1), role=Role.MASTER)
+    assert master is not None

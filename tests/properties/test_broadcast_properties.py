@@ -1,0 +1,50 @@
+"""Property: atomic broadcast keeps total order under random message loss."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftm.broadcast import AtomicBroadcast
+from repro.kernel import World
+
+MEMBERS = ["n1", "n2", "n3"]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    message_count=st.integers(min_value=1, max_value=12),
+    drop_indices=st.sets(st.integers(min_value=0, max_value=40), max_size=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_total_order_survives_random_delivery_drops(seed, message_count, drop_indices):
+    world = World(seed=seed)
+    world.add_nodes(MEMBERS + ["client"])
+    ab = AtomicBroadcast(world, MEMBERS, nack_timeout=80.0)
+    delivered = {member: [] for member in MEMBERS}
+    for member in MEMBERS:
+        ab.subscribe(member, lambda d, m=member: delivered[m].append(d))
+    ab.start()
+
+    counter = {"n": 0}
+
+    def maybe_drop(message):
+        if message.port == "ab-deliver":
+            index = counter["n"]
+            counter["n"] += 1
+            if index in drop_indices:
+                return None
+        return message
+
+    world.network.add_delivery_filter(maybe_drop)
+
+    for index in range(message_count):
+        world.sim.schedule(
+            float(index * 15), ab.broadcast, MEMBERS[index % 3], index
+        )
+    world.run(until=6_000.0)
+
+    expected = list(range(message_count))
+    for member in MEMBERS:
+        payloads = [d.payload for d in delivered[member]]
+        assert payloads == expected, (member, payloads)
+        sequences = [d.sequence for d in delivered[member]]
+        assert sequences == sorted(sequences)

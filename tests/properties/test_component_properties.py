@@ -1,0 +1,115 @@
+"""Property-based tests over the component model's lifecycle and gate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components import (
+    AssemblySpec,
+    ComponentImpl,
+    ComponentSpec,
+    LifecycleError,
+    LifecycleState,
+    PromotionSpec,
+    WireSpec,
+    make_runtime,
+)
+from repro.kernel import Timeout, World
+
+
+class Worker(ComponentImpl):
+    SERVICES = {"io": ("work",)}
+
+    def work(self, duration):
+        yield Timeout(duration)
+        return "done"
+
+
+def build_world():
+    world = World(seed=5)
+    node = world.add_node("alpha")
+    runtime = make_runtime(world, node)
+    spec = AssemblySpec(
+        name="c",
+        components=(ComponentSpec.make("w", Worker),),
+        wires=(),
+        promotions=(PromotionSpec("front", "w", "io"),),
+    )
+    composite = world.run_process(runtime.deploy(spec), name="deploy")
+    return world, runtime, composite
+
+
+#: lifecycle operations the fuzzer may attempt
+OPS = st.lists(
+    st.sampled_from(["start", "stop", "call"]), min_size=1, max_size=25
+)
+
+
+@given(OPS)
+@settings(max_examples=40, deadline=None)
+def test_lifecycle_never_corrupts_in_flight_accounting(operations):
+    """Any legal/illegal op sequence leaves the component quiescent at rest."""
+    world, runtime, composite = build_world()
+    component = composite.component("w")
+
+    def driver():
+        for operation in operations:
+            if operation == "start":
+                try:
+                    component.start()
+                except LifecycleError:
+                    pass
+            elif operation == "stop":
+                yield from runtime.stop_component("c", "w")
+            else:
+                if component.started:
+                    result = yield from component.call("io", "work", 1.0)
+                    assert result == "done"
+
+    world.run_process(driver(), name="driver")
+    assert component.quiescent
+    assert component.state in (LifecycleState.STARTED, LifecycleState.STOPPED)
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_gate_conserves_requests(before_count, during_count):
+    """close → buffered, open → drained; never lost, never duplicated."""
+    world, _runtime, composite = build_world()
+    served = []
+
+    def caller(tag):
+        result = yield from composite.call("front", "work", 0.5)
+        served.append((tag, result))
+
+    for index in range(before_count):
+        world.sim.spawn(caller(("before", index)))
+    world.run(until=world.now + 50.0)
+
+    composite.close_gate()
+    for index in range(during_count):
+        world.sim.spawn(caller(("during", index)))
+    world.run(until=world.now + 50.0)
+    assert len(served) == before_count  # buffered while closed
+
+    composite.open_gate()
+    world.run(until=world.now + 50.0)
+    assert len(served) == before_count + during_count
+    assert len(set(served)) == len(served)  # exactly once each
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_gate_toggling_is_safe(toggles):
+    world, _runtime, composite = build_world()
+    for open_it in toggles:
+        if open_it:
+            composite.open_gate()
+        else:
+            composite.close_gate()
+    composite.open_gate()
+
+    def check():
+        result = yield from composite.call("front", "work", 0.5)
+        return result
+
+    assert world.run_process(check(), name="check") == "done"

@@ -1,0 +1,64 @@
+"""Property: any random walk over the FTM catalog keeps the service intact."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptationEngine
+from repro.ftm import FTM_NAMES, Client, deploy_ftm_pair
+from repro.kernel import World
+
+
+@given(
+    walk=st.lists(st.sampled_from(FTM_NAMES), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_transition_walk_preserves_service(walk, seed):
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta", "client"])
+
+    def scenario():
+        pair = yield from deploy_ftm_pair(
+            world, "pbr", ["alpha", "beta"], assertion="counter-range"
+        )
+        engine = AdaptationEngine(world, pair)
+        client = Client(
+            world, world.cluster.node("client"), "c1", pair.node_names()
+        )
+        total = 0
+        for target in walk:
+            reply = yield from client.request(("add", 1))
+            total += 1
+            assert reply.ok and reply.value == total
+            yield from engine.transition(target)
+            assert pair.ftm == target
+        reply = yield from client.request(("get",))
+        assert reply.value == total  # state survived the whole walk
+        # architecture is exactly the target FTM's blueprint, no residue
+        for index, replica in enumerate(pair.replicas):
+            architecture = replica.composite.architecture()
+            assert len(architecture["components"]) == 7
+            assert all(
+                state == "started" for state in architecture["components"].values()
+            )
+        return total
+
+    world.run_process(scenario(), name="walk")
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_transition_timing_is_deterministic_per_seed(seed):
+    def measure():
+        world = World(seed=seed)
+        world.add_nodes(["alpha", "beta"])
+
+        def do():
+            pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
+            engine = AdaptationEngine(world, pair)
+            report = yield from engine.transition("lfr")
+            return report.per_replica_ms
+
+        return world.run_process(do(), name="measure")
+
+    assert measure() == measure()

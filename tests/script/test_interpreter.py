@@ -1,0 +1,321 @@
+"""Unit tests for the transactional script interpreter and validation."""
+
+import pytest
+
+from repro.components import (
+    AssemblySpec,
+    ComponentImpl,
+    ComponentSpec,
+    LifecycleState,
+    Multiplicity,
+    PromotionSpec,
+    WireSpec,
+    make_runtime,
+)
+from repro.script import (
+    ScriptException,
+    ScriptInterpreter,
+    parse,
+    render,
+    script_from_diff,
+    validate_script,
+)
+from repro.kernel import World
+
+
+class Producer(ComponentImpl):
+    SERVICES = {"io": ("produce",)}
+
+    def produce(self):
+        return self.prop("value", "original")
+
+
+class ProducerV2(Producer):
+    def produce(self):
+        return "v2"
+
+
+class Consumer(ComponentImpl):
+    SERVICES = {"io": ("pull",)}
+    REFERENCES = {"upstream": Multiplicity.ONE}
+
+    def pull(self):
+        result = yield from self.ref("upstream").invoke("produce")
+        return result
+
+
+def base_spec(producer_class=Producer):
+    return AssemblySpec(
+        name="base",
+        components=(
+            ComponentSpec.make("producer", producer_class),
+            ComponentSpec.make("consumer", Consumer),
+        ),
+        wires=(WireSpec("consumer", "upstream", "producer", "io"),),
+        promotions=(PromotionSpec("front", "consumer", "io"),),
+    )
+
+
+@pytest.fixture
+def deployed():
+    world = World(seed=4)
+    node = world.add_node("alpha")
+    runtime = make_runtime(world, node)
+    composite = world.run_process(runtime.deploy(base_spec()), name="deploy")
+    return world, runtime, composite
+
+
+def run_script(world, runtime, text, package=None):
+    interpreter = ScriptInterpreter(runtime)
+    script = parse(text)
+    return world.run_process(
+        interpreter.execute(script, package or {}), name="script"
+    )
+
+
+# -- happy paths ------------------------------------------------------------------
+
+
+def test_replace_component_via_script(deployed):
+    world, runtime, composite = deployed
+    package = {"producer": ComponentSpec.make("producer", ProducerV2)}
+    run_script(
+        world,
+        runtime,
+        '''
+        transition "swap" {
+            stop base/producer;
+            unwire base/consumer.upstream -> base/producer.io;
+            remove base/producer;
+            add base/producer from package;
+            wire base/consumer.upstream -> base/producer.io;
+            start base/producer;
+        }
+        ''',
+        package,
+    )
+    result = world.run_process(composite.call("front", "pull"), name="call")
+    assert result == "v2"
+
+
+def test_set_property_via_script(deployed):
+    world, runtime, composite = deployed
+    run_script(
+        world,
+        runtime,
+        'transition "tune" { set base/producer.value = "tuned"; }',
+    )
+    result = world.run_process(composite.call("front", "pull"), name="call")
+    assert result == "tuned"
+
+
+def test_promote_demote_via_script(deployed):
+    world, runtime, composite = deployed
+    run_script(
+        world,
+        runtime,
+        '''
+        transition "expose" {
+            promote direct -> base/producer.io;
+            demote base front;
+        }
+        ''',
+    )
+    assert "direct" in composite.promotions
+    assert "front" not in composite.promotions
+
+
+def test_script_charges_virtual_time(deployed):
+    world, runtime, _composite = deployed
+    t0 = world.now
+    run_script(world, runtime, 'transition "noop-ish" { stop base/producer; start base/producer; }')
+    costs = world.costs
+    floor = costs.script_parse + 2 * costs.script_step + costs.script_commit
+    assert world.now - t0 >= floor * 0.9
+
+
+def test_interpreter_counters(deployed):
+    world, runtime, _composite = deployed
+    interpreter = ScriptInterpreter(runtime)
+    script = parse('transition "t" { set base/producer.value = "x"; }')
+    world.run_process(interpreter.execute(script, {}), name="s")
+    assert interpreter.executed_scripts == 1
+    assert interpreter.rolled_back_scripts == 0
+
+
+# -- rollback ----------------------------------------------------------------------
+
+
+def test_failing_statement_rolls_back_everything(deployed):
+    world, runtime, composite = deployed
+    with pytest.raises(ScriptException):
+        run_script(
+            world,
+            runtime,
+            '''
+            transition "bad" {
+                set base/producer.value = "changed";
+                stop base/producer;
+                remove base/ghost;
+            }
+            ''',
+        )
+    # property restored, producer running again
+    producer = composite.component("producer")
+    assert producer.get_property("value") is None
+    assert producer.state == LifecycleState.STARTED
+    result = world.run_process(composite.call("front", "pull"), name="call")
+    assert result == "original"
+
+
+def test_add_missing_from_package_rolls_back(deployed):
+    world, runtime, composite = deployed
+    with pytest.raises(ScriptException, match="not in the transition package"):
+        run_script(
+            world,
+            runtime,
+            'transition "bad" { add base/newcomp from package; }',
+            package={},
+        )
+    assert not composite.has("newcomp")
+
+
+def test_integrity_violation_at_commit_rolls_back(deployed):
+    world, runtime, composite = deployed
+    # unwiring the consumer's required reference while it stays started
+    # passes statement-by-statement but must fail the commit check
+    with pytest.raises(ScriptException, match="unwired required reference"):
+        run_script(
+            world,
+            runtime,
+            'transition "bad" { unwire base/consumer.upstream -> base/producer.io; }',
+        )
+    # wire restored by rollback
+    assert composite.component("consumer").reference("upstream").wired
+    result = world.run_process(composite.call("front", "pull"), name="call")
+    assert result == "original"
+
+
+def test_rollback_restores_removed_component(deployed):
+    world, runtime, composite = deployed
+    with pytest.raises(ScriptException):
+        run_script(
+            world,
+            runtime,
+            '''
+            transition "bad" {
+                stop base/producer;
+                unwire base/consumer.upstream -> base/producer.io;
+                remove base/producer;
+                remove base/ghost;
+            }
+            ''',
+        )
+    assert composite.has("producer")
+    assert composite.component("producer").state == LifecycleState.STARTED
+    result = world.run_process(composite.call("front", "pull"), name="call")
+    assert result == "original"
+
+
+def test_rollback_counter_incremented(deployed):
+    world, runtime, _composite = deployed
+    interpreter = ScriptInterpreter(runtime)
+    script = parse('transition "bad" { remove base/ghost; }')
+    with pytest.raises(ScriptException):
+        world.run_process(interpreter.execute(script, {}), name="s")
+    assert interpreter.rolled_back_scripts == 1
+    assert interpreter.executed_scripts == 0
+
+
+def test_cross_composite_wire_rejected(deployed):
+    world, runtime, _composite = deployed
+    with pytest.raises(ScriptException, match="cross-composite"):
+        run_script(
+            world,
+            runtime,
+            'transition "bad" { wire base/consumer.upstream -> other/x.io; }',
+        )
+
+
+# -- script generation from diffs --------------------------------------------------------
+
+
+def test_script_from_diff_replaces_only_variable_feature():
+    diff = base_spec(Producer).diff(base_spec(ProducerV2))
+    script = script_from_diff(diff, "base")
+    text = render(script)
+    assert "stop base/producer;" in text
+    assert "remove base/producer;" in text
+    assert "add base/producer from package;" in text
+    assert "start base/producer;" in text
+    # consumer is a common part: never stopped or removed
+    assert "stop base/consumer" not in text
+    assert "remove base/consumer" not in text
+
+
+def test_generated_script_executes(deployed):
+    world, runtime, composite = deployed
+    diff = base_spec(Producer).diff(base_spec(ProducerV2))
+    script = script_from_diff(diff, "base")
+    package = {spec.name: spec for spec in diff.new_components()}
+    interpreter = ScriptInterpreter(runtime)
+    world.run_process(interpreter.execute(script, package), name="s")
+    result = world.run_process(composite.call("front", "pull"), name="call")
+    assert result == "v2"
+
+
+def test_identity_diff_generates_empty_script():
+    diff = base_spec().diff(base_spec())
+    script = script_from_diff(diff, "base")
+    assert len(script) == 0
+
+
+# -- static validation --------------------------------------------------------------------
+
+
+def snapshot(composite):
+    return {composite.name: composite.architecture()}
+
+
+def test_validate_accepts_good_script(deployed):
+    _world, _runtime, composite = deployed
+    diff = base_spec(Producer).diff(base_spec(ProducerV2))
+    script = script_from_diff(diff, "base")
+    problems = validate_script(script, snapshot(composite), ["producer"])
+    assert problems == []
+
+
+def test_validate_rejects_unknown_component(deployed):
+    _world, _runtime, composite = deployed
+    script = parse('transition "t" { stop base/ghost; }')
+    problems = validate_script(script, snapshot(composite), [])
+    assert any("unknown component 'ghost'" in p for p in problems)
+
+
+def test_validate_rejects_add_outside_package(deployed):
+    _world, _runtime, composite = deployed
+    script = parse('transition "t" { add base/widget from package; }')
+    problems = validate_script(script, snapshot(composite), [])
+    assert any("not in package" in p for p in problems)
+
+
+def test_validate_rejects_remove_while_wired(deployed):
+    _world, _runtime, composite = deployed
+    script = parse(
+        'transition "t" { stop base/producer; remove base/producer; }'
+    )
+    problems = validate_script(script, snapshot(composite), [])
+    assert any("still wired" in p for p in problems)
+
+
+def test_validate_flags_component_left_stopped(deployed):
+    _world, _runtime, composite = deployed
+    script = parse('transition "t" { stop base/producer; }')
+    problems = validate_script(script, snapshot(composite), [])
+    assert any("left stopped" in p for p in problems)
+
+
+def test_validate_unknown_composite():
+    script = parse('transition "t" { stop ghost/x; }')
+    problems = validate_script(script, {}, [])
+    assert any("unknown composite" in p for p in problems)

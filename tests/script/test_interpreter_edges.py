@@ -1,0 +1,140 @@
+"""Edge cases of the transactional interpreter: rollbacks of every statement."""
+
+import pytest
+
+from repro.components import (
+    AssemblySpec,
+    ComponentImpl,
+    ComponentSpec,
+    LifecycleState,
+    Multiplicity,
+    PromotionSpec,
+    WireSpec,
+    make_runtime,
+)
+from repro.kernel import World
+from repro.script import ScriptException, ScriptInterpreter, parse
+
+
+class Leaf(ComponentImpl):
+    SERVICES = {"io": ("ping",)}
+
+    def ping(self):
+        return "pong"
+
+
+class Chain(ComponentImpl):
+    SERVICES = {"io": ("pull",)}
+    REFERENCES = {"next": Multiplicity.OPTIONAL}
+
+    def pull(self):
+        if not self.ref("next").wired:
+            return "end"
+        result = yield from self.ref("next").invoke("ping")
+        return result
+
+
+def spec():
+    return AssemblySpec(
+        name="c",
+        components=(
+            ComponentSpec.make("leaf", Leaf, {"tag": "original"}),
+            ComponentSpec.make("chain", Chain),
+        ),
+        wires=(WireSpec("chain", "next", "leaf", "io"),),
+        promotions=(PromotionSpec("front", "chain", "io"),),
+    )
+
+
+@pytest.fixture
+def deployed():
+    world = World(seed=96)
+    node = world.add_node("alpha")
+    runtime = make_runtime(world, node)
+    composite = world.run_process(runtime.deploy(spec()), name="deploy")
+    return world, runtime, composite
+
+
+def fail_script(world, runtime, body, package=None):
+    """Run a script whose last statement fails; assert rollback happened."""
+    text = f'transition "t" {{ {body} remove c/ghost; }}'
+    interpreter = ScriptInterpreter(runtime)
+    with pytest.raises(ScriptException):
+        world.run_process(interpreter.execute(parse(text), package or {}), name="s")
+    return interpreter
+
+
+def test_rollback_restores_promotion_changes(deployed):
+    world, runtime, composite = deployed
+    fail_script(world, runtime, "demote c front; promote side -> c/leaf.io;")
+    assert composite.promotions == {"front": ("chain", "io")}
+
+
+def test_rollback_restores_wire_changes(deployed):
+    world, runtime, composite = deployed
+    fail_script(world, runtime, "unwire c/chain.next -> c/leaf.io;")
+    assert composite.component("chain").reference("next").wired
+
+
+def test_rollback_removes_added_components(deployed):
+    world, runtime, composite = deployed
+    package = {"extra": ComponentSpec.make("extra", Leaf)}
+    fail_script(world, runtime, "add c/extra from package;", package)
+    assert not composite.has("extra")
+
+
+def test_rollback_restores_property_deletion_semantics(deployed):
+    world, runtime, composite = deployed
+    # 'freshkey' did not exist before: rollback must delete it, not null it
+    fail_script(world, runtime, 'set c/leaf.freshkey = "v";')
+    leaf = composite.component("leaf")
+    assert "freshkey" not in leaf.properties
+    # 'tag' existed: rollback must restore the old value
+    fail_script(world, runtime, 'set c/leaf.tag = "changed";')
+    assert leaf.get_property("tag") == "original"
+
+
+def test_rollback_restores_stop_start_states(deployed):
+    world, runtime, composite = deployed
+    fail_script(world, runtime, "stop c/leaf;")
+    assert composite.component("leaf").state == LifecycleState.STARTED
+
+
+def test_rollback_of_start_statement(deployed):
+    world, runtime, composite = deployed
+
+    # first legitimately stop the leaf (unwire chain to keep integrity)
+    def stage():
+        yield from runtime.unwire("c", "chain", "next", "leaf", "io")
+        yield from runtime.stop_component("c", "leaf")
+
+    world.run_process(stage(), name="stage")
+    fail_script(world, runtime, "start c/leaf;")
+    assert composite.component("leaf").state == LifecycleState.STOPPED
+
+
+def test_failed_script_charges_rollback_time(deployed):
+    world, runtime, _composite = deployed
+    t0 = world.now
+    fail_script(world, runtime, 'set c/leaf.tag = "x";')
+    assert world.now - t0 >= world.costs.script_rollback * 0.9
+
+
+def test_successful_script_after_failed_one(deployed):
+    world, runtime, composite = deployed
+    fail_script(world, runtime, 'set c/leaf.tag = "x";')
+    interpreter = ScriptInterpreter(runtime)
+    world.run_process(
+        interpreter.execute(parse('transition "ok" { set c/leaf.tag = "y"; }'), {}),
+        name="s",
+    )
+    assert composite.component("leaf").get_property("tag") == "y"
+
+
+def test_empty_script_commits_trivially(deployed):
+    world, runtime, _composite = deployed
+    interpreter = ScriptInterpreter(runtime)
+    world.run_process(
+        interpreter.execute(parse('transition "empty" { }'), {}), name="s"
+    )
+    assert interpreter.executed_scripts == 1

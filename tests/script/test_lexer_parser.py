@@ -1,0 +1,219 @@
+"""Unit tests for the DSL lexer and parser."""
+
+import pytest
+
+from repro.script import (
+    Add,
+    Demote,
+    Path,
+    Promote,
+    Remove,
+    ScriptSyntaxError,
+    SetProperty,
+    Start,
+    Stop,
+    TokenKind,
+    UnwireStmt,
+    WireStmt,
+    parse,
+    render,
+    tokenize,
+)
+
+FULL_SCRIPT = '''
+transition "pbr-to-lfr" {
+    # replace the variable features
+    stop ftm/syncBefore;
+    stop ftm/syncAfter;
+    unwire ftm/protocol.before -> ftm/syncBefore.sync;
+    unwire ftm/protocol.after -> ftm/syncAfter.sync;
+    remove ftm/syncBefore;
+    remove ftm/syncAfter;
+    add ftm/syncBefore from package;
+    add ftm/syncAfter from package;
+    wire ftm/protocol.before -> ftm/syncBefore.sync;
+    wire ftm/protocol.after -> ftm/syncAfter.sync;
+    start ftm/syncBefore;
+    start ftm/syncAfter;
+    set ftm/proceed.mode = "leader";
+    promote front -> ftm/protocol.request;
+    demote ftm old_front;
+}
+'''
+
+
+# -- lexer -------------------------------------------------------------------
+
+
+def test_tokenize_basic_stream():
+    tokens = tokenize('transition "x" { stop a/b; }')
+    kinds = [t.kind for t in tokens]
+    assert kinds == [
+        TokenKind.IDENT,
+        TokenKind.STRING,
+        TokenKind.LBRACE,
+        TokenKind.IDENT,
+        TokenKind.IDENT,
+        TokenKind.SLASH,
+        TokenKind.IDENT,
+        TokenKind.SEMICOLON,
+        TokenKind.RBRACE,
+        TokenKind.EOF,
+    ]
+
+
+def test_tokenize_arrow_vs_minus():
+    tokens = tokenize("a -> b")
+    assert [t.kind for t in tokens[:3]] == [
+        TokenKind.IDENT,
+        TokenKind.ARROW,
+        TokenKind.IDENT,
+    ]
+
+
+def test_tokenize_comments_ignored():
+    tokens = tokenize("# a comment\nstop")
+    assert tokens[0].kind == TokenKind.IDENT
+    assert tokens[0].text == "stop"
+    assert tokens[0].line == 2
+
+
+def test_tokenize_string_escapes():
+    tokens = tokenize('"a\\"b\\nc"')
+    assert tokens[0].text == 'a"b\nc'
+
+
+def test_tokenize_numbers():
+    tokens = tokenize("42 -7 3.25")
+    assert [t.text for t in tokens[:3]] == ["42", "-7", "3.25"]
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(ScriptSyntaxError, match="unterminated"):
+        tokenize('"never closed')
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(ScriptSyntaxError, match="unexpected character"):
+        tokenize("stop @")
+
+
+def test_tokenize_line_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_tokenize_kebab_identifier():
+    tokens = tokenize("sync-before")
+    assert tokens[0].text == "sync-before"
+    assert tokens[1].kind == TokenKind.EOF
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def test_parse_full_script_statement_types():
+    script = parse(FULL_SCRIPT)
+    assert script.name == "pbr-to-lfr"
+    types = [type(s) for s in script.statements]
+    assert types == [
+        Stop,
+        Stop,
+        UnwireStmt,
+        UnwireStmt,
+        Remove,
+        Remove,
+        Add,
+        Add,
+        WireStmt,
+        WireStmt,
+        Start,
+        Start,
+        SetProperty,
+        Promote,
+        Demote,
+    ]
+
+
+def test_parse_paths_and_ports():
+    script = parse(FULL_SCRIPT)
+    stop = script.statements[0]
+    assert stop.path == Path("ftm", "syncBefore")
+    wire = script.statements[8]
+    assert wire.source == Path("ftm", "protocol")
+    assert wire.reference == "before"
+    assert wire.target == Path("ftm", "syncBefore")
+    assert wire.service == "sync"
+
+
+def test_parse_set_property_literals():
+    for literal, expected in [
+        ('"text"', "text"),
+        ("42", 42),
+        ("3.5", 3.5),
+        ("true", True),
+        ("false", False),
+        ("null", None),
+    ]:
+        script = parse(f'transition "t" {{ set c/x.key = {literal}; }}')
+        statement = script.statements[0]
+        assert statement.value == expected
+
+
+def test_parse_promote_demote():
+    script = parse(FULL_SCRIPT)
+    promote = script.statements[13]
+    assert isinstance(promote, Promote)
+    assert (promote.external, promote.component, promote.service) == (
+        "front",
+        "protocol",
+        "request",
+    )
+    demote = script.statements[14]
+    assert (demote.composite, demote.external) == ("ftm", "old_front")
+
+
+def test_parse_missing_semicolon():
+    with pytest.raises(ScriptSyntaxError, match="expected ;"):
+        parse('transition "t" { stop a/b }')
+
+
+def test_parse_unknown_keyword():
+    with pytest.raises(ScriptSyntaxError, match="unknown statement keyword"):
+        parse('transition "t" { frobnicate a/b; }')
+
+
+def test_parse_unterminated_block():
+    with pytest.raises(ScriptSyntaxError, match="unterminated"):
+        parse('transition "t" { stop a/b;')
+
+
+def test_parse_requires_transition_header():
+    with pytest.raises(ScriptSyntaxError, match="expected 'transition'"):
+        parse('{ stop a/b; }')
+
+
+def test_parse_bad_literal():
+    with pytest.raises(ScriptSyntaxError, match="expected literal"):
+        parse('transition "t" { set c/x.key = stop; }')
+
+
+def test_touched_components_lists_adds():
+    script = parse(FULL_SCRIPT)
+    assert script.touched_components() == ("syncAfter", "syncBefore")
+
+
+# -- render roundtrip -----------------------------------------------------------------
+
+
+def test_render_roundtrip():
+    script = parse(FULL_SCRIPT)
+    rendered = render(script)
+    reparsed = parse(rendered)
+    assert reparsed == script
+
+
+def test_render_literal_escaping():
+    script = parse('transition "t" { set c/x.key = "a\\"b"; }')
+    assert parse(render(script)) == script

@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "FTM catalog (6)" in out
+    assert "scenario graph" in out
+
+
+def test_cli_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Figure 8" in out
+
+
+def test_cli_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "state survived" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
