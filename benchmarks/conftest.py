@@ -7,7 +7,6 @@ simulations run with ``pedantic(rounds=1)`` — a Table 3 regeneration is
 one round is plenty.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -8,13 +8,15 @@ duplicate work and must mask every model-conformant fault.
 
 from conftest import run_once
 
+from repro import exp
 from repro.eval import campaign
 
 MISSIONS = 10
 
 
 def test_bench_campaign(benchmark):
-    data = run_once(benchmark, campaign.generate, missions=MISSIONS)
+    result = run_once(benchmark, exp.run, campaign.spec(missions=MISSIONS), jobs=1)
+    data = campaign.from_results(result.results)
     print("\n" + campaign.render(data))
     assert campaign.shape_checks(data) == []
     assert data["clean_missions"] == MISSIONS

@@ -2,12 +2,14 @@
 
 from conftest import run_once
 
+from repro import exp
 from repro.eval import consistency_eval
 
 RUNS = 5
 
 
 def test_bench_consistency(benchmark):
-    data = run_once(benchmark, consistency_eval.generate, runs=RUNS)
+    result = run_once(benchmark, exp.run, consistency_eval.spec(runs=RUNS), jobs=1)
+    data = consistency_eval.from_results(result.results)
     print("\n" + consistency_eval.render(data))
     assert consistency_eval.shape_checks(data) == []

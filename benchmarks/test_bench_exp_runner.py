@@ -1,0 +1,36 @@
+"""Benchmark: the experiment runner — parallel fan-out vs serial.
+
+Times a reduced Table 3 spec (the heaviest artifact) executed serially
+and over a process pool sized to the machine, asserts the two result
+sets are byte-identical (the runner's core determinism guarantee), and
+prints the measured speedup.  On a single-core container the pool can
+only break even; on the multi-core runners the evaluation targets, the
+720-trial full regeneration is embarrassingly parallel.
+"""
+
+import json
+import os
+
+from conftest import run_once
+
+from repro import exp
+from repro.eval import table3
+
+RUNS = 6
+
+
+def test_bench_exp_runner_parallel(benchmark):
+    spec = table3.spec(runs=RUNS)
+    serial = exp.run(spec, jobs=1)
+
+    jobs = os.cpu_count() or 1
+    parallel = run_once(benchmark, exp.run, spec, jobs=jobs)
+
+    assert json.dumps(parallel.results, sort_keys=True) == json.dumps(
+        serial.results, sort_keys=True
+    )
+    speedup = serial.elapsed_s / max(parallel.elapsed_s, 1e-9)
+    print(
+        f"\nexp runner: {spec.unit_count} trials, serial {serial.elapsed_s:.2f}s, "
+        f"jobs={jobs} {parallel.elapsed_s:.2f}s -> speedup {speedup:.2f}x"
+    )

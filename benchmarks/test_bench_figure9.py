@@ -2,13 +2,15 @@
 
 from conftest import run_once
 
+from repro import exp
 from repro.eval import figure9
 
 RUNS = 3
 
 
 def test_bench_figure9(benchmark):
-    data = run_once(benchmark, figure9.generate, runs=RUNS)
+    result = run_once(benchmark, exp.run, figure9.spec(runs=RUNS), jobs=1)
+    data = figure9.from_results(result.results)
     print("\n" + figure9.render(data))
     assert figure9.shape_checks(data) == []
 

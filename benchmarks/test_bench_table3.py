@@ -7,6 +7,7 @@ real hardware — raise ``RUNS`` for tighter averages).
 
 from conftest import run_once
 
+from repro import exp
 from repro.eval import table3
 from repro.ftm import FTM_NAMES
 
@@ -14,7 +15,8 @@ RUNS = 3
 
 
 def test_bench_table3(benchmark):
-    data = run_once(benchmark, table3.generate, runs=RUNS)
+    result = run_once(benchmark, exp.run, table3.spec(runs=RUNS), jobs=1)
+    data = table3.from_results(result.results)
     print("\n" + table3.render(data))
 
     problems = table3.shape_checks(data)

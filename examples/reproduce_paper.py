@@ -40,6 +40,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=1,
                         help="seeded repetitions per simulated cell")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulated artifacts")
     args = parser.parse_args(argv)
 
     failures = []
@@ -63,7 +65,7 @@ def main(argv=None) -> int:
     section("Table 2", d2, table2.render(d2), [])
 
     print("\nsimulating Table 3 (36 deployments + 90 transitions)...")
-    d3 = table3.generate(runs=args.runs)
+    d3 = table3.generate(runs=args.runs, jobs=args.jobs)
     section("Table 3", d3, table3.render(d3), table3.shape_checks(d3))
 
     df2 = figure2.generate()
@@ -78,13 +80,13 @@ def main(argv=None) -> int:
     df8 = figure8.generate()
     section("Figure 8", df8, figure8.render(df8), figure8.fidelity(df8))
 
-    df9 = figure9.generate(runs=args.runs)
+    df9 = figure9.generate(runs=args.runs, jobs=args.jobs)
     section("Figure 9", df9, figure9.render(df9), figure9.shape_checks(df9))
 
     da = agility.generate()
     section("Sec 6.2 agility", da, agility.render(da), agility.shape_checks(da))
 
-    dc = consistency_eval.generate(runs=max(2, args.runs))
+    dc = consistency_eval.generate(runs=max(2, args.runs), jobs=args.jobs)
     section(
         "Sec 5.3 consistency", dc, consistency_eval.render(dc),
         consistency_eval.shape_checks(dc),

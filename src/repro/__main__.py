@@ -8,9 +8,16 @@ Commands
 ``tables``
     Print the static artifacts (Tables 1–2, Figures 2/4/5/8) — no
     simulation, instant.
-``reproduce [--runs N]``
+``reproduce [--runs N] [--jobs N] [--seed S] [--json] [...]``
     Run the full evaluation (Table 3, Figure 9, agility, consistency
     included); exits non-zero if any paper claim fails to reproduce.
+    Experiments fan out over a process pool (``--jobs``, default: all
+    CPUs) and land in the result store (``.repro-results/``), so a
+    second identical invocation simulates nothing.  ``--json`` prints a
+    machine-readable summary to stdout (tables move to stderr);
+    ``--seed`` offsets every experiment's base seed; ``--fresh``
+    recomputes and overwrites stored results; ``--no-store`` disables
+    the store.
 ``demo``
     A 20-second guided tour: deploy, crash, fail over, adapt on-line.
 """
@@ -57,6 +64,10 @@ def _cmd_tables(_args) -> int:
 
 
 def _cmd_reproduce(args) -> int:
+    import json
+    import time
+
+    from repro import exp
     from repro.eval import (
         agility,
         consistency_eval,
@@ -70,33 +81,78 @@ def _cmd_reproduce(args) -> int:
         table3,
     )
 
-    failures = []
+    seed = args.seed
+    jobs = exp.default_jobs() if args.jobs is None else max(1, args.jobs)
+    store = None if args.no_store else exp.ResultStore(args.store)
+    # with --json, stdout carries only the machine-readable summary
+    out = sys.stderr if args.json else sys.stdout
 
-    def run(title, module, data, checks):
-        print(module.render(data))
+    artifacts = [
+        ("Table 1", table1, table1.spec(),
+         lambda d: [] if table1.fidelity(d)["matches"] >= 30 else ["fidelity"]),
+        ("Table 2", table2, table2.spec(), lambda _d: []),
+        ("Table 3", table3,
+         table3.spec(runs=args.runs, base_seed=1000 + seed),
+         table3.shape_checks),
+        ("Figure 2", figure2, figure2.spec(), figure2.coverage),
+        ("Figure 4", figure4, figure4.spec(), figure4.shape_checks),
+        ("Figure 5", figure5, figure5.spec(), figure5.shape_checks),
+        ("Figure 8", figure8, figure8.spec(), figure8.fidelity),
+        ("Figure 9", figure9,
+         figure9.spec(runs=args.runs, base_seed=2000 + seed),
+         figure9.shape_checks),
+        ("Sec 6.2", agility, agility.spec(seed=3000 + seed),
+         agility.shape_checks),
+        ("Sec 5.3", consistency_eval,
+         consistency_eval.spec(runs=max(2, args.runs), base_seed=4000 + seed),
+         consistency_eval.shape_checks),
+    ]
+
+    failures = []
+    summaries = []
+    started = time.perf_counter()
+    for title, module, spec, checks in artifacts:
+        result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh)
+        data = module.from_results(result.results)
+        print(module.render(data), file=out)
         problems = checks(data)
         status = "reproduces" if not problems else f"FAILS: {problems}"
-        print(f"  -> {title}: {status}\n")
+        plural = "" if result.executed == 1 else "s"
+        source = ("result store" if result.cached else
+                  f"{result.executed} trial{plural}, {result.elapsed_s:.2f}s")
+        print(f"  -> {title}: {status} [{source}]\n", file=out)
         failures.extend(f"{title}: {p}" for p in problems)
+        summary = result.summary()
+        summary["title"] = title
+        summary["problems"] = problems
+        summaries.append(summary)
+    elapsed = time.perf_counter() - started
 
-    run("Table 1", table1, table1.generate(),
-        lambda d: [] if table1.fidelity(d)["matches"] >= 30 else ["fidelity"])
-    run("Table 2", table2, table2.generate(), lambda _d: [])
-    print("simulating Table 3 ...")
-    run("Table 3", table3, table3.generate(runs=args.runs), table3.shape_checks)
-    run("Figure 2", figure2, figure2.generate(), figure2.coverage)
-    run("Figure 4", figure4, figure4.generate(), figure4.shape_checks)
-    run("Figure 5", figure5, figure5.generate(), figure5.shape_checks)
-    run("Figure 8", figure8, figure8.generate(), figure8.fidelity)
-    run("Figure 9", figure9, figure9.generate(runs=args.runs), figure9.shape_checks)
-    run("Sec 6.2", agility, agility.generate(), agility.shape_checks)
-    run("Sec 5.3", consistency_eval, consistency_eval.generate(runs=max(2, args.runs)),
-        consistency_eval.shape_checks)
-
+    total_executed = sum(s["trials_executed"] for s in summaries)
+    print(
+        f"[timing] wall {elapsed:.2f}s, jobs={jobs}, "
+        f"trials simulated {total_executed} "
+        f"({'all served from store' if total_executed == 0 else 'fresh'})",
+        file=out,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "runs": args.runs,
+                "seed": seed,
+                "jobs": jobs,
+                "store": None if store is None else str(store.root),
+                "wall_s": round(elapsed, 6),
+                "total_executed": total_executed,
+                "failures": failures,
+                "artifacts": summaries,
+            },
+            indent=2,
+        ))
     if failures:
-        print(f"{len(failures)} claim(s) FAILED")
+        print(f"{len(failures)} claim(s) FAILED", file=out)
         return 1
-    print("every table and figure reproduces the paper's shape")
+    print("every table and figure reproduces the paper's shape", file=out)
     return 0
 
 
@@ -134,6 +190,14 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -141,7 +205,20 @@ def main(argv=None) -> int:
     sub.add_parser("info", help="catalog and graph summary")
     sub.add_parser("tables", help="print the static artifacts")
     reproduce = sub.add_parser("reproduce", help="run the full evaluation")
-    reproduce.add_argument("--runs", type=int, default=1)
+    reproduce.add_argument("--runs", type=_positive_int, default=1,
+                           help="seeded repetitions per experiment cell")
+    reproduce.add_argument("--jobs", type=_positive_int, default=None,
+                           help="worker processes (default: all CPUs)")
+    reproduce.add_argument("--seed", type=int, default=0,
+                           help="offset added to every experiment base seed")
+    reproduce.add_argument("--json", action="store_true",
+                           help="machine-readable summary on stdout")
+    reproduce.add_argument("--store", default=None, metavar="DIR",
+                           help="result-store directory (default: .repro-results)")
+    reproduce.add_argument("--no-store", action="store_true",
+                           help="disable the result store")
+    reproduce.add_argument("--fresh", action="store_true",
+                           help="recompute even when stored results exist")
     sub.add_parser("demo", help="guided tour")
     args = parser.parse_args(argv)
     handlers = {

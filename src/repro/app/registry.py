@@ -10,7 +10,7 @@ safety analyses, per the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict
 
 from repro.patterns.server import Server
 

@@ -15,7 +15,7 @@ replica is a composite (Figure 6).  It offers
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.components.errors import (
     UnknownComponentError,

@@ -9,7 +9,7 @@ the System Manager — looks at before approving a transition).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.components.composite import Composite
 from repro.components.model import Component, LifecycleState

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import inspect
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.components.errors import (
     LifecycleError,

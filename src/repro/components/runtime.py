@@ -13,7 +13,7 @@ classes directly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator
 
 from repro.components.composite import Composite
 from repro.components.errors import ComponentError, LifecycleError

@@ -10,7 +10,7 @@ that must be replaced — the heart of the paper's fine-grained approach.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple, Type
 
 

@@ -25,7 +25,7 @@ configuration its peer reached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional
 
 from repro.core.errors import TransitionFailed
 from repro.core.repository import Repository

@@ -9,11 +9,11 @@ paper's **mandatory** transitions from its **possible** ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.errors import NoValidFTM
-from repro.core.parameters import FaultClass, SystemContext
+from repro.core.parameters import SystemContext
 from repro.ftm.catalog import FTM_NAMES, PATTERN_CLASSES, check_ftm_name
 
 

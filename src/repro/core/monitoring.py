@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.parameters import FaultClass
 from repro.kernel.sim import Channel, Timeout
 from repro.kernel.trace import TraceRecord
 

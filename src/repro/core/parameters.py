@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional
+from typing import FrozenSet
 
 
 class FaultClass(enum.Enum):

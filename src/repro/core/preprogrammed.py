@@ -17,7 +17,7 @@ tuning some parameters".  This module implements exactly that comparator:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List
+from typing import Dict, Generator, List
 
 from repro.components.impl import ComponentImpl
 from repro.components.model import Multiplicity
@@ -28,7 +28,6 @@ from repro.ftm.failure_detector import HeartbeatFailureDetector
 from repro.ftm.protocol import FTProtocol
 from repro.ftm.reply_log import ReplyLog
 from repro.ftm.server_component import AppServer
-from repro.script.parser import parse
 
 
 def _drive(value):

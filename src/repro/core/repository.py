@@ -14,8 +14,7 @@ The repository also implements the agility story of Sec. 6.2: an FTM
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.components.spec import AssemblySpec
 from repro.core.errors import PackageRejected

@@ -15,12 +15,11 @@ arrive through :meth:`notify_event` with ``source="manager"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.core.consistency import evaluate_ftm
-from repro.core.errors import NoValidFTM
 from repro.core.monitoring import MonitoringEngine, Trigger
 from repro.core.parameters import SystemContext
 from repro.core.transition_graph import event as lookup_event

@@ -8,7 +8,7 @@ operates the transition".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.components.spec import AssemblyDiff, AssemblySpec, ComponentSpec

@@ -25,11 +25,10 @@ manager/safety analysis and must be handled **proactively**.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.consistency import evaluate_ftm, rank_ftms
-from repro.core.errors import NoValidFTM
 from repro.core.parameters import (
     ApplicationCharacteristics,
     FaultClass,

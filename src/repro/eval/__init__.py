@@ -5,6 +5,12 @@ Each submodule exposes ``generate(...)`` (the measured data) and
 ``shape_checks(data)`` / ``fidelity(data)`` returning the list of
 violated claims (empty = the experiment reproduces).
 
+Every artifact is also a declarative experiment: ``spec(...)`` returns
+an :class:`repro.exp.ExperimentSpec` whose trials are pure functions
+``(seed, params) -> dict``, and ``from_results(results)`` rebuilds the
+``generate()`` data shape from the runner's raw cells — so any artifact
+can be executed in parallel and cached via :func:`repro.exp.run`.
+
 =================  =============================================
 module             paper artifact
 =================  =============================================

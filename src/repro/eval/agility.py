@@ -17,7 +17,7 @@ This harness measures all three axes on the simulated platform:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.core.preprogrammed import (
@@ -25,6 +25,8 @@ from repro.core.preprogrammed import (
     preprogrammed_assembly,
 )
 from repro.eval.format import render_table
+from repro.exp import ExperimentSpec, ResultStore, Trial
+from repro.exp import run as run_experiment
 from repro.ftm import FTMPair, deploy_ftm_pair, ftm_assembly
 from repro.ftm.errors import UnknownFTM
 from repro.kernel import World
@@ -39,11 +41,10 @@ RELATED_WORK = {
 
 
 def _deploy_agile(world: World):
-    def do():
-        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
-        return pair
-
-    return world.run_process(do(), name="deploy-agile")
+    return world.run_scenario(
+        lambda w: deploy_ftm_pair(w, "pbr", ["alpha", "beta"]),
+        name="deploy-agile",
+    )
 
 
 def _deploy_preprogrammed(world: World):
@@ -64,10 +65,10 @@ def _deploy_preprogrammed(world: World):
         yield from pair.deploy()
         return pair
 
-    return world.run_process(do(), name="deploy-preprogrammed")
+    return world.run_scenario(do(), name="deploy-preprogrammed")
 
 
-def generate(seed: int = 3000) -> Dict:
+def _trial(seed: int, _params: Mapping) -> Dict:
     """Measure both systems on identical platforms; returns the comparison."""
     # -- agile side ----------------------------------------------------------
     agile_world = World(seed=seed)
@@ -136,6 +137,26 @@ def generate(seed: int = 3000) -> Dict:
         },
         "related_work": dict(RELATED_WORK),
     }
+
+
+def spec(seed: int = 3000) -> ExperimentSpec:
+    """The Sec. 6.2 experiment: one paired agile-vs-preprogrammed trial."""
+    return ExperimentSpec(
+        name="agility", trial=_trial,
+        trials=(Trial(key="agility", params={}, seeds=(seed,)),),
+    )
+
+
+def from_results(results: Dict) -> Dict:
+    """Rebuild the Sec. 6.2 comparison dict from raw trial results."""
+    return results["agility"][0]
+
+
+def generate(seed: int = 3000, jobs: int = 1,
+             store: Optional[ResultStore] = None) -> Dict:
+    """Measure agile vs preprogrammed adaptation (see :func:`spec`)."""
+    result = run_experiment(spec(seed=seed), jobs=jobs, store=store)
+    return from_results(result.results)
 
 
 def shape_checks(data: Dict) -> List[str]:

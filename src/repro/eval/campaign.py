@@ -14,12 +14,14 @@ aggregates outcomes over ``missions`` seeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.app.workloads import constant
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.eval.format import render_table
+from repro.exp import ExperimentSpec, ResultStore, Trial
+from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
 from repro.kernel import Timeout, World
 
@@ -50,7 +52,6 @@ class MissionOutcome:
 def run_mission(seed: int, requests: int = 30) -> MissionOutcome:
     """One randomised mission; fully determined by its seed."""
     world = World(seed=seed)
-    world.add_nodes(["alpha", "beta", "client"])
     rng = world.sim.random.substream("campaign")
     outcome = MissionOutcome(seed=seed, requests=requests, expected_value=requests)
 
@@ -112,15 +113,33 @@ def run_mission(seed: int, requests: int = 30) -> MissionOutcome:
         outcome.reintegrations = pair.reintegrations
         outcome.transitioned_to = pair.ftm
 
-    world.run_process(scenario(), name="mission")
+    world.run_scenario(scenario(), nodes=("alpha", "beta", "client"),
+                       name="mission")
     return outcome
 
 
-def generate(missions: int = 10, base_seed: int = 5000, requests: int = 30) -> Dict:
-    """Run the campaign and aggregate the per-mission outcomes."""
-    outcomes = [run_mission(base_seed + 101 * m, requests) for m in range(missions)]
+def _trial(seed: int, params: Mapping) -> Dict:
+    """One mission as a plain dict (JSON-safe for the result store)."""
+    return asdict(run_mission(seed, requests=params["requests"]))
+
+
+def spec(missions: int = 10, base_seed: int = 5000,
+         requests: int = 30) -> ExperimentSpec:
+    """The campaign experiment: one cell, one seed per mission."""
+    return ExperimentSpec(
+        name="campaign", trial=_trial,
+        trials=(Trial(
+            key="campaign", params={"requests": requests},
+            seeds=tuple(base_seed + 101 * m for m in range(missions)),
+        ),),
+    )
+
+
+def from_results(results: Dict) -> Dict:
+    """Rebuild the campaign aggregate dict from raw mission outcomes."""
+    outcomes = [MissionOutcome(**raw) for raw in results["campaign"]]
     return {
-        "missions": missions,
+        "missions": len(outcomes),
         "outcomes": outcomes,
         "clean_missions": sum(1 for o in outcomes if o.clean),
         "total_crashes": sum(o.crashes for o in outcomes),
@@ -129,6 +148,16 @@ def generate(missions: int = 10, base_seed: int = 5000, requests: int = 30) -> D
         "total_promotions": sum(o.promotions for o in outcomes),
         "total_reintegrations": sum(o.reintegrations for o in outcomes),
     }
+
+
+def generate(missions: int = 10, base_seed: int = 5000, requests: int = 30,
+             jobs: int = 1, store: Optional[ResultStore] = None) -> Dict:
+    """Run the campaign and aggregate the per-mission outcomes."""
+    result = run_experiment(
+        spec(missions=missions, base_seed=base_seed, requests=requests),
+        jobs=jobs, store=store,
+    )
+    return from_results(result.results)
 
 
 def shape_checks(data: Dict) -> List[str]:

@@ -13,23 +13,22 @@ seeded repetitions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.eval.format import render_table
+from repro.exp import ExperimentSpec, ResultStore, Trial
+from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
 from repro.kernel import Timeout, World
 
 
 def _run_one(seed: int) -> Dict:
     world = World(seed=seed)
-    world.add_nodes(["alpha", "beta", "client"])
-
-    def do():
-        pair = yield from deploy_ftm_pair(world, "pbr", ["alpha", "beta"])
-        return pair
-
-    pair = world.run_process(do(), name="deploy")
+    pair = world.run_scenario(
+        lambda w: deploy_ftm_pair(w, "pbr", ["alpha", "beta"]),
+        nodes=("alpha", "beta", "client"), name="deploy",
+    )
     pair.enable_recovery(restart_delay=300.0)
     engine = AdaptationEngine(world, pair)
     client = Client(
@@ -81,11 +80,27 @@ def _run_one(seed: int) -> Dict:
     return outcome
 
 
-def generate(runs: int = 5, base_seed: int = 4000) -> Dict:
-    """Run the fault-injection scenario over seeded repetitions."""
-    outcomes = [_run_one(base_seed + 11 * r) for r in range(runs)]
+def _trial(seed: int, _params: Mapping) -> Dict:
+    """One seeded run of the injected-script-failure scenario."""
+    return _run_one(seed)
+
+
+def spec(runs: int = 5, base_seed: int = 4000) -> ExperimentSpec:
+    """The Sec. 5.3 experiment: one cell, ``runs`` seeded repetitions."""
+    return ExperimentSpec(
+        name="consistency", trial=_trial,
+        trials=(Trial(
+            key="consistency", params={},
+            seeds=tuple(base_seed + 11 * r for r in range(runs)),
+        ),),
+    )
+
+
+def from_results(results: Dict) -> Dict:
+    """Rebuild the Sec. 5.3 verdict dict from raw per-run outcomes."""
+    outcomes = results["consistency"]
     return {
-        "runs": runs,
+        "runs": len(outcomes),
         "outcomes": outcomes,
         "all_requests_served": all(
             o["served_before"] == 3 and o["served_during"] == 1 and o["served_after"] == 3
@@ -99,6 +114,14 @@ def generate(runs: int = 5, base_seed: int = 4000) -> Dict:
             o["recovered_config"] == "LfrSyncBefore" for o in outcomes
         ),
     }
+
+
+def generate(runs: int = 5, base_seed: int = 4000, jobs: int = 1,
+             store: Optional[ResultStore] = None) -> Dict:
+    """Run the fault-injection scenario over seeded repetitions."""
+    result = run_experiment(spec(runs=runs, base_seed=base_seed),
+                            jobs=jobs, store=store)
+    return from_results(result.results)
 
 
 def shape_checks(data: Dict) -> List[str]:

@@ -8,10 +8,12 @@ our implementation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping
 
 from repro.eval.format import render_table
 from repro.eval.sloc import class_sloc
+from repro.exp import ExperimentSpec, Trial
+from repro.exp import run as run_experiment
 from repro.patterns import (
     LFR,
     LFR_A,
@@ -39,9 +41,27 @@ ELEMENTS = (
 )
 
 
+def _trial(_seed: int, _params: Mapping) -> Dict[str, int]:
+    """The Figure 5 data as one (static, JSON-safe) trial result."""
+    return {name: class_sloc(cls) for name, cls in ELEMENTS}
+
+
+def spec() -> ExperimentSpec:
+    """Figure 5 as a single-trial experiment spec."""
+    return ExperimentSpec(
+        name="figure5", trial=_trial,
+        trials=(Trial(key="figure5", params={}, seeds=(0,)),),
+    )
+
+
+def from_results(results: Dict) -> Dict[str, int]:
+    """Rebuild the Figure 5 data from the stored trial result."""
+    return results["figure5"][0]
+
+
 def generate() -> Dict[str, int]:
     """Measured SLOC per pattern element."""
-    return {name: class_sloc(cls) for name, cls in ELEMENTS}
+    return from_results(run_experiment(spec()).results)
 
 
 def shape_checks(data: Dict[str, int]) -> List[str]:

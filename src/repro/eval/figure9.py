@@ -18,10 +18,12 @@ Engine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.eval.format import render_table
+from repro.exp import ExperimentSpec, ResultStore, Trial
+from repro.exp import run as run_experiment
 from repro.ftm import deploy_ftm_pair, variable_feature_distance
 from repro.kernel import World
 
@@ -38,7 +40,6 @@ TRANSITIONS: Tuple[Tuple[str, str], ...] = tuple(PAPER_FIGURE9)
 def measure(source: str, target: str, seed: int) -> Dict:
     """One instrumented transition run; returns the phase breakdown."""
     world = World(seed=seed)
-    world.add_nodes(["alpha", "beta"])
 
     def do():
         pair = yield from deploy_ftm_pair(world, source, ["alpha", "beta"])
@@ -46,7 +47,7 @@ def measure(source: str, target: str, seed: int) -> Dict:
         report = yield from engine.transition(target)
         return report
 
-    report = world.run_process(do(), name="measure")
+    report = world.run_scenario(do(), nodes=("alpha", "beta"), name="measure")
     replica = next(r for r in report.replicas if r.success)
     return {
         "components": variable_feature_distance(source, target),
@@ -58,14 +59,38 @@ def measure(source: str, target: str, seed: int) -> Dict:
     }
 
 
-def generate(runs: int = 3, base_seed: int = 2000) -> Dict:
-    """The three Figure 9 transitions, averaged over ``runs`` seeds."""
-    results: Dict[Tuple[str, str], Dict] = {}
+def _trial(seed: int, params: Mapping) -> Dict:
+    """One instrumented Figure 9 transition at one seed."""
+    return measure(params["source"], params["target"], seed)
+
+
+def spec(runs: int = 3, base_seed: int = 2000) -> ExperimentSpec:
+    """The Figure 9 experiment: the paper's three transitions, ``runs`` each.
+
+    All three cells reuse the same seed sequence ``base_seed + run`` so the
+    transitions are compared on identical platforms, as the paper does.
+    """
+    trials = tuple(
+        Trial(
+            key=f"{source}->{target}",
+            params={"source": source, "target": target},
+            seeds=tuple(base_seed + r for r in range(runs)),
+        )
+        for source, target in TRANSITIONS
+    )
+    return ExperimentSpec(name="figure9", trial=_trial, trials=trials)
+
+
+def from_results(results: Dict) -> Dict:
+    """Rebuild the Figure 9 data dict from raw per-cell trial results."""
+    out: Dict[Tuple[str, str], Dict] = {}
+    runs = 0
     for source, target in TRANSITIONS:
-        samples = [measure(source, target, base_seed + r) for r in range(runs)]
+        samples = results[f"{source}->{target}"]
+        runs = len(samples)
         mean = lambda key: sum(s[key] for s in samples) / len(samples)  # noqa: E731
         total = mean("total_ms")
-        results[(source, target)] = {
+        out[(source, target)] = {
             "components": samples[0]["components"],
             "total_ms": total,
             "deploy_ms": mean("deploy_ms"),
@@ -77,7 +102,15 @@ def generate(runs: int = 3, base_seed: int = 2000) -> Dict:
                 "remove_package": mean("remove_ms") / total,
             },
         }
-    return {"transitions": results, "runs": runs}
+    return {"transitions": out, "runs": runs}
+
+
+def generate(runs: int = 3, base_seed: int = 2000, jobs: int = 1,
+             store: Optional[ResultStore] = None) -> Dict:
+    """The three Figure 9 transitions, averaged over ``runs`` seeds."""
+    result = run_experiment(spec(runs=runs, base_seed=base_seed),
+                            jobs=jobs, store=store)
+    return from_results(result.results)
 
 
 def shape_checks(data: Dict) -> List[str]:

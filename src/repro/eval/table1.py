@@ -8,9 +8,11 @@ consistency checker uses, so the table *is* the decision model).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Mapping
 
 from repro.eval.format import check, render_table
+from repro.exp import ExperimentSpec, Trial
+from repro.exp import run as run_experiment
 from repro.patterns import LFR, PBR, PBR_A, TimeRedundancy
 
 #: The paper's Table 1 columns (A&Duplex is represented by its PBR variant;
@@ -18,11 +20,32 @@ from repro.patterns import LFR, PBR, PBR_A, TimeRedundancy
 TABLE1_FTMS = (("PBR", PBR), ("LFR", LFR), ("TR", TimeRedundancy), ("A&Duplex", PBR_A))
 
 
-def generate() -> Dict:
-    """The Table 1 data, FTM → characteristics."""
+def _trial(_seed: int, _params: Mapping) -> Dict:
+    """The Table 1 data as one (static, JSON-safe) trial result."""
     return {
         label: pattern.characteristics() for label, pattern in TABLE1_FTMS
     }
+
+
+def spec() -> ExperimentSpec:
+    """Table 1 as a single-trial experiment spec."""
+    return ExperimentSpec(
+        name="table1", trial=_trial,
+        trials=(Trial(key="table1", params={}, seeds=(0,)),),
+    )
+
+
+def from_results(results: Dict) -> Dict:
+    """Rebuild the Table 1 data (re-tupling the fault-model lists)."""
+    return {
+        label: {**chars, "fault_models": tuple(chars["fault_models"])}
+        for label, chars in results["table1"][0].items()
+    }
+
+
+def generate() -> Dict:
+    """The Table 1 data, FTM → characteristics."""
+    return from_results(run_experiment(spec()).results)
 
 
 #: The paper's Table 1 cells, for the fidelity check in the tests: each
@@ -94,18 +117,18 @@ def render(data: Dict) -> str:
     """The (FT, A, R) table, paper-style."""
     labels = [label for label, _ in TABLE1_FTMS]
     rows = [
-        ["Crash"] + [check("crash" in data[l]["fault_models"]) for l in labels],
+        ["Crash"] + [check("crash" in data[name]["fault_models"]) for name in labels],
         ["Transient value"]
-        + [check("transient_value" in data[l]["fault_models"]) for l in labels],
+        + [check("transient_value" in data[name]["fault_models"]) for name in labels],
         ["Permanent value"]
-        + [check("permanent_value" in data[l]["fault_models"]) for l in labels],
-        ["Deterministic"] + [check(data[l]["deterministic"]) for l in labels],
+        + [check("permanent_value" in data[name]["fault_models"]) for name in labels],
+        ["Deterministic"] + [check(data[name]["deterministic"]) for name in labels],
         ["Non-deterministic"]
-        + [check(data[l]["non_deterministic"]) for l in labels],
+        + [check(data[name]["non_deterministic"]) for name in labels],
         ["Requires state access"]
-        + [check(data[l]["requires_state_access"]) for l in labels],
-        ["Bandwidth"] + [data[l]["bandwidth"] for l in labels],
-        ["CPU"] + [data[l]["cpu"] for l in labels],
+        + [check(data[name]["requires_state_access"]) for name in labels],
+        ["Bandwidth"] + [data[name]["bandwidth"] for name in labels],
+        ["CPU"] + [data[name]["cpu"] for name in labels],
     ]
     return render_table(
         ["Characteristic"] + labels,

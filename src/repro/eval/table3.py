@@ -8,15 +8,20 @@ FTM1 → FTM2.  Paper values: deployment ≈ 3.75–3.85 s, transitions
 
 We re-run the same experiment on the simulated platform: ``runs`` seeded
 repetitions per cell (the paper used 100), averaging the per-replica
-transition time reported by the Adaptation Engine.
+transition time reported by the Adaptation Engine.  The experiment is
+declared as an :class:`~repro.exp.spec.ExperimentSpec` (see
+:func:`spec`), so the 36 deployments + 90 transitions of a full
+regeneration fan out over a process pool and land in the result store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.eval.format import render_table
+from repro.exp import ExperimentSpec, ResultStore, Trial, derive_seeds
+from repro.exp import run as run_experiment
 from repro.ftm import FTM_NAMES, deploy_ftm_pair, variable_feature_distance
 from repro.kernel import World
 
@@ -43,19 +48,16 @@ PAPER_TABLE3: Dict[Tuple[str, str], float] = {
 def measure_deployment(ftm: str, seed: int) -> float:
     """Virtual time to deploy one FTM pair from scratch (per replica)."""
     world = World(seed=seed)
-    world.add_nodes(["alpha", "beta"])
-
-    def do():
-        yield from deploy_ftm_pair(world, ftm, ["alpha", "beta"])
-
-    world.run_process(do(), name="deploy")
+    world.run_scenario(
+        lambda w: deploy_ftm_pair(w, ftm, ["alpha", "beta"]),
+        nodes=("alpha", "beta"), name="deploy",
+    )
     return world.now
 
 
 def measure_transition(source: str, target: str, seed: int) -> float:
     """Virtual per-replica time of one differential transition."""
     world = World(seed=seed)
-    world.add_nodes(["alpha", "beta"])
 
     def do():
         pair = yield from deploy_ftm_pair(world, source, ["alpha", "beta"])
@@ -63,40 +65,70 @@ def measure_transition(source: str, target: str, seed: int) -> float:
         report = yield from engine.transition(target)
         return report
 
-    report = world.run_process(do(), name="measure")
+    report = world.run_scenario(do(), nodes=("alpha", "beta"), name="measure")
     return report.per_replica_ms
 
 
-def generate(runs: int = 3, base_seed: int = 1000) -> Dict:
-    """The full Table 3 matrix, each cell averaged over ``runs`` seeds."""
-    import zlib
+def _trial(seed: int, params: Mapping) -> Dict:
+    """One Table 3 cell at one seed: a deployment or a transition."""
+    if params["kind"] == "deploy":
+        return {"ms": measure_deployment(params["ftm"], seed)}
+    return {"ms": measure_transition(params["source"], params["target"], seed)}
 
-    def cell_seed(label: str, run: int) -> int:
-        return base_seed + (zlib.crc32(label.encode()) + 37 * run) % 100_000
 
+def spec(runs: int = 3, base_seed: int = 1000,
+         ftms: Optional[Sequence[str]] = None) -> ExperimentSpec:
+    """The Table 3 experiment: one cell per matrix entry, ``runs`` seeds each.
+
+    ``ftms`` restricts the matrix to a subset (used by the determinism
+    tests); the default is the paper's full six-FTM catalog.
+    """
+    names = tuple(ftms) if ftms is not None else tuple(FTM_NAMES)
+    trials = []
+    for ftm in names:
+        key = f"deploy:{ftm}"
+        trials.append(Trial(
+            key=key, params={"kind": "deploy", "ftm": ftm},
+            seeds=derive_seeds(base_seed, key, runs),
+        ))
+    for source in names:
+        for target in names:
+            if source == target:
+                continue
+            key = f"{source}->{target}"
+            trials.append(Trial(
+                key=key,
+                params={"kind": "transition", "source": source, "target": target},
+                seeds=derive_seeds(base_seed, key, runs),
+            ))
+    return ExperimentSpec(name="table3", trial=_trial, trials=tuple(trials))
+
+
+def from_results(results: Dict, ftms: Optional[Sequence[str]] = None) -> Dict:
+    """Rebuild the Table 3 data dict from raw per-cell trial results."""
+    names = tuple(ftms) if ftms is not None else tuple(FTM_NAMES)
     deployment: Dict[str, float] = {}
-    for ftm in FTM_NAMES:
-        samples = [
-            measure_deployment(ftm, cell_seed(f"deploy:{ftm}", r))
-            for r in range(runs)
-        ]
+    for ftm in names:
+        samples = [r["ms"] for r in results[f"deploy:{ftm}"]]
         deployment[ftm] = sum(samples) / len(samples)
-
     transitions: Dict[Tuple[str, str], float] = {}
-    for source in FTM_NAMES:
-        for target in FTM_NAMES:
+    for source in names:
+        for target in names:
             if source == target:
                 transitions[(source, target)] = 0.0
                 continue
-            samples = [
-                measure_transition(
-                    source, target, cell_seed(f"{source}->{target}", r)
-                )
-                for r in range(runs)
-            ]
+            samples = [r["ms"] for r in results[f"{source}->{target}"]]
             transitions[(source, target)] = sum(samples) / len(samples)
-
+    runs = len(results[f"deploy:{names[0]}"])
     return {"deployment": deployment, "transitions": transitions, "runs": runs}
+
+
+def generate(runs: int = 3, base_seed: int = 1000, jobs: int = 1,
+             store: Optional[ResultStore] = None) -> Dict:
+    """The full Table 3 matrix, each cell averaged over ``runs`` seeds."""
+    result = run_experiment(spec(runs=runs, base_seed=base_seed),
+                            jobs=jobs, store=store)
+    return from_results(result.results)
 
 
 def shape_checks(data: Dict) -> List[str]:

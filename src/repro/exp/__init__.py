@@ -1,0 +1,69 @@
+"""Experiment runtime layer: declarative specs, parallel runner, store.
+
+The paper's evaluation is statistical — many seeded repetitions per
+cell — and the north-star workload is far larger.  This package turns
+every evaluation into data plus a pure function:
+
+* :class:`ExperimentSpec` / :class:`Trial` declare *what* to measure —
+  cells, parameter points and explicit per-run seeds
+  (:mod:`repro.exp.spec`);
+* :func:`run` executes a spec serially or over a process pool with an
+  order-independent merge, so ``jobs=N`` is byte-identical to ``jobs=1``
+  (:mod:`repro.exp.runner`);
+* :class:`ResultStore` persists results content-addressed by spec hash,
+  so re-running an identical experiment simulates nothing
+  (:mod:`repro.exp.store`).
+
+Typical use::
+
+    from repro import exp
+    from repro.eval import table3
+
+    result = exp.run(table3.spec(runs=20), jobs=4,
+                     store=exp.ResultStore())
+    data = table3.from_results(result.results)
+    print(table3.render(data))
+"""
+
+from repro.exp.errors import (
+    ExperimentError,
+    ResultTypeError,
+    SpecError,
+    StoreError,
+)
+from repro.exp.runner import (
+    ExperimentResult,
+    default_jobs,
+    reset_executed_counter,
+    run,
+)
+from repro.exp.spec import (
+    ExperimentSpec,
+    Trial,
+    TrialFn,
+    derive_seed,
+    derive_seeds,
+    fingerprint,
+    spec_hash,
+)
+from repro.exp.store import DEFAULT_ROOT, ResultStore
+
+__all__ = [
+    "DEFAULT_ROOT",
+    "ExperimentError",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultStore",
+    "ResultTypeError",
+    "SpecError",
+    "StoreError",
+    "Trial",
+    "TrialFn",
+    "default_jobs",
+    "derive_seed",
+    "derive_seeds",
+    "fingerprint",
+    "reset_executed_counter",
+    "run",
+    "spec_hash",
+]

@@ -1,0 +1,19 @@
+"""Errors raised by the experiment runtime layer."""
+
+from __future__ import annotations
+
+
+class ExperimentError(Exception):
+    """Base class for experiment-layer failures."""
+
+
+class SpecError(ExperimentError):
+    """An :class:`~repro.exp.spec.ExperimentSpec` is malformed."""
+
+
+class ResultTypeError(ExperimentError):
+    """A trial returned a value the result store cannot serialise."""
+
+
+class StoreError(ExperimentError):
+    """The result store directory or a stored entry is unusable."""

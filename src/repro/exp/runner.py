@@ -1,0 +1,167 @@
+"""Deterministic execution of experiment specs, serial or parallel.
+
+The runner turns an :class:`~repro.exp.spec.ExperimentSpec` into an
+:class:`ExperimentResult`.  Three properties hold whatever the execution
+strategy:
+
+* **determinism** — every (cell, seed) unit is a pure function of its
+  arguments, so ``run(spec, jobs=8)`` produces byte-identical results to
+  ``run(spec, jobs=1)``;
+* **order-independent merge** — parallel units complete in arbitrary
+  order; results are re-assembled by unit index, never by arrival;
+* **store transparency** — results are normalised through a JSON
+  round-trip before anyone sees them, so a fresh run and a cache hit
+  return exactly the same object shapes.
+
+Worker processes receive the trial function by import reference (plain
+pickling of a module-level ``def``), which works under both ``fork`` and
+``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exp.errors import ResultTypeError
+from repro.exp.spec import ExperimentSpec, spec_hash
+from repro.exp.store import ResultStore
+
+#: Process-wide count of trial executions (cache hits do not count).
+#: ``python -m repro reproduce --json`` reports it as ``total_executed``;
+#: the store tests assert it stays at zero on a warm cache.
+TRIALS_EXECUTED = 0
+
+
+def reset_executed_counter() -> None:
+    """Zero the process-wide :data:`TRIALS_EXECUTED` counter."""
+    global TRIALS_EXECUTED
+    TRIALS_EXECUTED = 0
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of running (or recalling) one experiment spec.
+
+    ``results`` maps each cell key to its per-run result list, in run
+    order.  ``executed`` counts the trials actually simulated — zero when
+    the result store served the whole spec.
+    """
+
+    spec_name: str
+    hash: str
+    results: Dict[str, List[Any]]
+    executed: int
+    cached: bool
+    jobs: int
+    elapsed_s: float
+
+    def cell(self, key: str) -> List[Any]:
+        """Per-run results of one cell, in run order."""
+        return self.results[key]
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-safe digest (for ``reproduce --json`` and logs)."""
+        return {
+            "spec": self.spec_name,
+            "hash": self.hash,
+            "cells": len(self.results),
+            "trials_executed": self.executed,
+            "cached": self.cached,
+            "jobs": self.jobs,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+
+def _execute_unit(task: Tuple[int, Any, int, Dict[str, Any]]) -> Tuple[int, Any]:
+    """Run one (cell, seed) unit in a worker; returns (index, result)."""
+    index, trial_fn, seed, params = task
+    return index, trial_fn(seed, params)
+
+
+def _normalise(value: Any, spec_name: str) -> Any:
+    """Force a result through a JSON round-trip (store equivalence)."""
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError) as exc:
+        raise ResultTypeError(
+            f"spec {spec_name!r}: trial result is not JSON-serialisable "
+            f"({exc}); trials must return plain dicts/lists/scalars"
+        ) from exc
+
+
+def default_jobs() -> int:
+    """The default worker count: ``os.cpu_count()`` (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def run(
+    spec: ExperimentSpec,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    fresh: bool = False,
+) -> ExperimentResult:
+    """Execute ``spec`` and return its merged, normalised results.
+
+    ``jobs`` selects the level of parallelism (default: one worker per
+    CPU).  With a ``store``, previously computed results are returned
+    without simulating anything, and new results are persisted; ``fresh``
+    forces recomputation (and overwrites the stored entry).
+    """
+    global TRIALS_EXECUTED
+    digest = spec_hash(spec)
+    worker_count = default_jobs() if jobs is None else max(1, int(jobs))
+
+    if store is not None and not fresh:
+        stored = store.load(spec)
+        if stored is not None:
+            return ExperimentResult(
+                spec_name=spec.name,
+                hash=digest,
+                results=stored,
+                executed=0,
+                cached=True,
+                jobs=worker_count,
+                elapsed_s=0.0,
+            )
+
+    units: List[Tuple[int, Any, int, Dict[str, Any]]] = []
+    for trial in spec.trials:
+        for seed in trial.seeds:
+            units.append((len(units), spec.trial, seed, dict(trial.params)))
+
+    started = time.perf_counter()
+    if worker_count <= 1 or len(units) <= 1:
+        raw: List[Any] = [trial_fn(seed, params) for _i, trial_fn, seed, params in units]
+    else:
+        ordered: List[Any] = [None] * len(units)
+        chunksize = max(1, len(units) // (worker_count * 8))
+        with multiprocessing.Pool(processes=worker_count) as pool:
+            for index, value in pool.imap_unordered(_execute_unit, units, chunksize):
+                ordered[index] = value
+        raw = ordered
+    elapsed = time.perf_counter() - started
+    raw = _normalise(raw, spec.name)
+
+    results: Dict[str, List[Any]] = {}
+    cursor = 0
+    for trial in spec.trials:
+        results[trial.key] = raw[cursor:cursor + trial.runs]
+        cursor += trial.runs
+
+    TRIALS_EXECUTED += len(units)
+    if store is not None:
+        store.save(spec, results, meta={"jobs": worker_count, "elapsed_s": elapsed})
+    return ExperimentResult(
+        spec_name=spec.name,
+        hash=digest,
+        results=results,
+        executed=len(units),
+        cached=False,
+        jobs=worker_count,
+        elapsed_s=elapsed,
+    )

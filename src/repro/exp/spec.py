@@ -1,0 +1,152 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` says *what* an experiment measures; the runner
+(:mod:`repro.exp.runner`) decides *how* to execute it — serially, over a
+process pool, or straight out of the result store.  The contract that
+makes all three execution strategies interchangeable:
+
+* a **trial function** is a pure function ``(seed, params) -> result``
+  over a fresh :class:`~repro.kernel.world.World` — no shared state, no
+  wall-clock, no ambient randomness;
+* the result must be JSON-serialisable (dicts, lists, strings, numbers,
+  booleans, ``None``), so a stored run is indistinguishable from a fresh
+  one;
+* the trial function must be a module-level ``def`` so worker processes
+  can import it by reference.
+
+A spec is a tree of :class:`Trial` cells, each carrying the explicit
+per-run seeds.  Seeds are data, not code: two specs with the same cells
+and seeds are the same experiment, which is what the content-addressed
+result store keys on (see :func:`spec_hash`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.exp.errors import SpecError
+
+#: A trial function: pure ``(seed, params) -> JSON-serialisable result``.
+TrialFn = Callable[[int, Mapping[str, Any]], Any]
+
+
+def derive_seed(base_seed: int, key: str, run: int) -> int:
+    """The seed of run ``run`` of cell ``key``, derived from ``base_seed``.
+
+    The derivation is a stable hash of the cell key plus an affine step in
+    the run index, so (a) every cell sees an independent seed sequence,
+    (b) adding a new cell never perturbs the seeds of existing ones, and
+    (c) the mapping is reproducible across processes and Python versions.
+    """
+    return base_seed + (zlib.crc32(key.encode("utf-8")) + 37 * run) % 100_000
+
+
+def derive_seeds(base_seed: int, key: str, runs: int) -> Tuple[int, ...]:
+    """The full seed tuple for ``runs`` repetitions of cell ``key``."""
+    return tuple(derive_seed(base_seed, key, run) for run in range(runs))
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One experiment cell: a parameter point measured over several seeds.
+
+    ``key`` identifies the cell inside its experiment (e.g. ``pbr->lfr``),
+    ``params`` is handed verbatim to the trial function, and ``seeds``
+    fixes one seed per repetition — the run count is ``len(seeds)``.
+    """
+
+    key: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seeds: Tuple[int, ...] = (0,)
+
+    @property
+    def runs(self) -> int:
+        """Number of seeded repetitions of this cell."""
+        return len(self.seeds)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, runnable experiment: cells plus the trial function.
+
+    ``version`` is a manual invalidation knob: bump it when the *meaning*
+    of the experiment changes in a way the automatic source fingerprint
+    cannot see (e.g. a calibration constant moved to another module).
+    """
+
+    name: str
+    trial: TrialFn
+    trials: Tuple[Trial, ...]
+    version: str = "1"
+
+    def __post_init__(self) -> None:
+        """Reject trial functions a worker process could not import."""
+        qualname = getattr(self.trial, "__qualname__", "")
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise SpecError(
+                f"spec {self.name!r}: trial must be a module-level function "
+                f"(got {qualname!r}) so worker processes can import it"
+            )
+        keys = [trial.key for trial in self.trials]
+        if len(set(keys)) != len(keys):
+            raise SpecError(f"spec {self.name!r}: duplicate trial keys")
+
+    @property
+    def unit_count(self) -> int:
+        """Total number of (cell, seed) executions the spec describes."""
+        return sum(trial.runs for trial in self.trials)
+
+    def cell(self, key: str) -> Trial:
+        """The trial cell with the given key."""
+        for trial in self.trials:
+            if trial.key == key:
+                return trial
+        raise SpecError(f"spec {self.name!r}: no cell {key!r}")
+
+
+def _trial_ref(fn: TrialFn) -> str:
+    """Importable reference of a trial function, ``module:qualname``."""
+    return f"{fn.__module__}:{getattr(fn, '__qualname__', fn.__name__)}"
+
+
+def _trial_source_digest(fn: TrialFn) -> str:
+    """SHA-256 of the trial function's source (best effort).
+
+    Editing the measurement code silently invalidates stored results; when
+    the source is unavailable (REPL, frozen app) the digest degrades to the
+    import reference alone.
+    """
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        return ""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def fingerprint(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The JSON-safe identity of a spec — everything the results depend on."""
+    return {
+        "name": spec.name,
+        "version": spec.version,
+        "trial": _trial_ref(spec.trial),
+        "trial_source_sha256": _trial_source_digest(spec.trial),
+        "trials": [
+            {
+                "key": trial.key,
+                "params": dict(trial.params),
+                "seeds": list(trial.seeds),
+            }
+            for trial in spec.trials
+        ],
+    }
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """Content address of a spec: SHA-256 over its canonical fingerprint."""
+    canonical = json.dumps(fingerprint(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,143 @@
+"""A persistent, content-addressed store for experiment results.
+
+Layout: one JSON file per (spec, seed-set, run-count) under a root
+directory (default ``.repro-results/`` in the working directory).  The
+file name carries the spec name plus a prefix of the spec hash; the full
+hash inside the payload guards against prefix collisions and manual
+renames.  Because the hash covers the cells, seeds, params, version and
+the trial function's source, any change to the experiment automatically
+misses the cache — stale results cannot be returned.
+
+Payload schema::
+
+    {
+      "hash":        "<full sha-256 spec hash>",
+      "fingerprint": { ... spec identity, human-inspectable ... },
+      "meta":        { "jobs": ..., "elapsed_s": ..., ... },
+      "results":     { "<cell key>": [ <per-run result>, ... ], ... }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exp import spec as spec_mod
+
+#: Default store location, relative to the current working directory.
+DEFAULT_ROOT = ".repro-results"
+
+
+class ResultStore:
+    """Load/save experiment results keyed by spec content hash."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else DEFAULT_ROOT)
+
+    def path_for(self, spec: "spec_mod.ExperimentSpec") -> Path:
+        """The file an entry for ``spec`` lives in (may not exist yet)."""
+        digest = spec_mod.spec_hash(spec)
+        return self.root / f"{spec.name}-{digest[:16]}.json"
+
+    def load(
+        self, spec: "spec_mod.ExperimentSpec"
+    ) -> Optional[Dict[str, List[Any]]]:
+        """Stored results for ``spec``, or ``None`` on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("hash") != spec_mod.spec_hash(spec):
+            return None
+        results = payload.get("results")
+        if not isinstance(results, dict):
+            return None
+        expected = [trial.key for trial in spec.trials]
+        if list(results) != expected:
+            return None
+        if any(len(results[t.key]) != t.runs for t in spec.trials):
+            return None
+        return results
+
+    def save(
+        self,
+        spec: "spec_mod.ExperimentSpec",
+        results: Dict[str, List[Any]],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist ``results`` for ``spec``; returns the entry path.
+
+        The write goes through a temporary file plus an atomic rename so a
+        crashed run can never leave a half-written entry behind.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "hash": spec_mod.spec_hash(spec),
+            "fingerprint": spec_mod.fingerprint(spec),
+            "meta": dict(meta or {}),
+            "results": results,
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, spec: "spec_mod.ExperimentSpec") -> bool:
+        """Drop the entry for ``spec``; True if one existed."""
+        path = self.path_for(spec)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """A digest of every stored entry (name, hash, cells, meta)."""
+        out: List[Dict[str, Any]] = []
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            fingerprint = payload.get("fingerprint", {})
+            out.append(
+                {
+                    "file": path.name,
+                    "spec": fingerprint.get("name"),
+                    "hash": payload.get("hash"),
+                    "cells": len(payload.get("results", {})),
+                    "meta": payload.get("meta", {}),
+                }
+            )
+        return out

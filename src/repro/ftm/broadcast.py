@@ -16,14 +16,13 @@ provides that substrate:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.app.registry import create_application
 from repro.ftm.messages import estimate_size
 from repro.kernel.errors import NodeDown
-from repro.kernel.sim import TIMEOUT, Timeout
+from repro.kernel.sim import TIMEOUT
 
 _SUBMIT_PORT = "ab-submit"
 _DELIVER_PORT = "ab-deliver"

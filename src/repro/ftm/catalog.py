@@ -22,7 +22,7 @@ Figure 9 measure.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Tuple, Type
 
 from repro.components.impl import ComponentImpl
 from repro.components.spec import (

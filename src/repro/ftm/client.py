@@ -9,11 +9,10 @@ the reply log, never recomputed).
 from __future__ import annotations
 
 import itertools
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.ftm.errors import FTMError
 from repro.ftm.messages import ClientReply, ClientRequest, estimate_size
-from repro.kernel.errors import NodeDown
 from repro.kernel.sim import TIMEOUT, Timeout
 
 

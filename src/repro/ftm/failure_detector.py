@@ -13,7 +13,7 @@ timeout, then invokes ``peer_failed`` on the protocol component.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.components.impl import ComponentImpl
 from repro.components.model import Multiplicity

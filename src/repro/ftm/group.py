@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional, Tuple
 
-from repro.components.impl import ComponentImpl
-from repro.components.model import Multiplicity
 from repro.components.spec import AssemblySpec, ComponentSpec
 from repro.ftm.catalog import _PROMOTIONS, _WIRES
 from repro.ftm.failure_detector import HeartbeatFailureDetector

@@ -9,7 +9,7 @@ client sessions all survive FTM changes.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.components.impl import ComponentImpl
 from repro.components.model import Multiplicity

@@ -15,7 +15,6 @@ from repro.components.composite import Composite
 from repro.components.errors import ComponentError
 from repro.components.runtime import ComponentRuntime, make_runtime
 from repro.components.spec import AssemblySpec
-from repro.kernel.errors import KernelError, NodeDown, ProcessKilled
 from repro.kernel.node import Node
 
 

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import inspect
-from typing import Any, Optional
+from typing import Any
 
 from repro.app.registry import get_assertion
 from repro.components.impl import ComponentImpl

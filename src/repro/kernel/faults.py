@@ -22,7 +22,7 @@ predicate on the output.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.kernel.sim import Simulator

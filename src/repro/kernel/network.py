@@ -15,7 +15,7 @@ the ``bandwidth drop`` adaptation trigger of Figure 8 is produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.kernel.costs import CostModel, DEFAULT_COSTS

@@ -9,7 +9,7 @@ volatile state is lost; only :mod:`repro.kernel.storage` survives).
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Generator, List, Optional
+from typing import Callable, Generator, List
 
 from repro.kernel.costs import CostModel, DEFAULT_COSTS
 from repro.kernel.errors import NodeDown

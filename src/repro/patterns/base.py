@@ -13,7 +13,7 @@ compositions of Figure 3 one-liners.
 from __future__ import annotations
 
 import abc
-from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Tuple
 
 from repro.patterns.messages import Reply, Request
 from repro.patterns.server import Server

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, ClassVar
 
 from repro.patterns.assertion import Assertion
-from repro.patterns.errors import AssertionFailedError, NoPeerError
+from repro.patterns.errors import NoPeerError
 from repro.patterns.lfr import LFR
 from repro.patterns.messages import PeerMessage, Request
 from repro.patterns.pbr import PBR

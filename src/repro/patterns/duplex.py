@@ -9,7 +9,7 @@ inter-replica synchronisation steps of the generic execution scheme.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, ClassVar, Dict, Optional
+from typing import Any, ClassVar, Optional
 
 from repro.patterns.base import FaultToleranceProtocol
 from repro.patterns.errors import NoPeerError, NotMasterError

@@ -18,12 +18,12 @@ simulated network.
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Dict, List, Optional
+from typing import Any, ClassVar, List, Optional
 
-from repro.patterns.duplex import DuplexProtocol, Role
+from repro.patterns.duplex import Role
 from repro.patterns.errors import NoPeerError
 from repro.patterns.lfr import LFR
-from repro.patterns.messages import PeerMessage, Reply, Request
+from repro.patterns.messages import PeerMessage
 from repro.patterns.pbr import PBR
 
 

@@ -10,7 +10,7 @@ execution logic.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, ClassVar, List, Optional, Sequence
+from typing import Any, Callable, ClassVar, List, Sequence
 
 from repro.patterns.base import FaultToleranceProtocol
 from repro.patterns.errors import PatternError, UnmaskedFaultError

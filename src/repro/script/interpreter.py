@@ -13,7 +13,7 @@ commit/rollback, which the Figure 9 benchmark decomposes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Set
+from typing import Callable, Generator, List, Mapping, Optional, Set
 
 from repro.components.composite import Composite
 from repro.components.errors import ComponentError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.components import LifecycleState, make_runtime
+from repro.components import LifecycleState
 from repro.components.introspect import (
     components_in_state,
     dependencies_of,

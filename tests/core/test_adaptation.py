@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.core import (
-    AdaptationEngine,
-    PackageRejected,
-    Repository,
-    TransitionFailed,
-    build_package,
-)
+from repro.core import AdaptationEngine, Repository, TransitionFailed, build_package
 from repro.ftm import FTM_NAMES, Client, deploy_ftm_pair, ftm_assembly
 from repro.ftm import variable_feature_distance
 from repro.kernel import Timeout, World

@@ -3,12 +3,8 @@
 import pytest
 
 from repro.core import (
-    ApplicationCharacteristics,
     FaultClass,
-    FaultToleranceRequirements,
     NoValidFTM,
-    ResourceState,
-    SystemContext,
     build_scenario_graph,
     evaluate_ftm,
     figure2_graph,

@@ -1,6 +1,5 @@
 """Tests for the networkx-based analysis of the scenario graph."""
 
-import pytest
 
 from repro.core.graph_analysis import (
     eccentricity_from,

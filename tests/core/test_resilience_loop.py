@@ -7,16 +7,14 @@ from repro.core import (
     MonitoringEngine,
     PreprogrammedAdaptation,
     ResilienceManager,
-    SystemContext,
     SystemManager,
-    Thresholds,
     replay_oscillation,
     verify_no_oscillation,
 )
 from repro.core.preprogrammed import preprogrammed_assembly
 from repro.core.transition_graph import _ctx
 from repro.ftm import Client, FTMPair, deploy_ftm_pair, ftm_assembly
-from repro.kernel import Timeout, World
+from repro.kernel import World
 
 
 def make_world(seed=50):

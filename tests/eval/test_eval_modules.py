@@ -1,6 +1,5 @@
 """Unit tests for the evaluation harness itself."""
 
-import pytest
 
 from repro.eval import figure2, figure4, figure5, figure8, table1, table2
 from repro.eval.format import check, render_table

@@ -1,0 +1,1 @@
+"""Tests for the experiment runtime layer (:mod:`repro.exp`)."""

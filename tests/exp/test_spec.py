@@ -1,0 +1,111 @@
+"""Unit tests for experiment specs: seed derivation, hashing, validation."""
+
+import zlib
+
+import pytest
+
+from repro import exp
+from repro.eval import table3
+from repro.exp.errors import SpecError
+
+
+def _echo(seed, params):
+    """Module-level trial used by spec tests."""
+    return {"seed": seed, **dict(params)}
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t",
+        trial=_echo,
+        trials=(exp.Trial("a", {"x": 1}, (1, 2)), exp.Trial("b", {"x": 2}, (3,))),
+    )
+    base.update(overrides)
+    return exp.ExperimentSpec(**base)
+
+
+# -- seed derivation -----------------------------------------------------------
+
+
+def test_derive_seed_matches_documented_formula():
+    assert exp.derive_seed(1000, "deploy:pbr", 2) == 1000 + (
+        zlib.crc32(b"deploy:pbr") + 37 * 2
+    ) % 100_000
+
+
+def test_derive_seeds_stable_and_distinct():
+    seeds = exp.derive_seeds(7, "cell", 5)
+    assert seeds == exp.derive_seeds(7, "cell", 5)
+    assert len(set(seeds)) == 5
+    assert seeds != exp.derive_seeds(7, "other-cell", 5)
+    assert seeds != exp.derive_seeds(8, "cell", 5)
+
+
+def test_derive_seeds_prefix_property():
+    # raising the run count extends the seed tuple without moving old seeds
+    assert exp.derive_seeds(7, "cell", 3) == exp.derive_seeds(7, "cell", 5)[:3]
+
+
+def test_table3_spec_preserves_legacy_cell_seeds():
+    # the port kept the historical per-cell derivation, so stored results
+    # and published tables stay comparable across versions
+    spec = table3.spec(runs=3, base_seed=1000)
+    cell = spec.cell("pbr->lfr")
+    legacy = tuple(
+        1000 + (zlib.crc32(b"pbr->lfr") + 37 * run) % 100_000 for run in range(3)
+    )
+    assert cell.seeds == legacy
+
+
+# -- hashing -------------------------------------------------------------------
+
+
+def test_spec_hash_is_stable():
+    assert exp.spec_hash(_spec()) == exp.spec_hash(_spec())
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"name": "other"},
+        {"version": "2"},
+        {"trials": (exp.Trial("a", {"x": 1}, (1, 2)), exp.Trial("b", {"x": 2}, (4,)))},
+        {"trials": (exp.Trial("a", {"x": 9}, (1, 2)), exp.Trial("b", {"x": 2}, (3,)))},
+        {"trials": (exp.Trial("a", {"x": 1}, (1, 2, 3)), exp.Trial("b", {"x": 2}, (3,)))},
+    ],
+    ids=["name", "version", "seed", "params", "runs"],
+)
+def test_spec_hash_sees_every_identity_field(mutation):
+    assert exp.spec_hash(_spec(**mutation)) != exp.spec_hash(_spec())
+
+
+def test_fingerprint_is_json_safe_and_names_the_trial():
+    import json
+
+    fp = exp.fingerprint(_spec())
+    json.dumps(fp)
+    assert fp["trial"].endswith(":_echo")
+    assert fp["trials"][0]["seeds"] == [1, 2]
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def test_spec_rejects_lambda_trials():
+    with pytest.raises(SpecError):
+        exp.ExperimentSpec(
+            name="bad", trial=lambda s, p: {}, trials=(exp.Trial("a"),)
+        )
+
+
+def test_spec_rejects_duplicate_cell_keys():
+    with pytest.raises(SpecError):
+        _spec(trials=(exp.Trial("a"), exp.Trial("a")))
+
+
+def test_spec_cell_lookup():
+    spec = _spec()
+    assert spec.cell("b").params == {"x": 2}
+    assert spec.unit_count == 3
+    with pytest.raises(SpecError):
+        spec.cell("missing")

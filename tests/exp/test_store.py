@@ -1,0 +1,106 @@
+"""Result-store tests: round-trip, cache hits, invalidation, corruption."""
+
+import json
+
+from repro import exp
+from repro.eval import figure9
+
+
+def echo_trial(seed, params):
+    """A trivial trial: echoes its inputs."""
+    return {"seed": seed, "tag": params.get("tag")}
+
+
+def _spec(**overrides):
+    base = dict(
+        name="echo",
+        trial=echo_trial,
+        trials=(
+            exp.Trial("a", {"tag": "x"}, (1, 2)),
+            exp.Trial("b", {"tag": "y"}, (3,)),
+        ),
+    )
+    base.update(overrides)
+    return exp.ExperimentSpec(**base)
+
+
+def test_store_round_trip_serves_identical_results(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = _spec()
+    first = exp.run(spec, jobs=1, store=store)
+    second = exp.run(spec, jobs=4, store=store)
+    assert not first.cached and first.executed == 3
+    assert second.cached and second.executed == 0
+    assert json.dumps(first.results) == json.dumps(second.results)
+
+
+def test_store_round_trip_on_a_real_simulation(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = figure9.spec(runs=2)
+    fresh = exp.run(spec, jobs=1, store=store)
+    cached = exp.run(spec, jobs=1, store=store)
+    assert cached.cached and cached.executed == 0
+    assert figure9.from_results(fresh.results) == figure9.from_results(
+        cached.results
+    )
+
+
+def test_spec_change_misses_the_cache(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    exp.run(_spec(), jobs=1, store=store)
+    for changed in (
+        _spec(version="2"),
+        _spec(trials=(exp.Trial("a", {"tag": "x"}, (9, 2)), exp.Trial("b", {"tag": "y"}, (3,)))),
+    ):
+        result = exp.run(changed, jobs=1, store=store)
+        assert not result.cached and result.executed == 3
+
+
+def test_invalidate_and_clear(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = _spec()
+    exp.run(spec, jobs=1, store=store)
+    assert store.path_for(spec).exists()
+    assert store.invalidate(spec)
+    assert not store.invalidate(spec)
+    exp.run(spec, jobs=1, store=store)
+    assert store.clear() == 1
+    assert store.entries() == []
+
+
+def test_fresh_forces_recomputation(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = _spec()
+    exp.run(spec, jobs=1, store=store)
+    forced = exp.run(spec, jobs=1, store=store, fresh=True)
+    assert not forced.cached and forced.executed == 3
+
+
+def test_corrupt_entry_is_recomputed_not_crashed(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = _spec()
+    exp.run(spec, jobs=1, store=store)
+    store.path_for(spec).write_text("{not json", encoding="utf-8")
+    result = exp.run(spec, jobs=1, store=store)
+    assert not result.cached and result.executed == 3
+    # and the entry was rewritten cleanly
+    assert exp.run(spec, jobs=1, store=store).cached
+
+
+def test_entry_with_wrong_shape_is_ignored(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = _spec()
+    path = exp.run(spec, jobs=1, store=store).results and store.path_for(spec)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    del payload["results"]["b"]
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert store.load(spec) is None
+
+
+def test_entries_digest(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    exp.run(_spec(), jobs=1, store=store)
+    (entry,) = store.entries()
+    assert entry["spec"] == "echo"
+    assert entry["cells"] == 2
+    assert entry["hash"] == exp.spec_hash(_spec())

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.ftm.broadcast import AtomicBroadcast, Delivery, ReplicatedStateMachine
-from repro.kernel import Timeout, World
+from repro.ftm.broadcast import AtomicBroadcast, ReplicatedStateMachine
+from repro.kernel import World
 
 MEMBERS = ["n1", "n2", "n3"]
 

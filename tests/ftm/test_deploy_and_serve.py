@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ftm import FTM_NAMES, Client, FTMPair, deploy_ftm_pair, ftm_assembly
+from repro.ftm import FTM_NAMES, Client, deploy_ftm_pair, ftm_assembly
 from repro.ftm import variable_feature_distance
 from repro.kernel import World
 

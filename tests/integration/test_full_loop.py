@@ -1,6 +1,5 @@
 """End-to-end integration tests combining every layer of the system."""
 
-import pytest
 
 from repro.app.workloads import bursty, constant
 from repro.core import (

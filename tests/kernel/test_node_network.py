@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel import (
-    TIMEOUT,
     Corrupted,
     FaultKind,
     NodeDown,

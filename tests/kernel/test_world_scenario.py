@@ -1,0 +1,41 @@
+"""Tests for :meth:`World.run_scenario` — the experiment setup helper."""
+
+from repro.kernel.sim import Timeout
+from repro.kernel.world import World
+
+
+def test_run_scenario_creates_nodes_then_drives_generator():
+    world = World(seed=1)
+
+    def scenario(w):
+        assert w.cluster.node("alpha") is not None
+        assert w.cluster.node("beta") is not None
+        yield Timeout(2.5)
+        return round(w.now, 9)
+
+    result = world.run_scenario(scenario, nodes=("alpha", "beta"))
+    assert result == 2.5
+
+
+def test_run_scenario_accepts_a_ready_generator():
+    world = World(seed=1)
+
+    def scenario():
+        yield Timeout(1.0)
+        return "done"
+
+    assert world.run_scenario(scenario()) == "done"
+    assert world.now == 1.0
+
+
+def test_run_scenario_is_equivalent_to_manual_boilerplate():
+    def measure(w):
+        yield Timeout(0.5)
+        return w.sim.random.random()
+
+    manual = World(seed=9)
+    manual.add_nodes(["alpha"])
+    expected = manual.run_process(measure(manual), name="scenario")
+
+    helper = World(seed=9)
+    assert helper.run_scenario(measure, nodes=("alpha",)) == expected

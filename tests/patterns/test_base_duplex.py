@@ -6,14 +6,11 @@ from repro.patterns import (
     LFR,
     PBR,
     CounterServer,
-    DuplexProtocol,
     FaultToleranceProtocol,
     LocalLink,
     NonDeterministicServer,
     NoPeerError,
     NotMasterError,
-    PatternError,
-    Reply,
     Request,
     Role,
 )

@@ -10,7 +10,6 @@ from repro.components import (
     LifecycleError,
     LifecycleState,
     PromotionSpec,
-    WireSpec,
     make_runtime,
 )
 from repro.kernel import Timeout, World

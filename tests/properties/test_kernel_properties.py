@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kernel import Channel, Simulator, Timeout, World, bit_flip
+from repro.kernel import Channel, Simulator, World, bit_flip
 from repro.kernel.rand import DeterministicRandom
 
 

@@ -3,7 +3,6 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.components.spec import AssemblySpec, ComponentSpec, WireSpec
 from repro.core.consistency import evaluate_ftm
 from repro.core.parameters import (
     ApplicationCharacteristics,

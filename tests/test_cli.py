@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -28,3 +30,50 @@ def test_cli_demo(capsys):
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def _reproduce_json(capsys, tmp_path, *extra):
+    argv = [
+        "reproduce", "--runs", "1", "--jobs", "1",
+        "--store", str(tmp_path), "--json", *extra,
+    ]
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_cli_reproduce_json_reports_run_config(capsys, tmp_path):
+    report = _reproduce_json(capsys, tmp_path)
+    assert report["runs"] == 1
+    assert report["jobs"] == 1
+    assert report["failures"] == []
+    assert report["total_executed"] > 0
+    titles = [a["title"] for a in report["artifacts"]]
+    assert any("Table 3" in t for t in titles)
+
+
+def test_cli_reproduce_second_run_hits_the_store(capsys, tmp_path):
+    first = _reproduce_json(capsys, tmp_path)
+    second = _reproduce_json(capsys, tmp_path)
+    # acceptance criterion: warm store means zero trials simulated
+    assert first["total_executed"] > 0
+    assert second["total_executed"] == 0
+    assert all(a["cached"] for a in second["artifacts"])
+    assert [a["hash"] for a in first["artifacts"]] == [
+        a["hash"] for a in second["artifacts"]
+    ]
+
+
+def test_cli_reproduce_fresh_ignores_the_store(capsys, tmp_path):
+    baseline = _reproduce_json(capsys, tmp_path)
+    forced = _reproduce_json(capsys, tmp_path, "--fresh")
+    assert forced["total_executed"] == baseline["total_executed"] > 0
+
+
+def test_cli_reproduce_seed_changes_results(capsys, tmp_path):
+    base = _reproduce_json(capsys, tmp_path)
+    shifted = _reproduce_json(capsys, tmp_path, "--seed", "1")
+    # a different base seed must re-simulate under different spec hashes
+    assert shifted["total_executed"] > 0
+    assert [a["hash"] for a in base["artifacts"]] != [
+        a["hash"] for a in shifted["artifacts"]
+    ]
