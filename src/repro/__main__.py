@@ -18,6 +18,12 @@ Commands
     ``--seed`` offsets every experiment's base seed; ``--fresh``
     recomputes and overwrites stored results; ``--no-store`` disables
     the store.
+``transition-matrix [--runs N] [--smoke] [--json] [...]``
+    The transition-survival matrix: every FTM transition under a fault
+    armed at each phase (fetch/deploy/script/remove) of each kind
+    (crash/corrupt/omission), under client load.  ``--smoke`` runs the
+    cheap CI subset.  Exits non-zero if any cell loses requests or
+    fails to converge.
 ``demo``
     A 20-second guided tour: deploy, crash, fail over, adapt on-line.
 """
@@ -79,6 +85,7 @@ def _cmd_reproduce(args) -> int:
         table1,
         table2,
         table3,
+        transition_matrix,
     )
 
     seed = args.seed
@@ -106,6 +113,9 @@ def _cmd_reproduce(args) -> int:
         ("Sec 5.3", consistency_eval,
          consistency_eval.spec(runs=max(2, args.runs), base_seed=4000 + seed),
          consistency_eval.shape_checks),
+        ("Transition matrix", transition_matrix,
+         transition_matrix.spec(runs=args.runs, base_seed=7000 + seed),
+         transition_matrix.shape_checks),
     ]
 
     failures = []
@@ -154,6 +164,40 @@ def _cmd_reproduce(args) -> int:
         return 1
     print("every table and figure reproduces the paper's shape", file=out)
     return 0
+
+
+def _cmd_transition_matrix(args) -> int:
+    import json
+
+    from repro import exp
+    from repro.eval import transition_matrix
+
+    jobs = exp.default_jobs() if args.jobs is None else max(1, args.jobs)
+    store = None if args.no_store else exp.ResultStore(args.store)
+    out = sys.stderr if args.json else sys.stdout
+
+    spec = transition_matrix.spec(
+        runs=args.runs, base_seed=7000 + args.seed, smoke=args.smoke
+    )
+    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh)
+    data = transition_matrix.from_results(result.results)
+    print(transition_matrix.render(data), file=out)
+    problems = transition_matrix.shape_checks(data)
+    status = "reproduces" if not problems else f"FAILS: {problems}"
+    print(f"  -> Transition matrix: {status} "
+          f"[{result.executed} trial(s), {result.elapsed_s:.2f}s]", file=out)
+    if args.json:
+        summary = result.summary()
+        summary["problems"] = problems
+        summary["grid"] = {
+            transition: {
+                fault: [o.status for o in outcomes]
+                for fault, outcomes in row.items()
+            }
+            for transition, row in data["cells"].items()
+        }
+        print(json.dumps(summary, indent=2))
+    return 1 if problems else 0
 
 
 def _cmd_demo(_args) -> int:
@@ -219,12 +263,33 @@ def main(argv=None) -> int:
                            help="disable the result store")
     reproduce.add_argument("--fresh", action="store_true",
                            help="recompute even when stored results exist")
+    matrix = sub.add_parser(
+        "transition-matrix",
+        help="transition-survival matrix (fault at phase x kind)",
+    )
+    matrix.add_argument("--runs", type=_positive_int, default=1,
+                        help="seeded repetitions per matrix cell")
+    matrix.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes (default: all CPUs)")
+    matrix.add_argument("--seed", type=int, default=0,
+                        help="offset added to the experiment base seed")
+    matrix.add_argument("--json", action="store_true",
+                        help="machine-readable summary on stdout")
+    matrix.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (default: .repro-results)")
+    matrix.add_argument("--no-store", action="store_true",
+                        help="disable the result store")
+    matrix.add_argument("--fresh", action="store_true",
+                        help="recompute even when stored results exist")
+    matrix.add_argument("--smoke", action="store_true",
+                        help="CI subset: baseline + one cell per fault kind")
     sub.add_parser("demo", help="guided tour")
     args = parser.parse_args(argv)
     handlers = {
         "info": _cmd_info,
         "tables": _cmd_tables,
         "reproduce": _cmd_reproduce,
+        "transition-matrix": _cmd_transition_matrix,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

@@ -18,6 +18,7 @@ from repro.core.consistency import (
     ValidityReport,
     evaluate_ftm,
     is_consistent,
+    next_best_ftm,
     rank_ftms,
     select_ftm,
     transition_necessity,
@@ -25,6 +26,7 @@ from repro.core.consistency import (
 from repro.core.errors import (
     AdaptationError,
     NoValidFTM,
+    PackageFetchFailed,
     PackageRejected,
     TransitionFailed,
 )
@@ -41,7 +43,7 @@ from repro.core.preprogrammed import (
     PreprogrammedAdaptation,
     preprogrammed_assembly,
 )
-from repro.core.repository import Repository, spec_architecture
+from repro.core.repository import PACKAGE_PORT, Repository, spec_architecture
 from repro.core.resilience import Proposal, ResilienceManager, SystemManager
 from repro.core.stability import (
     OscillationOutcome,
@@ -49,7 +51,14 @@ from repro.core.stability import (
     replay_oscillation,
     verify_no_oscillation,
 )
-from repro.core.transition import TransitionPackage, build_package
+from repro.core.transition import (
+    PackageChunk,
+    PackageChunkRequest,
+    TransitionPackage,
+    build_package,
+    package_blob,
+    package_checksum,
+)
 from repro.core.transition_graph import (
     EVENTS,
     FIGURE2_EDGES,
@@ -73,11 +82,13 @@ __all__ = [
     "ValidityReport",
     "evaluate_ftm",
     "is_consistent",
+    "next_best_ftm",
     "rank_ftms",
     "select_ftm",
     "transition_necessity",
     "AdaptationError",
     "NoValidFTM",
+    "PackageFetchFailed",
     "PackageRejected",
     "TransitionFailed",
     "MonitoringEngine",
@@ -93,6 +104,7 @@ __all__ = [
     "PhaseSchedule",
     "PreprogrammedAdaptation",
     "preprogrammed_assembly",
+    "PACKAGE_PORT",
     "Repository",
     "spec_architecture",
     "Proposal",
@@ -103,7 +115,11 @@ __all__ = [
     "replay_oscillation",
     "verify_no_oscillation",
     "TransitionPackage",
+    "PackageChunk",
+    "PackageChunkRequest",
     "build_package",
+    "package_blob",
+    "package_checksum",
     "EVENTS",
     "FIGURE2_EDGES",
     "FIGURE2_NODES",

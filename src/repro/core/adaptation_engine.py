@@ -20,19 +20,41 @@ back) **kills the local replica**, the surviving peer's failure detector
 promotes it to master-alone, and the target configuration is logged to
 stable storage on first success so a restarted replica rejoins in the
 configuration its peer reached.
+
+The transition path itself tolerates the fault model of Table 1:
+
+* when the repository is hosted on a node (``Repository.attach``), the
+  package travels over the lossy network in sized chunks with a
+  per-package checksum, per-chunk timeouts and capped exponential-backoff
+  retries — omission faults delay the fetch, corruptions are detected and
+  re-fetched, never installed;
+* when the target FTM cannot be installed anywhere (fetch exhausted,
+  script rollback on every replica, all replicas down) the engine
+  **degrades instead of raising**: the pair keeps serving on the source
+  FTM, the report carries ``degraded=True`` plus the next-best reachable
+  FTM from :func:`repro.core.consistency.rank_ftms`, and a quarantine
+  loop restarts any replica the fail-silent wrapper killed.
 """
 
 from __future__ import annotations
 
+import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
-from repro.core.errors import TransitionFailed
-from repro.core.repository import Repository
-from repro.core.transition import TransitionPackage
+from repro.core.errors import PackageFetchFailed, TransitionFailed
+from repro.core.repository import PACKAGE_PORT, Repository
+from repro.core.transition import (
+    PackageChunkRequest,
+    TransitionPackage,
+    package_checksum,
+)
 from repro.ftm.factory import FTMPair
 from repro.ftm.replica import Replica
-from repro.kernel.sim import all_of
+from repro.kernel.errors import NodeDown
+from repro.kernel.faults import bit_flip
+from repro.kernel.sim import TIMEOUT, Timeout, all_of
 from repro.script.ast import Remove, TransitionScript
 from repro.script.errors import RollbackFailed, ScriptException
 from repro.script.interpreter import ScriptInterpreter
@@ -45,9 +67,12 @@ class ReplicaTransitionReport:
     node: str
     success: bool = False
     killed: bool = False
+    crashed: bool = False
     deploy_ms: float = 0.0
     script_ms: float = 0.0
     remove_ms: float = 0.0
+    fetch_attempts: int = 0
+    corrupt_fetches: int = 0
     error: Optional[str] = None
 
     @property
@@ -72,10 +97,23 @@ class TransitionReport:
     target_ftm: str
     component_count: int
     replicas: List[ReplicaTransitionReport] = field(default_factory=list)
+    degraded: bool = False               #: fell back to the source FTM
+    fallback_ftm: Optional[str] = None   #: next-best reachable FTM (degraded mode)
 
     @property
     def success(self) -> bool:
         return any(r.success for r in self.replicas)
+
+    @property
+    def outcome(self) -> str:
+        """``success`` / ``degraded`` / ``failed`` / ``noop``."""
+        if self.success:
+            return "success"
+        if self.degraded:
+            return "degraded"
+        if not self.replicas:
+            return "noop"
+        return "failed"
 
     @property
     def per_replica_ms(self) -> float:
@@ -87,11 +125,24 @@ class TransitionReport:
 class AdaptationEngine:
     """Runs transitions on an :class:`FTMPair` using a :class:`Repository`."""
 
-    def __init__(self, world, pair: FTMPair, repository: Optional[Repository] = None):
+    def __init__(
+        self,
+        world,
+        pair: FTMPair,
+        repository: Optional[Repository] = None,
+        context=None,
+        quarantine_delay: float = 300.0,
+    ):
         self.world = world
         self.pair = pair
         self.repository = repository or Repository()
+        #: optional :class:`SystemContext` consulted for degraded fallback
+        self.context = context
+        self.quarantine_delay = quarantine_delay
         self.history: List[TransitionReport] = []
+        self.degraded_transitions = 0
+        self.quarantine_recoveries = 0
+        self._fetch_seq = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -99,12 +150,25 @@ class AdaptationEngine:
         self,
         target_ftm: str,
         inject_script_failure_on: Optional[str] = None,
+        fallback: bool = True,
+        context=None,
     ) -> Generator:
         """Execute source→target on both replicas in parallel (generator).
 
+        Returns a :class:`TransitionReport`.  When the transition fails on
+        every replica and ``fallback`` is true (the default), the engine
+        *degrades* instead of raising: the pair keeps serving on the
+        source FTM, killed replicas are quarantined and reintegrated, and
+        the report names the next-best reachable FTM for the current
+        ``context`` (falling back to the source FTM when no context is
+        known).  ``fallback=False`` restores the legacy raise-on-failure
+        contract.
+
         ``inject_script_failure_on`` names a node whose script is tampered
-        with — the fault-injection hook behind the Sec. 5.3 consistency
-        experiments.  Returns a :class:`TransitionReport`.
+        with — sugar for ``faults.arm_transition_fault("script",
+        "corrupt", node=...)``, the single injection API behind the
+        Sec. 5.3 consistency experiments and the transition-survival
+        matrix.
         """
         source_ftm = self.pair.ftm
         report = TransitionReport(
@@ -116,6 +180,28 @@ class AdaptationEngine:
             self.history.append(report)
             return report
 
+        if inject_script_failure_on is not None:
+            self.world.faults.arm_transition_fault(
+                "script", "corrupt", node=inject_script_failure_on
+            )
+
+        # Build every replica-side package up front (and exactly once): the
+        # component count must not be re-derived later from a replica that
+        # may be down by then.
+        packages: Dict[str, TransitionPackage] = {}
+        for replica in self.pair.replicas:
+            if replica.alive:
+                packages[replica.node.name] = self._package_for(
+                    replica, source_ftm, target_ftm
+                )
+        if packages:
+            report.component_count = next(iter(packages.values())).component_count
+        else:
+            # no replica alive: probe the repository for the manifest only
+            report.component_count = self._package_for(
+                self.pair.replicas[0], source_ftm, target_ftm
+            ).component_count
+
         processes = []
         for replica in self.pair.replicas:
             if not replica.alive:
@@ -125,24 +211,20 @@ class AdaptationEngine:
                     )
                 )
                 continue
-            tamper = inject_script_failure_on == replica.node.name
             processes.append(
                 self.world.sim.spawn(
-                    self._transition_replica(replica, source_ftm, target_ftm, tamper),
+                    self._transition_replica(
+                        replica, packages[replica.node.name], target_ftm
+                    ),
                     name=f"transition-{replica.node.name}",
                 )
             )
 
         replica_reports = yield from all_of(self.world.sim, processes)
         report.replicas.extend(r for r in replica_reports if r is not None)
-        if report.replicas:
-            counts = [
-                r.component_count
-                for r in [self._package_for(self.pair.replicas[0], source_ftm, target_ftm)]
-            ]
-            report.component_count = counts[0]
 
         if report.success:
+            self._reconcile_diverged(report)
             self.world.trace.record(
                 "adaptation",
                 "transition_complete",
@@ -159,9 +241,12 @@ class AdaptationEngine:
 
         self.history.append(report)
         if not report.success:
-            raise TransitionFailed(
-                f"{source_ftm} -> {target_ftm} failed on every replica"
-            )
+            if not fallback:
+                raise TransitionFailed(
+                    f"{source_ftm} -> {target_ftm} failed on every replica"
+                )
+            self._enter_degraded_mode(report, context or self.context)
+            self._quarantine_killed(report)
         return report
 
     def update_application(
@@ -255,6 +340,97 @@ class AdaptationEngine:
         )
         return report
 
+    # -- degraded mode and quarantine ---------------------------------------------------
+
+    def _enter_degraded_mode(self, report: TransitionReport, context) -> None:
+        """The transition failed everywhere: keep serving on the source FTM.
+
+        Nothing was committed (every replica either never touched its
+        architecture or transactionally rolled back), so the source
+        configuration is still the live one.  The report records the
+        next-best *valid and reachable* FTM for the current context as the
+        recommended fallback target.
+        """
+        from repro.core.consistency import next_best_ftm
+
+        report.degraded = True
+        fallback = report.source_ftm
+        if context is not None:
+            candidate = next_best_ftm(
+                context,
+                exclude=(report.target_ftm,),
+                reachable=self.repository.knows,
+            )
+            if candidate is not None:
+                fallback = candidate
+        report.fallback_ftm = fallback
+        self.degraded_transitions += 1
+        self.world.trace.record(
+            "adaptation",
+            "transition_degraded",
+            source=report.source_ftm,
+            target=report.target_ftm,
+            serving=report.source_ftm,
+            next_best=fallback,
+        )
+
+    def _reconcile_diverged(self, report: TransitionReport) -> None:
+        """Fail-silence replicas that missed a transition their peer made.
+
+        A replica whose fetch exhausted (benign, nothing mutated) while the
+        peer reached the target would leave the pair in a mixed
+        configuration; Sec. 5.3's rule applies: kill it, let recovery (or
+        the quarantine loop) reintegrate it in the logged target
+        configuration.
+        """
+        for replica_report in report.replicas:
+            if replica_report.success or replica_report.killed or replica_report.crashed:
+                continue
+            replica = self.pair.replica_on(replica_report.node)
+            if not replica.alive:
+                continue
+            replica_report.killed = True
+            self.world.trace.record(
+                "adaptation",
+                "replica_diverged_killed",
+                node=replica_report.node,
+                reason=replica_report.error or "transition incomplete",
+            )
+            replica.on_crash_cleanup()
+            replica.node.crash()
+
+    def _quarantine_killed(self, report: TransitionReport) -> None:
+        """Restart and reintegrate replicas the fail-silent wrapper killed.
+
+        Runs on the degraded path only: when the transition failed
+        everywhere, a script that killed both replicas would otherwise
+        strand the service forever.  (When a peer succeeded, the pair's
+        own recovery loop — when enabled — already covers reintegration.)
+        """
+        if self.pair.recovery_enabled:
+            return
+        for replica_report in report.replicas:
+            if not (replica_report.killed or replica_report.crashed):
+                continue
+            replica = self.pair.replica_on(replica_report.node)
+            if replica.node.is_up:
+                continue
+            self.world.sim.spawn(
+                self._requarantine(replica),
+                name=f"quarantine-{replica_report.node}",
+            )
+
+    def _requarantine(self, replica: Replica) -> Generator:
+        yield Timeout(self.quarantine_delay)
+        if replica.node.is_up or replica.alive:
+            return
+        self.world.trace.record(
+            "adaptation", "quarantine_restart", node=replica.node.name
+        )
+        replica.node.restart()
+        yield from self.pair._reintegrate(replica)
+        self.quarantine_recoveries += 1
+
     # -- per-replica execution ----------------------------------------------------------
 
     def _package_for(
@@ -264,20 +440,25 @@ class AdaptationEngine:
             r.node.name for r in self.pair.replicas if r is not replica
         )
         return self.repository.transition_package(
+            *self._package_key(replica, source_ftm, target_ftm, peer)
+        )
+
+    def _package_key(self, replica: Replica, source_ftm: str, target_ftm: str,
+                     peer: str) -> tuple:
+        """The positional repository key (also the networked wire key)."""
+        return (
             source_ftm,
             target_ftm,
-            role=replica.role() if replica.role() not in ("?", "gone") else "master",
-            peer=peer,
-            app=self.pair.app,
-            assertion=self.pair.assertion,
-            composite=self.pair.composite_name,
+            replica.role() if replica.role() not in ("?", "gone") else "master",
+            peer,
+            self.pair.app,
+            self.pair.assertion,
+            self.pair.composite_name,
         )
 
     def _transition_replica(
-        self, replica: Replica, source_ftm: str, target_ftm: str, tamper: bool
+        self, replica: Replica, package: TransitionPackage, target_ftm: str
     ) -> Generator:
-        package = self._package_for(replica, source_ftm, target_ftm)
-
         def on_success() -> None:
             # Sec. 5.3: "upon successful completion of the reconfiguration
             # of ONE replica, the current configuration is logged on stable
@@ -287,18 +468,188 @@ class AdaptationEngine:
                 self.pair.ftm = target_ftm
                 self.pair._log_configuration(target_ftm)
 
-        report = yield from self._run_package(
-            replica, package, tamper, on_success=on_success
-        )
+        report = yield from self._run_package(replica, package, on_success=on_success)
         if report.success:
             replica.deployed_ftm = target_ftm
         return report
+
+    # -- fault hooks at phase boundaries ----------------------------------------------
+
+    def _enter_phase(self, phase: str, node, crash: bool = True):
+        """Apply armed crash/omission faults as the phase starts.
+
+        Returns a restore callback to invoke at phase end when an omission
+        window opened, else ``None``.  An armed crash fail-stops the node
+        here; the next charged computation (or network send) raises
+        :class:`NodeDown`, which the transition wrapper turns into a
+        per-replica failure.  The script phase passes ``crash=False``: its
+        crashes land at a statement boundary inside the interpreter
+        (rollback first, then the fail-silent kill).
+
+        The omission window targets the *transition path*: with a hosted
+        repository the loss lands on the node↔repository link (package
+        traffic — the FTM's own replication traffic keeps its configured
+        loss, which its fault model covers); without one it falls back to
+        a global loss window.
+        """
+        faults = self.world.faults
+        if crash and faults.take_transition_fault(
+            phase, node.name, kind="crash"
+        ) is not None:
+            node.crash()
+            return None
+        omission = faults.take_transition_fault(phase, node.name, kind="omission")
+        if omission is None:
+            return None
+        network = self.world.network
+        if self._networked():
+            link = network.link(node.name, self.repository.host)
+            previous = link.loss
+            network.set_link_loss(
+                node.name, self.repository.host,
+                max(previous, omission.probability),
+            )
+            return lambda: network.set_link_loss(
+                node.name, self.repository.host, previous
+            )
+        previous = network.loss_probability
+        network.set_loss_probability(max(previous, omission.probability))
+        return lambda: network.set_loss_probability(previous)
+
+    @staticmethod
+    def _leave_phase(restore) -> None:
+        if restore is not None:
+            restore()
+
+    # -- networked package fetch --------------------------------------------------------
+
+    def _networked(self) -> bool:
+        host = self.repository.host
+        return host is not None and host in self.world.cluster.nodes
+
+    def _fetch_package(
+        self, replica: Replica, package: TransitionPackage,
+        report: ReplicaTransitionReport,
+    ) -> Generator:
+        """Bring the package payload to the replica's node.
+
+        Unhosted repository: the legacy flat local cost.  Hosted: the blob
+        crosses the network in chunks with per-chunk timeout/retransmit,
+        capped exponential backoff (deterministic jitter from a named
+        substream) and an end-to-end checksum; a corrupted payload is
+        re-fetched, never installed.  Raises :class:`PackageFetchFailed`
+        when the retry budget is exhausted.
+        """
+        node = replica.node
+        costs = self.world.costs
+        if not self._networked():
+            yield from node.compute(costs.package_fetch)
+            report.fetch_attempts = 1
+            return
+
+        network = self.world.network
+        faults = self.world.faults
+        rand = self.world.sim.random.substream(f"fetch.{node.name}")
+        peer = next(
+            r.node.name for r in self.pair.replicas if r is not replica
+        )
+        key = self._package_key(replica, package.source_ftm, package.target_ftm, peer)
+        expected_checksum = package_checksum(package)
+        blob_size = max(1, package.size)
+        total_chunks = max(1, math.ceil(blob_size / costs.package_chunk_bytes))
+        self._fetch_seq += 1
+        port = f"package-{node.name}-{self._fetch_seq}"
+        mailbox = network.bind(node.name, port)
+
+        try:
+            for integrity_attempt in range(costs.fetch_integrity_attempts):
+                data = bytearray()
+                for index in range(total_chunks):
+                    chunk = yield from self._fetch_chunk(
+                        node, key, index, port, mailbox, rand, report
+                    )
+                    payload = faults.filter_value(node.name, chunk.data)
+                    if faults.take_transition_fault(
+                        "fetch", node.name, kind="corrupt"
+                    ) is not None:
+                        payload = bit_flip(payload, rand.randint(0, 30))
+                    data.extend(payload)
+                if (len(data) == blob_size
+                        and zlib.crc32(bytes(data)) == expected_checksum):
+                    self.world.trace.record(
+                        "adaptation",
+                        "package_fetched",
+                        node=node.name,
+                        package=package.name,
+                        chunks=total_chunks,
+                        attempts=report.fetch_attempts,
+                    )
+                    yield from node.compute(costs.package_checksum)
+                    return
+                report.corrupt_fetches += 1
+                self.world.trace.record(
+                    "adaptation",
+                    "fetch_corrupt_detected",
+                    node=node.name,
+                    package=package.name,
+                    attempt=integrity_attempt + 1,
+                )
+            raise PackageFetchFailed(
+                f"{package.name}: checksum still failing after "
+                f"{costs.fetch_integrity_attempts} fetches"
+            )
+        finally:
+            network.unbind(node.name, port)
+
+    def _fetch_chunk(
+        self, node, key: tuple, index: int, port: str, mailbox, rand, report
+    ) -> Generator:
+        """One chunk with timeout/retransmit and capped backoff."""
+        costs = self.world.costs
+        network = self.world.network
+        backoff = costs.fetch_retry_base
+        request = PackageChunkRequest(
+            package_key=key, chunk=index, reply_to=node.name, reply_port=port
+        )
+        for attempt in range(costs.fetch_chunk_attempts):
+            report.fetch_attempts += 1
+            network.send(node.name, self.repository.host, PACKAGE_PORT,
+                         request, size=96)
+            deadline = self.world.now + costs.fetch_timeout
+            while True:
+                remaining = max(0.0, deadline - self.world.now)
+                incoming = yield mailbox.get(timeout=remaining)
+                if incoming is TIMEOUT:
+                    break
+                chunk = incoming.payload
+                if chunk.error is not None:
+                    raise PackageFetchFailed(
+                        f"repository rejected the fetch: {chunk.error}"
+                    )
+                if chunk.chunk == index:
+                    return chunk
+                # stale reply from an earlier retransmission: keep waiting
+            delay = rand.jitter(backoff, 0.25)
+            backoff = min(backoff * 2.0, costs.fetch_retry_cap)
+            self.world.trace.record(
+                "adaptation",
+                "fetch_retry",
+                node=node.name,
+                chunk=index,
+                attempt=attempt + 1,
+                backoff_ms=round(delay, 3),
+            )
+            yield Timeout(delay)
+        raise PackageFetchFailed(
+            f"chunk {index} unanswered after {costs.fetch_chunk_attempts} attempts"
+        )
+
+    # -- the three instrumented phases --------------------------------------------------
 
     def _run_package(
         self,
         replica: Replica,
         package: TransitionPackage,
-        tamper: bool = False,
         pre_script=None,
         post_script=None,
         on_success=None,
@@ -306,19 +657,40 @@ class AdaptationEngine:
         """The three instrumented phases of one replica-side reconfiguration."""
         node = replica.node
         costs = self.world.costs
+        faults = self.world.faults
         report = ReplicaTransitionReport(node=node.name)
         script = package.script
-        if tamper:
-            script = _tampered(script)
 
         try:
             # -- phase 1: deploy the transition package --------------------------
             phase_start = self.world.now
-            yield from node.compute(costs.package_fetch)
-            yield from node.compute(
-                costs.package_unpack_base
-                + costs.package_unpack_component * package.component_count
-            )
+            while True:
+                restore = self._enter_phase("fetch", node)
+                try:
+                    yield from self._fetch_package(replica, package, report)
+                finally:
+                    self._leave_phase(restore)
+                restore = self._enter_phase("deploy", node)
+                try:
+                    yield from node.compute(
+                        costs.package_unpack_base
+                        + costs.package_unpack_component * package.component_count
+                    )
+                    if faults.take_transition_fault(
+                        "deploy", node.name, kind="corrupt"
+                    ) is None:
+                        break
+                    # the unpacked payload fails its checksum: discard and
+                    # re-fetch — a corrupted package is never installed
+                    report.corrupt_fetches += 1
+                    self.world.trace.record(
+                        "adaptation",
+                        "unpack_corrupt_detected",
+                        node=node.name,
+                        package=package.name,
+                    )
+                finally:
+                    self._leave_phase(restore)
             report.deploy_ms = self.world.now - phase_start
             self.world.trace.record(
                 "adaptation",
@@ -330,25 +702,51 @@ class AdaptationEngine:
 
             # -- phase 2: execute the reconfiguration script ----------------------
             phase_start = self.world.now
+            if faults.take_transition_fault(
+                "script", node.name, kind="corrupt"
+            ) is not None:
+                script = _tampered(script)
             composite = replica.composite
-            yield from composite.drain()  # Sec. 5.3 request consistency
+            if composite is None:
+                raise NodeDown(node.name, "transition")
+            restore = self._enter_phase("script", node, crash=False)
             try:
-                if pre_script is not None:
-                    yield from pre_script(replica)
-                interpreter = ScriptInterpreter(replica.runtime)
-                yield from interpreter.execute(script, package.spec_index())
-                if post_script is not None:
-                    yield from post_script(replica)
+                yield from composite.drain()  # Sec. 5.3 request consistency
+                try:
+                    if pre_script is not None:
+                        yield from pre_script(replica)
+                    interpreter = ScriptInterpreter(replica.runtime)
+                    yield from interpreter.execute(script, package.spec_index())
+                    if post_script is not None:
+                        yield from post_script(replica)
+                finally:
+                    composite.open_gate()
             finally:
-                composite.open_gate()
+                self._leave_phase(restore)
             report.script_ms = self.world.now - phase_start
 
             # -- phase 3: remove the residual package ------------------------------
             phase_start = self.world.now
-            yield from node.compute(
-                costs.package_remove_base
-                + costs.package_remove_component * package.component_count
-            )
+            restore = self._enter_phase("remove", node)
+            try:
+                yield from node.compute(
+                    costs.package_remove_base
+                    + costs.package_remove_component * package.component_count
+                )
+                if faults.take_transition_fault(
+                    "remove", node.name, kind="corrupt"
+                ) is not None:
+                    # residual cleanup is best-effort: the transition already
+                    # committed, leftover staging files cost disk, not safety
+                    report.error = "residual cleanup failed (leftovers kept)"
+                    self.world.trace.record(
+                        "adaptation",
+                        "residual_cleanup_failed",
+                        node=node.name,
+                        package=package.name,
+                    )
+            finally:
+                self._leave_phase(restore)
             report.remove_ms = self.world.now - phase_start
 
             report.success = True
@@ -376,6 +774,34 @@ class AdaptationEngine:
             )
             replica.on_crash_cleanup()
             node.crash()
+            return report
+
+        except PackageFetchFailed as failure:
+            # The package never arrived; nothing was mutated — the replica
+            # keeps serving in its source configuration.
+            report.error = str(failure)
+            self.world.trace.record(
+                "adaptation",
+                "fetch_exhausted",
+                node=node.name,
+                package=package.name,
+                attempts=report.fetch_attempts,
+            )
+            return report
+
+        except NodeDown as failure:
+            # A crash fault landed mid-transition (fail-stop): volatile
+            # state is gone; recovery/quarantine will reintegrate the node
+            # in whatever configuration ends up logged.
+            report.error = str(failure)
+            report.crashed = True
+            self.world.trace.record(
+                "adaptation",
+                "replica_crashed_mid_transition",
+                node=node.name,
+                package=package.name,
+            )
+            replica.on_crash_cleanup()
             return report
 
 

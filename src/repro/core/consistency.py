@@ -10,7 +10,7 @@ paper's **mandatory** transitions from its **possible** ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import NoValidFTM
 from repro.core.parameters import SystemContext
@@ -117,6 +117,30 @@ def select_ftm(
             + "; ".join(f"{r.ftm}: {', '.join(r.reasons)}" for r in ranked)
         )
     return best
+
+
+def next_best_ftm(
+    context: SystemContext,
+    exclude: Sequence[str] = (),
+    candidates: Sequence[str] = FTM_NAMES,
+    reachable: Optional[Callable[[str], bool]] = None,
+) -> Optional[str]:
+    """The best *valid* FTM outside ``exclude`` that is actually reachable.
+
+    The degraded-mode fallback of the Adaptation Engine: when the target
+    FTM cannot be installed (fetch exhausted, script rollback, all
+    replicas down), this names the next-best candidate to try instead of
+    giving up — ``reachable`` lets the caller restrict the ranking to
+    FTMs its repository can build.  Returns ``None`` when nothing valid
+    remains.
+    """
+    for report in rank_ftms(context, candidates):
+        if not report.valid or report.ftm in exclude:
+            continue
+        if reachable is not None and not reachable(report.ftm):
+            continue
+        return report.ftm
+    return None
 
 
 def is_consistent(ftm: str, context: SystemContext) -> bool:

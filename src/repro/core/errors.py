@@ -18,6 +18,16 @@ class TransitionFailed(AdaptationError):
     """A distributed transition could not complete on any replica."""
 
 
+class PackageFetchFailed(AdaptationError):
+    """The networked package fetch exhausted its retry budget.
+
+    Raised *inside* one replica's transition process; the Adaptation
+    Engine converts it into a per-replica failure (the replica keeps
+    serving in its source configuration — the fetch happens before the
+    composite gate closes, so nothing was mutated).
+    """
+
+
 class PackageRejected(AdaptationError):
     """Off-line validation rejected a transition package."""
 

@@ -10,17 +10,35 @@ reaches the Adaptation Engine.
 The repository also implements the agility story of Sec. 6.2: an FTM
 *unknown at design time* can be registered during operation
 (:meth:`register_ftm`) and becomes a transition target like any other.
+
+A repository may additionally be *hosted* on a network node
+(:meth:`attach`): the package then travels from the cold side to the hot
+side over the lossy simulated network in sized chunks, which is what the
+resilient transition path of the Adaptation Engine (retry/backoff,
+checksum guard, degraded fallback) exercises.  An unattached repository
+behaves as before — the fetch is a flat local cost.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import math
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.components.spec import AssemblySpec
 from repro.core.errors import PackageRejected
-from repro.core.transition import TransitionPackage, build_package
+from repro.core.transition import (
+    PackageChunk,
+    PackageChunkRequest,
+    TransitionPackage,
+    build_package,
+    package_blob,
+    package_checksum,
+)
 from repro.ftm.catalog import ftm_assembly
 from repro.script.validate import validate_script
+
+#: The well-known port the hosted repository serves chunk requests on.
+PACKAGE_PORT = "package"
 
 
 def spec_architecture(spec: AssemblySpec) -> Dict:
@@ -50,6 +68,70 @@ class Repository:
         self._cache: Dict[Tuple, TransitionPackage] = {}
         self.packages_built = 0
         self.packages_rejected = 0
+        self.host: Optional[str] = None
+        self.chunks_served = 0
+        self._world = None
+
+    # -- network hosting: the cold side becomes a real node ------------------------
+
+    def attach(self, world, node_name: str = "repository"):
+        """Host this repository on a node of ``world`` and serve packages.
+
+        Once attached, the Adaptation Engine fetches transition packages
+        over ``world.network`` in :attr:`CostModel.package_chunk_bytes`
+        chunks instead of charging a flat local cost — subject to the
+        network's omission faults and the fault injector's corruptions.
+        The server is pinned to the node (a repository crash stops it;
+        a restart resumes serving).  Returns the host node.
+        """
+        if self.host is not None:
+            raise ValueError(f"repository already hosted on {self.host!r}")
+        node = world.cluster.nodes.get(node_name)
+        if node is None:
+            node = world.add_node(node_name)
+        self.host = node_name
+        self._world = world
+        self._spawn_server(node)
+        node.on_restart(self._spawn_server)
+        return node
+
+    def _spawn_server(self, node) -> None:
+        mailbox = self._world.network.bind(node.name, PACKAGE_PORT)
+        node.spawn(self._serve(node, mailbox), name="repo-server")
+
+    def _serve(self, node, mailbox) -> Generator:
+        """The chunk server loop (one process on the repository host)."""
+        network = self._world.network
+        costs = self._world.costs
+        chunk_bytes = costs.package_chunk_bytes
+        while True:
+            message = yield mailbox.get()
+            request: PackageChunkRequest = message.payload
+            yield from node.compute(costs.package_serve_chunk)
+            try:
+                package = self.transition_package(*request.package_key)
+            except Exception as exc:  # noqa: BLE001 - reported to the fetcher
+                reply = PackageChunk(
+                    name="?", chunk=request.chunk, total_chunks=0,
+                    data=b"", checksum=0, error=str(exc),
+                )
+                network.send(node.name, request.reply_to, request.reply_port,
+                             reply, size=96)
+                continue
+            blob = package_blob(package)
+            total = max(1, math.ceil(len(blob) / chunk_bytes))
+            start = request.chunk * chunk_bytes
+            data = blob[start:start + chunk_bytes]
+            reply = PackageChunk(
+                name=package.name,
+                chunk=request.chunk,
+                total_chunks=total,
+                data=data,
+                checksum=package_checksum(package),
+            )
+            self.chunks_served += 1
+            network.send(node.name, request.reply_to, request.reply_port,
+                         reply, size=len(data) + 64)
 
     # -- agility: FTMs developed during operational life -------------------------
 

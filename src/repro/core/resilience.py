@@ -159,9 +159,11 @@ class ResilienceManager:
 
         if not current.valid or current.degraded:
             decision["kind"] = "mandatory"
-            yield from self.engine.transition(target)
-            decision["executed"] = True
-            self.monitoring.reset_window()
+            report = yield from self.engine.transition(target, context=self.context)
+            decision["executed"] = report.success
+            decision["outcome"] = report.outcome
+            if report.success:
+                self.monitoring.reset_window()
         else:
             decision["kind"] = "possible"
             proposal = Proposal(
@@ -171,9 +173,11 @@ class ResilienceManager:
                 trigger=trigger,
             )
             if self.system_manager.submit(proposal):
-                yield from self.engine.transition(target)
-                decision["executed"] = True
-                self.monitoring.reset_window()
+                report = yield from self.engine.transition(target, context=self.context)
+                decision["executed"] = report.success
+                decision["outcome"] = report.outcome
+                if report.success:
+                    self.monitoring.reset_window()
 
         self.world.trace.record(
             "resilience",
@@ -194,6 +198,8 @@ class ResilienceManager:
         if proposal is None or not proposal.approved:
             return None
         if proposal.target_ftm != self.engine.pair.ftm:
-            report = yield from self.engine.transition(proposal.target_ftm)
+            report = yield from self.engine.transition(
+                proposal.target_ftm, context=self.context
+            )
             return report
         return None

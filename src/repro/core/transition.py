@@ -4,12 +4,21 @@ A transition package (paper Fig. 7) is what travels from the *cold*
 (off-line) side to the *hot* (on-line) side: "the new bricks that must be
 integrated into the existing software architecture ... and a script that
 operates the transition".
+
+When the repository is hosted on a network node (see
+:meth:`repro.core.repository.Repository.attach`), the travel is literal:
+the package payload (:func:`package_blob`) crosses the lossy simulated
+network in sized chunks (:class:`PackageChunkRequest` /
+:class:`PackageChunk`), guarded end-to-end by a per-package checksum
+(:func:`package_checksum`).
 """
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.components.spec import AssemblyDiff, AssemblySpec, ComponentSpec
 from repro.script.ast import TransitionScript
@@ -44,6 +53,72 @@ class TransitionPackage:
     @property
     def is_empty(self) -> bool:
         return len(self.script) == 0
+
+
+# ---------------------------------------------------------------------------
+# Networked delivery: payload, checksum and the chunk wire format
+# ---------------------------------------------------------------------------
+
+_blob_cache: Dict[Tuple[str, int], bytes] = {}
+
+
+def package_blob(package: TransitionPackage) -> bytes:
+    """The package's byte payload, deterministic in its identity and size.
+
+    The simulation does not ship real class files, but the *bytes on the
+    wire* must exist so omission and value faults have something to hit:
+    the blob is pseudo-random content derived from the package name, so
+    two builds of the same package produce identical payloads (and hence
+    identical checksums) while different packages do not collide.
+    """
+    key = (package.name, package.size)
+    blob = _blob_cache.get(key)
+    if blob is None:
+        seed = zlib.crc32(
+            ":".join([package.name] + sorted(s.name for s in package.components)
+                     ).encode("utf-8")
+        )
+        blob = random.Random(seed).randbytes(max(1, package.size))
+        _blob_cache[key] = blob
+    return blob
+
+
+def package_checksum(package: TransitionPackage) -> int:
+    """The end-to-end integrity checksum shipped in the package manifest."""
+    return zlib.crc32(package_blob(package))
+
+
+@dataclass(frozen=True)
+class PackageChunkRequest:
+    """One chunk request from the hot side to the repository host."""
+
+    package_key: Tuple  #: the repository cache key identifying the package
+    chunk: int          #: zero-based chunk index
+    reply_to: str       #: requesting node
+    reply_port: str     #: mailbox for the :class:`PackageChunk` reply
+
+
+@dataclass(frozen=True)
+class PackageChunk:
+    """One chunk of package payload travelling cold → hot."""
+
+    name: str
+    chunk: int
+    total_chunks: int
+    data: bytes
+    checksum: int             #: crc32 of the whole package blob
+    error: Optional[str] = None
+
+    def corrupted(self, data: Any) -> "PackageChunk":
+        """A copy with tampered payload (fault-injection helper)."""
+        return PackageChunk(
+            name=self.name,
+            chunk=self.chunk,
+            total_chunks=self.total_chunks,
+            data=data,
+            checksum=self.checksum,
+            error=self.error,
+        )
 
 
 def build_package(

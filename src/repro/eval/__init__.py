@@ -24,6 +24,7 @@ module             paper artifact
 ``figure9``        Figure 9 — transition-phase breakdown
 ``agility``        Sec. 6.2 — agile vs preprogrammed
 ``consistency_eval``  Sec. 5.3 — distributed consistency claims
+``transition_matrix``  transition-survival matrix (fault × phase)
 =================  =============================================
 """
 
@@ -39,9 +40,11 @@ from repro.eval import (
     table1,
     table2,
     table3,
+    transition_matrix,
 )
 from repro.eval.format import render_table
 from repro.eval.sloc import class_sloc, count_sloc, module_sloc
+from repro.eval.stats import format_interval, wilson_interval
 
 __all__ = [
     "agility",
@@ -55,8 +58,11 @@ __all__ = [
     "table1",
     "table2",
     "table3",
+    "transition_matrix",
     "render_table",
     "class_sloc",
     "count_sloc",
     "module_sloc",
+    "format_interval",
+    "wilson_interval",
 ]

@@ -20,6 +20,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.app.workloads import constant
 from repro.core.adaptation_engine import AdaptationEngine
 from repro.eval.format import render_table
+from repro.eval.stats import format_interval, wilson_interval
 from repro.exp import ExperimentSpec, ResultStore, Trial
 from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
@@ -138,15 +139,26 @@ def spec(missions: int = 10, base_seed: int = 5000,
 def from_results(results: Dict) -> Dict:
     """Rebuild the campaign aggregate dict from raw mission outcomes."""
     outcomes = [MissionOutcome(**raw) for raw in results["campaign"]]
+    missions = len(outcomes)
+    clean = sum(1 for o in outcomes if o.clean)
+    exactly_once = sum(1 for o in outcomes if o.exactly_once)
+    injected = sum(o.injected_faults for o in outcomes)
+    masked = sum(o.masked_faults for o in outcomes)
     return {
-        "missions": len(outcomes),
+        "missions": missions,
         "outcomes": outcomes,
-        "clean_missions": sum(1 for o in outcomes if o.clean),
+        "clean_missions": clean,
+        "exactly_once_missions": exactly_once,
         "total_crashes": sum(o.crashes for o in outcomes),
-        "total_injected": sum(o.injected_faults for o in outcomes),
-        "total_masked": sum(o.masked_faults for o in outcomes),
+        "total_injected": injected,
+        "total_masked": masked,
         "total_promotions": sum(o.promotions for o in outcomes),
         "total_reintegrations": sum(o.reintegrations for o in outcomes),
+        # point estimates + Wilson 95% CIs (JSON-safe lists)
+        "masking_rate": masked / injected if injected else None,
+        "masking_ci95": list(wilson_interval(min(masked, injected), injected)),
+        "exactly_once_rate": exactly_once / missions if missions else None,
+        "exactly_once_ci95": list(wilson_interval(exactly_once, missions)),
     }
 
 
@@ -203,5 +215,13 @@ def render(data: Dict) -> str:
         f"{data['total_masked']}/{data['total_injected']}, "
         f"promotions {data['total_promotions']}, "
         f"reintegrations {data['total_reintegrations']}"
+        f"\nmasking rate {_rate(data['masking_rate'])} "
+        f"CI95 {format_interval(*data['masking_ci95'])}; "
+        f"exactly-once rate {_rate(data['exactly_once_rate'])} "
+        f"CI95 {format_interval(*data['exactly_once_ci95'])}"
     )
     return table + summary
+
+
+def _rate(value) -> str:
+    return "n/a" if value is None else f"{value:.3f}"

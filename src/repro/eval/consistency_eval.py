@@ -9,6 +9,13 @@ in the new configuration.
 
 This harness turns each claim into a counted experiment over ``runs``
 seeded repetitions.
+
+Fault injection goes through the first-class transition-fault hooks:
+``inject_script_failure_on`` is sugar for
+``FaultInjector.arm_transition_fault("script", "corrupt", node=...)`` —
+the same API the transition-survival matrix
+(:mod:`repro.eval.transition_matrix`) drives across every phase × kind
+combination.
 """
 
 from __future__ import annotations

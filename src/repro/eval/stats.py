@@ -1,0 +1,53 @@
+"""Small statistics helpers for campaign summaries.
+
+The fault-injection campaigns report *rates* (masking rate, exactly-once
+rate) estimated from a finite number of missions; a point estimate alone
+overstates certainty, especially near 0 or 1 where the paper's claims
+live ("all faults masked").  The Wilson score interval behaves well in
+exactly that regime — it never leaves [0, 1] and stays informative when
+every trial succeeded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """The Wilson score confidence interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds for the underlying success probability
+    at the confidence level implied by ``z`` (1.96 ≈ 95%).  With zero
+    trials the interval is the uninformative ``(0.0, 1.0)``.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p + z2 / (2.0 * trials)) / denominator
+    margin = (
+        z * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    low = max(0.0, centre - margin)
+    high = min(1.0, centre + margin)
+    # the degenerate endpoints are exact, not a rounding casualty:
+    # all-successes admits p=1, zero-successes admits p=0
+    if successes == trials:
+        high = 1.0
+    if successes == 0:
+        low = 0.0
+    return (low, high)
+
+
+def format_interval(low: float, high: float, digits: int = 3) -> str:
+    """Render an interval as ``[0.987, 1.000]`` for tables."""
+    return f"[{low:.{digits}f}, {high:.{digits}f}]"

@@ -43,6 +43,14 @@ class _SyncAfterBase(ComponentImpl):
 
     Keeping the same services/references across variants means transitions
     only swap implementations: the wiring topology of Figure 6 is stable.
+    That uniformity also keeps every variant able to *interpret* the
+    other's agreement traffic.  A checkpoint (or notify) can still be in
+    flight — or buffered behind the closed gate — while a transition
+    swaps the syncAfter implementation; its request was already acked to
+    the client, so dropping it would lose an acknowledged update the
+    moment the primary fails.  ``on_peer`` therefore dispatches on the
+    envelope kind, not on the installed variant, and merely traces when
+    the message belongs to the previous configuration's protocol.
     """
 
     SERVICES = {"sync": ("after", "on_peer")}
@@ -52,9 +60,64 @@ class _SyncAfterBase(ComponentImpl):
         "exec": Multiplicity.ONE,
     }
 
+    #: the envelope kind this variant's own agreement step produces
+    NATIVE_KIND = ""
+
+    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
+        """Apply agreement traffic, including a prior FTM's late messages."""
+        if envelope.kind == "checkpoint":
+            handler = self._apply_checkpoint
+        elif envelope.kind == "notify":
+            handler = self._commit_notify
+        else:
+            raise ValueError(
+                f"syncAfter cannot handle peer message {envelope.kind!r}"
+            )
+        if envelope.kind != self.NATIVE_KIND:
+            self.ctx.trace.record(
+                "ftm",
+                "late_peer_agreement",
+                node=self.ctx.node.name,
+                kind=envelope.kind,
+                request_id=envelope.request_id,
+            )
+        yield from handler(envelope, info)
+
+    def _apply_checkpoint(self, envelope: PeerEnvelope, info: dict):
+        """Backup side of PBR: apply the checkpoint and log the reply."""
+        yield from self.ref("server").invoke("restore", envelope.body["state"])
+        reply = ClientReply(
+            request_id=envelope.request_id,
+            value=envelope.body["result"],
+            served_by=info["node"],
+        )
+        yield from self.ref("log").invoke(
+            "record", envelope.client, envelope.request_id, reply
+        )
+        self.ctx.trace.record(
+            "ftm",
+            "checkpoint_applied",
+            node=self.ctx.node.name,
+            request_id=envelope.request_id,
+        )
+
+    def _commit_notify(self, envelope: PeerEnvelope, info: dict):
+        """Follower side of LFR: commit the stashed result on notify."""
+        log = self.ref("log")
+        stashed = yield from log.invoke("stashed", envelope.client, envelope.request_id)
+        if not stashed:
+            return  # notify raced ahead of (or lost) the forward
+        value = yield from log.invoke("unstash", envelope.client, envelope.request_id)
+        reply = ClientReply(
+            request_id=envelope.request_id, value=value, served_by=info["node"]
+        )
+        yield from log.invoke("record", envelope.client, envelope.request_id, reply)
+
 
 class PbrSyncAfter(_SyncAfterBase):
     """Passive agreement: checkpoint to backup / process checkpoint."""
+
+    NATIVE_KIND = "checkpoint"
 
     def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
         """Primary side: checkpoint state + reply to the backup."""
@@ -80,31 +143,11 @@ class PbrSyncAfter(_SyncAfterBase):
             )
         return result
 
-    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
-        """Backup side: apply the checkpoint and log the reply."""
-        if envelope.kind != "checkpoint":
-            raise ValueError(
-                f"PBR syncAfter cannot handle peer message {envelope.kind!r}"
-            )
-        yield from self.ref("server").invoke("restore", envelope.body["state"])
-        reply = ClientReply(
-            request_id=envelope.request_id,
-            value=envelope.body["result"],
-            served_by=info["node"],
-        )
-        yield from self.ref("log").invoke(
-            "record", envelope.client, envelope.request_id, reply
-        )
-        self.ctx.trace.record(
-            "ftm",
-            "checkpoint_applied",
-            node=self.ctx.node.name,
-            request_id=envelope.request_id,
-        )
-
 
 class LfrSyncAfter(_SyncAfterBase):
     """Active agreement: notify follower / commit the stashed result."""
+
+    NATIVE_KIND = "notify"
 
     def after(self, request: ClientRequest, result: Any, info: dict) -> Any:
         """Leader side: notify the follower that the request is done."""
@@ -116,22 +159,6 @@ class LfrSyncAfter(_SyncAfterBase):
             )
             self.ctx.send(info["peer"], "peer", envelope, size=96)
         return result
-
-    def on_peer(self, envelope: PeerEnvelope, info: dict) -> Any:
-        """Follower side: commit the stashed result on notify."""
-        if envelope.kind != "notify":
-            raise ValueError(
-                f"LFR syncAfter cannot handle peer message {envelope.kind!r}"
-            )
-        log = self.ref("log")
-        stashed = yield from log.invoke("stashed", envelope.client, envelope.request_id)
-        if not stashed:
-            return None  # notify raced ahead of (or lost) the forward
-        value = yield from log.invoke("unstash", envelope.client, envelope.request_id)
-        reply = ClientReply(
-            request_id=envelope.request_id, value=value, served_by=info["node"]
-        )
-        yield from log.invoke("record", envelope.client, envelope.request_id, reply)
 
 
 class _AssertingMixin:

@@ -24,7 +24,14 @@ from repro.kernel.errors import (
     SimulationError,
     StorageError,
 )
-from repro.kernel.faults import Corrupted, FaultInjector, FaultKind, bit_flip
+from repro.kernel.faults import (
+    TRANSITION_FAULT_KINDS,
+    TRANSITION_PHASES,
+    Corrupted,
+    FaultInjector,
+    FaultKind,
+    bit_flip,
+)
 from repro.kernel.network import Link, Message, Network
 from repro.kernel.node import Cluster, Node, NodeState
 from repro.kernel.rand import DeterministicRandom
@@ -51,6 +58,8 @@ __all__ = [
     "ProcessKilled",
     "SimulationError",
     "StorageError",
+    "TRANSITION_FAULT_KINDS",
+    "TRANSITION_PHASES",
     "Corrupted",
     "FaultInjector",
     "FaultKind",

@@ -52,6 +52,24 @@ class CostModel:
     package_remove_base: float = 150.0   #: residual cleanup, fixed part
     package_remove_component: float = 11.0  #: residual cleanup per component
 
+    # -- networked package delivery (resilient transition path) -----------------
+    #: Chunk granularity for fetching a package over the network (bytes).
+    package_chunk_bytes: int = 4096
+    #: Repository-side cost of serving one chunk request.
+    package_serve_chunk: float = 2.0
+    #: Verifying the per-package checksum after reassembly.
+    package_checksum: float = 8.0
+    #: How long the fetcher waits for one chunk before retransmitting.
+    fetch_timeout: float = 120.0
+    #: First retry delay of the capped exponential backoff.
+    fetch_retry_base: float = 40.0
+    #: Ceiling of the exponential backoff.
+    fetch_retry_cap: float = 640.0
+    #: Retransmissions allowed per chunk before the fetch gives up.
+    fetch_chunk_attempts: int = 5
+    #: Whole-package re-fetches allowed after a checksum mismatch.
+    fetch_integrity_attempts: int = 3
+
     # -- network ---------------------------------------------------------------
     link_latency: float = 0.45           #: one-way propagation delay
     link_bandwidth: float = 12_500.0     #: bytes per millisecond (~100 Mbit/s)
@@ -94,6 +112,8 @@ class CostModel:
                 "script_commit",
                 "script_rollback",
                 "package_fetch",
+                "package_serve_chunk",
+                "package_checksum",
                 "package_unpack_base",
                 "package_unpack_component",
                 "package_remove_base",

@@ -113,6 +113,44 @@ class Corrupted:
         return f"<Corrupted {self.original!r}>"
 
 
+#: The four phases of the resilient transition path that accept faults.
+TRANSITION_PHASES = ("fetch", "deploy", "script", "remove")
+#: The fault kinds a transition phase can be hit with.
+TRANSITION_FAULT_KINDS = ("crash", "corrupt", "omission")
+
+
+@dataclass
+class _TransitionFault:
+    """One armed phase-scoped fault on the transition path.
+
+    ``node=None`` matches any node; ``at_statement`` (script phase only)
+    pins a crash to one statement boundary; ``probability`` is the
+    omission rate applied while the faulted phase runs.
+    """
+
+    phase: str
+    kind: str
+    node: Optional[str]
+    at_statement: Optional[int] = None
+    probability: float = 1.0
+    budget: int = 1
+    fired: int = 0
+
+    def matches(self, phase: str, node: str, kind: Optional[str],
+                statement: Optional[int]) -> bool:
+        if self.fired >= self.budget:
+            return False
+        if self.phase != phase:
+            return False
+        if self.node is not None and self.node != node:
+            return False
+        if kind is not None and self.kind != kind:
+            return False
+        if self.at_statement is not None and statement != self.at_statement:
+            return False
+        return True
+
+
 class FaultInjector:
     """Central fault-injection authority for one simulation."""
 
@@ -120,8 +158,10 @@ class FaultInjector:
         self.sim = sim
         self.trace = trace
         self._campaigns: List[_ValueCampaign] = []
+        self._transition_faults: List[_TransitionFault] = []
         self._rand = sim.random.substream("faults")
         self.injected_counts: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+        self.transition_faults_injected: Dict[str, int] = {}
 
     # -- crash faults -------------------------------------------------------------
 
@@ -219,3 +259,104 @@ class FaultInjector:
         """Inject omission faults: network-wide message loss."""
         network.set_loss_probability(probability)
         self.trace.record("fault", "omission_rate", probability=probability)
+
+    def set_link_omission_rate(
+        self, network, source: str, destination: str, probability: float
+    ) -> None:
+        """Inject omission faults on one link only (e.g. the repository link)."""
+        network.set_link_loss(source, destination, probability)
+        self.trace.record(
+            "fault", "link_omission_rate",
+            source=source, destination=destination, probability=probability,
+        )
+
+    # -- phase-scoped transition faults ----------------------------------------------
+
+    def arm_transition_fault(
+        self,
+        phase: str,
+        kind: str,
+        node: Optional[str] = None,
+        at_statement: Optional[int] = None,
+        probability: float = 1.0,
+        budget: int = 1,
+    ) -> None:
+        """Arm a fault against one phase of the transition path.
+
+        ``phase`` is one of :data:`TRANSITION_PHASES`, ``kind`` one of
+        :data:`TRANSITION_FAULT_KINDS`.  The Adaptation Engine, the package
+        fetcher and the script interpreter consult these hooks at their
+        phase boundaries — this is the single injection API behind the
+        Sec. 5.3 consistency experiments and the transition-survival
+        matrix.  Semantics by kind:
+
+        * ``crash`` — fail-stop the transitioning node when the phase
+          starts (script phase: at the ``at_statement`` boundary, after
+          the transactional rollback — the fail-silent wrapper);
+        * ``corrupt`` — bit-flip the in-flight chunk payloads (fetch),
+          corrupt the unpacked payload so the checksum rejects it
+          (deploy), tamper the script so it must roll back (script), or
+          fail the residual cleanup (remove);
+        * ``omission`` — message loss at ``probability`` while the phase
+          runs.
+        """
+        if phase not in TRANSITION_PHASES:
+            raise ValueError(f"unknown transition phase {phase!r}")
+        if kind not in TRANSITION_FAULT_KINDS:
+            raise ValueError(f"unknown transition fault kind {kind!r}")
+        self._transition_faults.append(
+            _TransitionFault(
+                phase=phase,
+                kind=kind,
+                node=node,
+                at_statement=at_statement,
+                probability=probability,
+                budget=budget,
+            )
+        )
+        self.trace.record(
+            "fault", "arm_transition_fault", phase=phase, kind=kind, node=node
+        )
+
+    def take_transition_fault(
+        self,
+        phase: str,
+        node: str,
+        kind: Optional[str] = None,
+        statement: Optional[int] = None,
+    ) -> Optional[_TransitionFault]:
+        """Consume one armed transition fault matching the query, if any.
+
+        Returns the fault (its ``kind``/``probability`` drive the caller's
+        behaviour) and spends one unit of its budget; ``None`` when nothing
+        matching is armed.
+        """
+        for fault in self._transition_faults:
+            if fault.matches(phase, node, kind, statement):
+                fault.fired += 1
+                key = f"{fault.phase}/{fault.kind}"
+                self.transition_faults_injected[key] = (
+                    self.transition_faults_injected.get(key, 0) + 1
+                )
+                self.trace.record(
+                    "fault",
+                    "transition_fault_injected",
+                    phase=fault.phase,
+                    kind=fault.kind,
+                    node=node,
+                )
+                return fault
+        return None
+
+    def has_transition_fault(self, phase: str, node: str,
+                             kind: Optional[str] = None) -> bool:
+        """Is a matching transition fault still armed (budget left)?"""
+        return any(
+            f.matches(phase, node, kind, statement=f.at_statement)
+            for f in self._transition_faults
+        )
+
+    def disarm_transition_faults(self) -> None:
+        """Cancel every armed transition fault."""
+        self._transition_faults = []
+        self.trace.record("fault", "disarm_transition_faults")

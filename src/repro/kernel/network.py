@@ -49,6 +49,7 @@ class Link:
 
     latency: float
     bandwidth: float  # bytes per millisecond
+    loss: float = 0.0  # per-message omission probability on this link
 
     def transfer_time(self, size: int) -> float:
         """Latency plus serialisation delay for ``size`` bytes."""
@@ -154,6 +155,29 @@ class Network:
         """Drop each message independently with this probability."""
         self._loss_probability = probability
 
+    @property
+    def loss_probability(self) -> float:
+        """The current network-wide omission probability."""
+        return self._loss_probability
+
+    def set_link_loss(
+        self, source: str, destination: str, probability: float,
+        symmetric: bool = True,
+    ) -> None:
+        """Inject omission faults on one link only (e.g. the repository link)."""
+        pairs = [(source, destination)]
+        if symmetric:
+            pairs.append((destination, source))
+        for pair in pairs:
+            self.link(*pair).loss = probability
+        self.trace.record(
+            "network",
+            "link_loss",
+            source=source,
+            destination=destination,
+            probability=probability,
+        )
+
     def add_delivery_filter(
         self, filter_fn: Callable[[Message], Optional[Message]]
     ) -> None:
@@ -225,10 +249,10 @@ class Network:
             if self.partitioned(source, destination):
                 self._drop(message, "partition")
                 return
-            if self._rand.chance(self._loss_probability):
+            link = self.link(source, destination)
+            if self._rand.chance(max(self._loss_probability, link.loss)):
                 self._drop(message, "loss")
                 return
-            link = self.link(source, destination)
             delay = self._rand.jitter(
                 link.transfer_time(size), self.costs.jitter_fraction
             )

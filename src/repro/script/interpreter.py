@@ -64,8 +64,19 @@ class ScriptInterpreter:
 
         undo_stack: List[Callable[[], Generator]] = []
         touched: Set[str] = set()
+        faults = getattr(self.runtime.context, "faults", None)
         try:
             for index, statement in enumerate(script.statements):
+                if faults is not None and faults.take_transition_fault(
+                    "script", self.runtime.node.name, kind="crash", statement=index
+                ) is not None:
+                    # A crash caught at a statement boundary: the local
+                    # transaction aborts and rolls back (undo stack fully
+                    # unwound, gate reopened by the caller) before the
+                    # fail-silent wrapper takes the replica down.
+                    raise _Abort(
+                        index, ComponentError(f"crash at statement {index}")
+                    )
                 yield from self.runtime.node.compute(costs.script_step)
                 try:
                     yield from self._apply(statement, package, undo_stack, touched)

@@ -249,13 +249,12 @@ def test_script_failure_kills_replica_and_survivor_continues():
     assert pair.logged_configuration()["ftm"] == "lfr"
 
 
-def test_script_failure_on_both_replicas_fails_transition():
+def test_script_failure_on_both_replicas_degrades_transition():
     world = make_world()
     pair = deploy(world, "pbr")
     engine = AdaptationEngine(world, pair)
 
-    # tamper with both by monkey-wrenching the package cache: simplest is
-    # injecting on one and crashing the other first
+    # fail everywhere: inject on one replica and crash the other first
     world.cluster.node("alpha").crash()
 
     def scenario():
@@ -263,6 +262,27 @@ def test_script_failure_on_both_replicas_fails_transition():
             "lfr", inject_script_failure_on="beta"
         )
         return report
+
+    report = world.run_process(scenario(), name="scenario")
+    assert report.success is False
+    assert report.degraded is True
+    assert report.outcome == "degraded"
+    # no context given: the fallback is the source FTM the pair keeps serving
+    assert report.fallback_ftm == "pbr"
+    assert pair.ftm == "pbr"  # configuration unchanged
+    assert engine.degraded_transitions == 1
+
+
+def test_script_failure_on_both_replicas_raises_without_fallback():
+    world = make_world()
+    pair = deploy(world, "pbr")
+    engine = AdaptationEngine(world, pair)
+    world.cluster.node("alpha").crash()
+
+    def scenario():
+        yield from engine.transition(
+            "lfr", inject_script_failure_on="beta", fallback=False
+        )
 
     with pytest.raises(TransitionFailed):
         world.run_process(scenario(), name="scenario")

@@ -49,14 +49,34 @@ def test_repository_rejects_malformed_custom_ftm():
     assert repository.packages_rejected == 1
 
 
-def test_transition_fails_when_both_replicas_dead():
+def test_transition_degrades_when_both_replicas_dead():
     world, pair = make_pair()
     engine = AdaptationEngine(world, pair)
     world.cluster.node("alpha").crash()
     world.cluster.node("beta").crash()
 
     def do():
-        yield from engine.transition("lfr")
+        report = yield from engine.transition("lfr")
+        return report
+
+    report = world.run_process(do(), name="doomed")
+    # regression: with every replica dead the report must NOT claim success
+    assert report.success is False
+    assert report.degraded is True
+    # the component count is still computed (from the repository manifest,
+    # not from a dead replica)
+    assert report.component_count > 0
+    assert pair.ftm == "pbr"
+
+
+def test_transition_raises_when_both_replicas_dead_without_fallback():
+    world, pair = make_pair()
+    engine = AdaptationEngine(world, pair)
+    world.cluster.node("alpha").crash()
+    world.cluster.node("beta").crash()
+
+    def do():
+        yield from engine.transition("lfr", fallback=False)
 
     with pytest.raises(TransitionFailed):
         world.run_process(do(), name="doomed")

@@ -1,0 +1,63 @@
+"""Wilson score intervals: known values and edge cases."""
+
+import math
+
+import pytest
+
+from repro.eval import format_interval, wilson_interval
+
+
+def test_known_value_half():
+    # 50/100 at 95%: the textbook Wilson interval is about (0.404, 0.596)
+    low, high = wilson_interval(50, 100)
+    assert math.isclose(low, 0.40383, abs_tol=1e-4)
+    assert math.isclose(high, 0.59617, abs_tol=1e-4)
+
+
+def test_all_successes_stays_informative():
+    # the paper's regime: every trial succeeded.  A normal-approximation
+    # interval collapses to [1, 1]; Wilson keeps a real lower bound.
+    low, high = wilson_interval(100, 100)
+    assert high == 1.0
+    assert 0.95 < low < 1.0
+
+
+def test_zero_successes_mirror():
+    low, high = wilson_interval(0, 100)
+    mirror_low, mirror_high = wilson_interval(100, 100)
+    assert low == 0.0
+    assert math.isclose(high, 1.0 - mirror_low, abs_tol=1e-12)
+    assert mirror_high == 1.0
+
+
+def test_interval_always_inside_unit_and_contains_estimate():
+    for trials in (1, 2, 7, 50, 1000):
+        for successes in range(0, trials + 1, max(1, trials // 5)):
+            low, high = wilson_interval(successes, trials)
+            assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+
+def test_more_trials_tighten_the_interval():
+    widths = []
+    for trials in (10, 100, 1000):
+        low, high = wilson_interval(trials, trials)
+        widths.append(high - low)
+    assert widths[0] > widths[1] > widths[2]
+
+
+def test_zero_trials_is_uninformative():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ValueError):
+        wilson_interval(5, 3)
+    with pytest.raises(ValueError):
+        wilson_interval(-1, 3)
+    with pytest.raises(ValueError):
+        wilson_interval(0, -1)
+
+
+def test_format_interval():
+    assert format_interval(0.98654, 1.0) == "[0.987, 1.000]"
+    assert format_interval(0.0, 0.5, digits=2) == "[0.00, 0.50]"
