@@ -1,15 +1,25 @@
-"""Benchmark: the experiment runner — parallel fan-out vs serial.
+"""Benchmark: the experiment runner — parallel fan-out and batched dispatch.
 
-Times a reduced Table 3 spec (the heaviest artifact) executed serially
-and over a process pool sized to the machine, asserts the two result
-sets are byte-identical (the runner's core determinism guarantee), and
-prints the measured speedup.  On a single-core container the pool can
-only break even; on the multi-core runners the evaluation targets, the
-720-trial full regeneration is embarrassingly parallel.
+Two cases:
+
+* a reduced Table 3 spec (the heaviest artifact) executed serially and
+  over a process pool sized to the machine, asserting the two result
+  sets are byte-identical (the runner's core determinism guarantee) and
+  printing the measured speedup;
+* a campaign-shaped fleet of tiny trials (>= 2000 units) dispatched
+  unbatched (one unit per worker task) vs batched (the default
+  grouping), reporting units/sec for jobs in {1, N} — the number that
+  shows what per-task dispatch overhead costs when trials are cheap.
+
+On a single-core container the pool can only break even; on the
+multi-core runners the evaluation targets, the full regeneration is
+embarrassingly parallel and batching keeps tiny-trial campaigns from
+drowning in fork/pickle overhead.
 """
 
 import json
 import os
+import time
 
 from conftest import run_once
 
@@ -17,6 +27,30 @@ from repro import exp
 from repro.eval import table3
 
 RUNS = 6
+TINY_UNITS = 2048
+
+
+def tiny_trial(seed, params):
+    """A deliberately cheap trial: dispatch overhead dominates."""
+    return {"seed": seed, "value": (seed * 2654435761) % 1000003}
+
+
+def _tiny_spec():
+    # 64 cells x 32 seeds = 2048 units, campaign-shard shaped
+    trials = tuple(
+        exp.Trial(key=f"cell-{i:03d}", params={"cell": i},
+                  seeds=exp.derive_seeds(0, f"cell-{i:03d}", 32))
+        for i in range(TINY_UNITS // 32)
+    )
+    return exp.ExperimentSpec(name="tiny-fleet", trial=tiny_trial,
+                              trials=trials)
+
+
+def _units_per_sec(spec, **kwargs):
+    started = time.perf_counter()
+    result = exp.run(spec, **kwargs)
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    return result, spec.unit_count / elapsed
 
 
 def test_bench_exp_runner_parallel(benchmark):
@@ -33,4 +67,29 @@ def test_bench_exp_runner_parallel(benchmark):
     print(
         f"\nexp runner: {spec.unit_count} trials, serial {serial.elapsed_s:.2f}s, "
         f"jobs={jobs} {parallel.elapsed_s:.2f}s -> speedup {speedup:.2f}x"
+    )
+
+
+def test_bench_exp_runner_batched_dispatch(benchmark):
+    spec = _tiny_spec()
+    assert spec.unit_count >= 2000
+    jobs = os.cpu_count() or 1
+
+    serial, serial_ups = _units_per_sec(spec, jobs=1)
+    unbatched, unbatched_ups = _units_per_sec(spec, jobs=jobs, batch=1)
+    batched = run_once(benchmark, exp.run, spec, jobs=jobs)
+    batched_ups = spec.unit_count / max(batched.elapsed_s, 1e-9)
+
+    # batching is a pure wall-clock knob: results stay byte-identical
+    reference = json.dumps(serial.results, sort_keys=True)
+    assert json.dumps(unbatched.results, sort_keys=True) == reference
+    assert json.dumps(batched.results, sort_keys=True) == reference
+
+    batch_size = exp.default_batch(spec.unit_count, jobs)
+    print(
+        f"\nbatched dispatch: {spec.unit_count} tiny trials\n"
+        f"  jobs=1            {serial_ups:10.0f} units/s\n"
+        f"  jobs={jobs} batch=1   {unbatched_ups:10.0f} units/s\n"
+        f"  jobs={jobs} batch={batch_size:<3d} {batched_ups:10.0f} units/s "
+        f"({batched_ups / max(unbatched_ups, 1e-9):.2f}x vs unbatched)"
     )

@@ -24,6 +24,17 @@ Commands
     (crash/corrupt/omission), under client load.  ``--smoke`` runs the
     cheap CI subset.  Exits non-zero if any cell loses requests or
     fails to converge.
+``campaign [--missions N] [--jobs N] [--cell-size K] [--json] [...]``
+    The sharded statistical fault-injection campaign: missions split
+    into ~100-mission shard cells, each reduced to counts the moment it
+    completes, with Wilson 95% CIs computed from the streamed counts —
+    peak memory is bounded by the shard size however many missions run.
+    Completed shards land in the result store, so an interrupted 10k
+    campaign resumes from where it stopped.
+``store [--list | --gc | --clear] [--store DIR]``
+    Inspect or clean the cell-granular result store: ``--list`` (the
+    default) prints one line per stored spec, ``--gc`` removes orphaned
+    cell files left behind by edited specs, ``--clear`` drops everything.
 ``demo``
     A 20-second guided tour: deploy, crash, fail over, adapt on-line.
 """
@@ -91,6 +102,10 @@ def _cmd_reproduce(args) -> int:
     seed = args.seed
     jobs = exp.default_jobs() if args.jobs is None else max(1, args.jobs)
     store = None if args.no_store else exp.ResultStore(args.store)
+    if args.resume and (args.no_store or args.fresh):
+        print("--resume needs the result store (drop --no-store/--fresh)",
+              file=sys.stderr)
+        return 2
     # with --json, stdout carries only the machine-readable summary
     out = sys.stderr if args.json else sys.stdout
 
@@ -120,16 +135,24 @@ def _cmd_reproduce(args) -> int:
 
     failures = []
     summaries = []
+    stats = exp.ExecutionStats()
     started = time.perf_counter()
     for title, module, spec, checks in artifacts:
-        result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh)
+        result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
+                         stats=stats)
         data = module.from_results(result.results)
         print(module.render(data), file=out)
         problems = checks(data)
         status = "reproduces" if not problems else f"FAILS: {problems}"
         plural = "" if result.executed == 1 else "s"
-        source = ("result store" if result.cached else
-                  f"{result.executed} trial{plural}, {result.elapsed_s:.2f}s")
+        if result.cached:
+            source = "result store"
+        elif result.cells_cached:
+            source = (f"resumed {result.cells_cached}/{len(spec.trials)} "
+                      f"cells, {result.executed} trial{plural}, "
+                      f"{result.elapsed_s:.2f}s")
+        else:
+            source = f"{result.executed} trial{plural}, {result.elapsed_s:.2f}s"
         print(f"  -> {title}: {status} [{source}]\n", file=out)
         failures.extend(f"{title}: {p}" for p in problems)
         summary = result.summary()
@@ -138,11 +161,13 @@ def _cmd_reproduce(args) -> int:
         summaries.append(summary)
     elapsed = time.perf_counter() - started
 
-    total_executed = sum(s["trials_executed"] for s in summaries)
+    total_executed = stats.executed
+    served = ("all served from store" if total_executed == 0 else
+              f"fresh; {stats.cells_cached} cells from store, "
+              f"{stats.cells_executed} computed")
     print(
         f"[timing] wall {elapsed:.2f}s, jobs={jobs}, "
-        f"trials simulated {total_executed} "
-        f"({'all served from store' if total_executed == 0 else 'fresh'})",
+        f"trials simulated {total_executed} ({served})",
         file=out,
     )
     if args.json:
@@ -154,6 +179,8 @@ def _cmd_reproduce(args) -> int:
                 "store": None if store is None else str(store.root),
                 "wall_s": round(elapsed, 6),
                 "total_executed": total_executed,
+                "cells_cached": stats.cells_cached,
+                "cells_executed": stats.cells_executed,
                 "failures": failures,
                 "artifacts": summaries,
             },
@@ -198,6 +225,67 @@ def _cmd_transition_matrix(args) -> int:
         }
         print(json.dumps(summary, indent=2))
     return 1 if problems else 0
+
+
+def _cmd_campaign(args) -> int:
+    import json
+
+    from repro import exp
+    from repro.eval import campaign
+
+    jobs = exp.default_jobs() if args.jobs is None else max(1, args.jobs)
+    store = None if args.no_store else exp.ResultStore(args.store)
+    out = sys.stderr if args.json else sys.stdout
+
+    spec = campaign.sharded_spec(
+        missions=args.missions, base_seed=5000 + args.seed,
+        requests=args.requests, cell_size=args.cell_size,
+    )
+    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh)
+    data = campaign.from_shard_results(result.results)
+    print(campaign.render_sharded(data), file=out)
+    problems = campaign.shard_shape_checks(data)
+    status = "clean" if not problems else f"FAILS: {problems}"
+    print(f"  -> Campaign: {status} "
+          f"[{result.cells_cached}/{len(spec.trials)} shards from store, "
+          f"{result.executed} missions simulated, {result.elapsed_s:.2f}s]",
+          file=out)
+    if args.json:
+        summary = result.summary()
+        summary["problems"] = problems
+        summary["campaign"] = {
+            key: data[key]
+            for key in (
+                "missions", "shards", "clean_missions",
+                "exactly_once_missions", "masking_rate", "masking_ci95",
+                "exactly_once_rate", "exactly_once_ci95",
+            )
+        }
+        print(json.dumps(summary, indent=2))
+    return 1 if problems else 0
+
+
+def _cmd_store(args) -> int:
+    from repro import exp
+
+    store = exp.ResultStore(args.store)
+    if args.clear:
+        print(f"removed {store.clear()} file(s) from {store.root}")
+        return 0
+    if args.gc:
+        print(f"gc: removed {store.gc()} orphaned file(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"result store {store.root}: empty")
+        return 0
+    print(f"result store {store.root}: {len(entries)} entr"
+          f"{'y' if len(entries) == 1 else 'ies'}")
+    for entry in entries:
+        digest = entry["hash"][:12] if entry["hash"] else "(no manifest)"
+        print(f"  {entry['file']:44s} spec={entry['spec']} "
+              f"cells={entry['cells']} {digest} [{entry['format']}]")
+    return 0
 
 
 def _cmd_demo(_args) -> int:
@@ -263,6 +351,10 @@ def main(argv=None) -> int:
                            help="disable the result store")
     reproduce.add_argument("--fresh", action="store_true",
                            help="recompute even when stored results exist")
+    reproduce.add_argument("--resume", action="store_true",
+                           help="continue an interrupted run from the cells "
+                                "already in the store (also the default; "
+                                "rejects --no-store/--fresh)")
     matrix = sub.add_parser(
         "transition-matrix",
         help="transition-survival matrix (fault at phase x kind)",
@@ -283,6 +375,41 @@ def main(argv=None) -> int:
                         help="recompute even when stored results exist")
     matrix.add_argument("--smoke", action="store_true",
                         help="CI subset: baseline + one cell per fault kind")
+    camp = sub.add_parser(
+        "campaign",
+        help="sharded statistical fault-injection campaign (Wilson CIs)",
+    )
+    camp.add_argument("--missions", type=_positive_int, default=100,
+                      help="randomised missions to run (default: 100)")
+    camp.add_argument("--cell-size", type=_positive_int, default=100,
+                      help="missions per shard cell (default: 100)")
+    camp.add_argument("--requests", type=_positive_int, default=30,
+                      help="client requests per mission (default: 30)")
+    camp.add_argument("--jobs", type=_positive_int, default=None,
+                      help="worker processes (default: all CPUs)")
+    camp.add_argument("--seed", type=int, default=0,
+                      help="offset added to the campaign base seed")
+    camp.add_argument("--json", action="store_true",
+                      help="machine-readable summary on stdout")
+    camp.add_argument("--store", default=None, metavar="DIR",
+                      help="result-store directory (default: .repro-results)")
+    camp.add_argument("--no-store", action="store_true",
+                      help="disable the result store")
+    camp.add_argument("--fresh", action="store_true",
+                      help="recompute even when stored shards exist")
+    store_cmd = sub.add_parser(
+        "store", help="inspect or clean the cell-granular result store"
+    )
+    store_cmd.add_argument("--store", default=None, metavar="DIR",
+                           help="result-store directory "
+                                "(default: .repro-results)")
+    store_mode = store_cmd.add_mutually_exclusive_group()
+    store_mode.add_argument("--list", action="store_true",
+                            help="list stored entries (default)")
+    store_mode.add_argument("--gc", action="store_true",
+                            help="remove orphaned cell files and temp files")
+    store_mode.add_argument("--clear", action="store_true",
+                            help="remove every stored entry")
     sub.add_parser("demo", help="guided tour")
     args = parser.parse_args(argv)
     handlers = {
@@ -290,6 +417,8 @@ def main(argv=None) -> int:
         "tables": _cmd_tables,
         "reproduce": _cmd_reproduce,
         "transition-matrix": _cmd_transition_matrix,
+        "campaign": _cmd_campaign,
+        "store": _cmd_store,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

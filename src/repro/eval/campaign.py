@@ -172,6 +172,135 @@ def generate(missions: int = 10, base_seed: int = 5000, requests: int = 30,
     return from_results(result.results)
 
 
+# -- sharded streaming campaign ------------------------------------------------
+#
+# The 10k-mission campaign cannot hold 10k mission dicts, and a monolithic
+# single-cell spec cannot resume or parallelise its cache.  The sharded
+# form splits the same mission seed sequence into ~100-mission cells and
+# reduces each cell to counts the moment it completes, so peak memory is
+# bounded by the shard size whatever the mission count, a killed campaign
+# resumes from its finished shards, and Wilson CIs are computed from the
+# streamed per-shard counts alone.
+
+#: Missions per shard cell in the sharded campaign spec.
+SHARD_CELL_SIZE = 100
+
+
+def _reduce_shard(values: List[Dict]) -> Dict:
+    """Collapse one shard's mission outcomes to streaming counts."""
+    outcomes = [MissionOutcome(**raw) for raw in values]
+    return {
+        "missions": len(outcomes),
+        "clean": sum(1 for o in outcomes if o.clean),
+        "exactly_once": sum(1 for o in outcomes if o.exactly_once),
+        "injected": sum(o.injected_faults for o in outcomes),
+        "masked": sum(o.masked_faults for o in outcomes),
+        "crashes": sum(o.crashes for o in outcomes),
+        "promotions": sum(o.promotions for o in outcomes),
+        "reintegrations": sum(o.reintegrations for o in outcomes),
+        "dirty_seeds": [o.seed for o in outcomes if not o.clean],
+    }
+
+
+def sharded_spec(missions: int = 10000, base_seed: int = 5000,
+                 requests: int = 30,
+                 cell_size: int = SHARD_CELL_SIZE) -> ExperimentSpec:
+    """The streaming campaign: missions sharded into reduced cells.
+
+    The mission seed sequence is identical to :func:`spec`'s, so a
+    sharded campaign measures exactly the same missions — it just
+    stores and aggregates them shard-by-shard.
+    """
+    seeds = [base_seed + 101 * m for m in range(missions)]
+    trials = tuple(
+        Trial(
+            key=f"shard-{start // cell_size:05d}",
+            params={"requests": requests},
+            seeds=tuple(seeds[start:start + cell_size]),
+        )
+        for start in range(0, missions, cell_size)
+    )
+    return ExperimentSpec(name="campaign-sharded", trial=_trial,
+                          trials=trials, reduce=_reduce_shard)
+
+
+def from_shard_results(results: Dict) -> Dict:
+    """Aggregate streamed per-shard counts into the campaign summary."""
+    shards = list(results.values())
+    missions = sum(s["missions"] for s in shards)
+    clean = sum(s["clean"] for s in shards)
+    exactly_once = sum(s["exactly_once"] for s in shards)
+    injected = sum(s["injected"] for s in shards)
+    masked = sum(s["masked"] for s in shards)
+    return {
+        "missions": missions,
+        "shards": len(shards),
+        "clean_missions": clean,
+        "exactly_once_missions": exactly_once,
+        "total_crashes": sum(s["crashes"] for s in shards),
+        "total_injected": injected,
+        "total_masked": masked,
+        "total_promotions": sum(s["promotions"] for s in shards),
+        "total_reintegrations": sum(s["reintegrations"] for s in shards),
+        "dirty_seeds": [seed for s in shards for seed in s["dirty_seeds"]],
+        "masking_rate": masked / injected if injected else None,
+        "masking_ci95": list(wilson_interval(min(masked, injected), injected)),
+        "exactly_once_rate": exactly_once / missions if missions else None,
+        "exactly_once_ci95": list(wilson_interval(exactly_once, missions)),
+    }
+
+
+def generate_sharded(missions: int = 10000, base_seed: int = 5000,
+                     requests: int = 30, jobs: int = 1,
+                     store: Optional[ResultStore] = None,
+                     cell_size: int = SHARD_CELL_SIZE) -> Dict:
+    """Run the sharded campaign and aggregate the streamed counts."""
+    result = run_experiment(
+        sharded_spec(missions=missions, base_seed=base_seed,
+                     requests=requests, cell_size=cell_size),
+        jobs=jobs, store=store,
+    )
+    return from_shard_results(result.results)
+
+
+def shard_shape_checks(data: Dict) -> List[str]:
+    """The resilience claims the sharded campaign must uphold."""
+    problems: List[str] = []
+    if data["clean_missions"] != data["missions"]:
+        problems.append(
+            "missions with lost/duplicated work: seeds "
+            f"{data['dirty_seeds'][:20]}"
+        )
+    if data["total_crashes"] < data["missions"]:
+        problems.append("campaign injected fewer crashes than missions")
+    if data["total_masked"] < data["total_injected"] * 0.5:
+        problems.append(
+            f"too few masked faults ({data['total_masked']} of "
+            f"{data['total_injected']} injected)"
+        )
+    return problems
+
+
+def render_sharded(data: Dict) -> str:
+    """The aggregate campaign summary (per-mission tables don't scale)."""
+    lines = [
+        f"Fault-injection campaign: {data['missions']} randomised missions "
+        f"in {data['shards']} shards (streamed counts)",
+        f"  clean missions: {data['clean_missions']}/{data['missions']}; "
+        f"crashes {data['total_crashes']}, faults masked "
+        f"{data['total_masked']}/{data['total_injected']}, "
+        f"promotions {data['total_promotions']}, "
+        f"reintegrations {data['total_reintegrations']}",
+        f"  masking rate {_rate(data['masking_rate'])} "
+        f"CI95 {format_interval(*data['masking_ci95'])}; "
+        f"exactly-once rate {_rate(data['exactly_once_rate'])} "
+        f"CI95 {format_interval(*data['exactly_once_ci95'])}",
+    ]
+    if data["dirty_seeds"]:
+        lines.append(f"  DIRTY mission seeds: {data['dirty_seeds'][:20]}")
+    return "\n".join(lines)
+
+
 def shape_checks(data: Dict) -> List[str]:
     """The resilience claims the campaign must uphold (empty = all hold)."""
     problems: List[str] = []

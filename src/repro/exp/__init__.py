@@ -1,4 +1,4 @@
-"""Experiment runtime layer: declarative specs, parallel runner, store.
+"""Experiment runtime layer: declarative specs, streaming runner, store.
 
 The paper's evaluation is statistical — many seeded repetitions per
 cell — and the north-star workload is far larger.  This package turns
@@ -8,11 +8,12 @@ every evaluation into data plus a pure function:
   cells, parameter points and explicit per-run seeds
   (:mod:`repro.exp.spec`);
 * :func:`run` executes a spec serially or over a process pool with an
-  order-independent merge, so ``jobs=N`` is byte-identical to ``jobs=1``
-  (:mod:`repro.exp.runner`);
-* :class:`ResultStore` persists results content-addressed by spec hash,
-  so re-running an identical experiment simulates nothing
-  (:mod:`repro.exp.store`).
+  order-independent merge and per-worker unit batching, so ``jobs=N``
+  is byte-identical to ``jobs=1`` (:mod:`repro.exp.runner`);
+* :class:`ResultStore` persists results **per cell**, content-addressed
+  by :func:`cell_hash`, so editing one cell recomputes one cell, a
+  killed run resumes from its finished cells, and re-running an
+  identical experiment simulates nothing (:mod:`repro.exp.store`).
 
 Typical use::
 
@@ -32,15 +33,22 @@ from repro.exp.errors import (
     StoreError,
 )
 from repro.exp.runner import (
+    ExecutionStats,
     ExperimentResult,
+    default_batch,
     default_jobs,
     reset_executed_counter,
     run,
+    trials_executed,
 )
 from repro.exp.spec import (
     ExperimentSpec,
+    ReduceFn,
     Trial,
     TrialFn,
+    cell_fingerprint,
+    cell_hash,
+    cell_slug,
     derive_seed,
     derive_seeds,
     fingerprint,
@@ -50,15 +58,21 @@ from repro.exp.store import DEFAULT_ROOT, ResultStore
 
 __all__ = [
     "DEFAULT_ROOT",
+    "ExecutionStats",
     "ExperimentError",
     "ExperimentResult",
     "ExperimentSpec",
+    "ReduceFn",
     "ResultStore",
     "ResultTypeError",
     "SpecError",
     "StoreError",
     "Trial",
     "TrialFn",
+    "cell_fingerprint",
+    "cell_hash",
+    "cell_slug",
+    "default_batch",
     "default_jobs",
     "derive_seed",
     "derive_seeds",
@@ -66,4 +80,5 @@ __all__ = [
     "reset_executed_counter",
     "run",
     "spec_hash",
+    "trials_executed",
 ]

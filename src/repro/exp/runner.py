@@ -1,21 +1,29 @@
-"""Deterministic execution of experiment specs, serial or parallel.
+"""Streaming, cell-granular execution of experiment specs.
 
 The runner turns an :class:`~repro.exp.spec.ExperimentSpec` into an
-:class:`ExperimentResult`.  Three properties hold whatever the execution
+:class:`ExperimentResult`.  Four properties hold whatever the execution
 strategy:
 
 * **determinism** — every (cell, seed) unit is a pure function of its
   arguments, so ``run(spec, jobs=8)`` produces byte-identical results to
-  ``run(spec, jobs=1)``;
+  ``run(spec, jobs=1)``, with or without batching, after a partial cache
+  hit, and after a resume;
 * **order-independent merge** — parallel units complete in arbitrary
   order; results are re-assembled by unit index, never by arrival;
 * **store transparency** — results are normalised through a JSON
-  round-trip before anyone sees them, so a fresh run and a cache hit
-  return exactly the same object shapes.
+  round-trip as they arrive, so a fresh run and a cache hit return
+  exactly the same object shapes;
+* **incremental persistence** — with a store, a cell is written the
+  moment its last unit lands, so a killed run resumes from its finished
+  cells and only the missing cells' units are ever dispatched.
 
 Worker processes receive the trial function by import reference (plain
 pickling of a module-level ``def``), which works under both ``fork`` and
-``spawn`` start methods.
+``spawn`` start methods.  Units are grouped into **batches** per worker
+task, amortising task pickling and dispatch overhead for campaign-style
+workloads with thousands of tiny trials; a spec-level ``reduce`` hook
+then collapses each completed cell to a summary so such campaigns stream
+counts instead of accumulating every raw result.
 """
 
 from __future__ import annotations
@@ -31,37 +39,74 @@ from repro.exp.errors import ResultTypeError
 from repro.exp.spec import ExperimentSpec, spec_hash
 from repro.exp.store import ResultStore
 
-#: Process-wide count of trial executions (cache hits do not count).
-#: ``python -m repro reproduce --json`` reports it as ``total_executed``;
-#: the store tests assert it stays at zero on a warm cache.
+#: Legacy process-wide mirror of trials executed (cache hits do not
+#: count).  Kept for the CLI/store tests that predate
+#: :class:`ExecutionStats`; new code should thread a stats object through
+#: :func:`run` instead.
 TRIALS_EXECUTED = 0
 
 
 def reset_executed_counter() -> None:
-    """Zero the process-wide :data:`TRIALS_EXECUTED` counter."""
+    """Zero the legacy process-wide :data:`TRIALS_EXECUTED` counter."""
     global TRIALS_EXECUTED
     TRIALS_EXECUTED = 0
+
+
+def trials_executed() -> int:
+    """The legacy process-wide execution count (see :data:`TRIALS_EXECUTED`)."""
+    return TRIALS_EXECUTED
+
+
+@dataclass
+class ExecutionStats:
+    """Execution counters for one or more :func:`run` calls.
+
+    Pass one object through several runs to aggregate (the CLI does this
+    per ``reproduce`` invocation); every counter only ever increases.
+    """
+
+    executed: int = 0
+    cells_executed: int = 0
+    cells_cached: int = 0
+    batches: int = 0
+
+    def record_cached_cells(self, count: int) -> None:
+        """Count ``count`` cells served verbatim from the result store."""
+        self.cells_cached += count
+
+    def record_cell(self, units: int) -> None:
+        """Count one completed cell and the ``units`` trials it ran."""
+        self.cells_executed += 1
+        self.executed += units
+
+    def record_batches(self, count: int) -> None:
+        """Count ``count`` batch tasks handed to the worker pool."""
+        self.batches += count
 
 
 @dataclass
 class ExperimentResult:
     """The outcome of running (or recalling) one experiment spec.
 
-    ``results`` maps each cell key to its per-run result list, in run
-    order.  ``executed`` counts the trials actually simulated — zero when
-    the result store served the whole spec.
+    ``results`` maps each cell key to its per-run result list (or, for
+    specs with a ``reduce`` hook, the reduced summary), in spec order.
+    ``executed`` counts the trials actually simulated — zero when the
+    result store served the whole spec; ``cells_cached`` /
+    ``cells_executed`` split the same story per cell.
     """
 
     spec_name: str
     hash: str
-    results: Dict[str, List[Any]]
+    results: Dict[str, Any]
     executed: int
     cached: bool
     jobs: int
     elapsed_s: float
+    cells_cached: int = 0
+    cells_executed: int = 0
 
-    def cell(self, key: str) -> List[Any]:
-        """Per-run results of one cell, in run order."""
+    def cell(self, key: str) -> Any:
+        """Per-run results (or reduced summary) of one cell."""
         return self.results[key]
 
     def summary(self) -> Dict[str, Any]:
@@ -70,6 +115,8 @@ class ExperimentResult:
             "spec": self.spec_name,
             "hash": self.hash,
             "cells": len(self.results),
+            "cells_cached": self.cells_cached,
+            "cells_executed": self.cells_executed,
             "trials_executed": self.executed,
             "cached": self.cached,
             "jobs": self.jobs,
@@ -77,10 +124,18 @@ class ExperimentResult:
         }
 
 
-def _execute_unit(task: Tuple[int, Any, int, Dict[str, Any]]) -> Tuple[int, Any]:
-    """Run one (cell, seed) unit in a worker; returns (index, result)."""
-    index, trial_fn, seed, params = task
-    return index, trial_fn(seed, params)
+#: One executable unit: (global unit index, seed, params).
+_Unit = Tuple[int, int, Dict[str, Any]]
+
+
+def _execute_batch(task: Tuple[Any, List[_Unit]]) -> List[Tuple[int, Any]]:
+    """Run one batch of (cell, seed) units in a worker process.
+
+    A batch is a plain list so a single task dispatch (one pickle, one
+    queue round-trip) covers many tiny trials.
+    """
+    trial_fn, units = task
+    return [(index, trial_fn(seed, params)) for index, seed, params in units]
 
 
 def _normalise(value: Any, spec_name: str) -> Any:
@@ -99,69 +154,142 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def default_batch(unit_count: int, worker_count: int) -> int:
+    """Units grouped per worker task.
+
+    Large enough to amortise dispatch overhead over tiny trials, small
+    enough to keep the pool load-balanced and the per-task result list
+    bounded — the cap is what keeps worker memory independent of the
+    total unit count.
+    """
+    return max(1, min(32, unit_count // (worker_count * 4)))
+
+
+class _CellAssembler:
+    """Streams unit results into per-cell slots; completes cells eagerly.
+
+    Each arriving value is normalised immediately and placed by unit
+    index (never by arrival order).  The moment a cell's last unit lands
+    the cell is reduced (if the spec asks), persisted (if a store is
+    attached) and released — the assembler never holds more raw values
+    than the currently in-flight cells.
+    """
+
+    def __init__(self, spec: ExperimentSpec, store: Optional[ResultStore],
+                 stats: ExecutionStats, meta: Dict[str, Any]):
+        self.spec = spec
+        self.store = store
+        self.stats = stats
+        self.meta = meta
+        self.completed: Dict[str, Any] = {}
+        self._slots: Dict[str, List[Any]] = {}
+        self._pending: Dict[str, int] = {}
+        self._unit_cell: List[Tuple[str, int]] = []
+        self._trial_by_key = {trial.key: trial for trial in spec.trials}
+
+    def add_cell(self, trial) -> List[_Unit]:
+        """Register one missing cell; returns its executable units."""
+        units: List[_Unit] = []
+        self._slots[trial.key] = [None] * trial.runs
+        self._pending[trial.key] = trial.runs
+        for offset, seed in enumerate(trial.seeds):
+            index = len(self._unit_cell)
+            self._unit_cell.append((trial.key, offset))
+            units.append((index, seed, dict(trial.params)))
+        return units
+
+    def feed(self, index: int, value: Any) -> None:
+        """Accept one unit result (any arrival order)."""
+        key, offset = self._unit_cell[index]
+        self._slots[key][offset] = _normalise(value, self.spec.name)
+        self._pending[key] -= 1
+        if self._pending[key] == 0:
+            self._finish(key)
+
+    def _finish(self, key: str) -> None:
+        values = self._slots.pop(key)
+        del self._pending[key]
+        if self.spec.reduce is not None:
+            values = _normalise(self.spec.reduce(values), self.spec.name)
+        self.completed[key] = values
+        self.stats.record_cell(self._trial_by_key[key].runs)
+        if self.store is not None:
+            self.store.save_cell(self.spec, self._trial_by_key[key], values,
+                                 meta=self.meta)
+
+
 def run(
     spec: ExperimentSpec,
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
     fresh: bool = False,
+    batch: Optional[int] = None,
+    stats: Optional[ExecutionStats] = None,
 ) -> ExperimentResult:
     """Execute ``spec`` and return its merged, normalised results.
 
     ``jobs`` selects the level of parallelism (default: one worker per
-    CPU).  With a ``store``, previously computed results are returned
-    without simulating anything, and new results are persisted; ``fresh``
-    forces recomputation (and overwrites the stored entry).
+    CPU).  With a ``store``, previously completed *cells* are served
+    without simulating anything — only missing cells' units are
+    dispatched — and every completed cell is persisted immediately, so
+    an interrupted run resumes where it stopped.  ``fresh`` forces full
+    recomputation (and overwrites the stored cells).  ``batch`` fixes
+    the number of units grouped per worker task (default: sized
+    automatically); ``stats``, when given, accumulates execution
+    counters across calls.
     """
     global TRIALS_EXECUTED
+    stats = stats if stats is not None else ExecutionStats()
     digest = spec_hash(spec)
     worker_count = default_jobs() if jobs is None else max(1, int(jobs))
 
+    cached_cells: Dict[str, Any] = {}
     if store is not None and not fresh:
-        stored = store.load(spec)
-        if stored is not None:
-            return ExperimentResult(
-                spec_name=spec.name,
-                hash=digest,
-                results=stored,
-                executed=0,
-                cached=True,
-                jobs=worker_count,
-                elapsed_s=0.0,
-            )
+        cached_cells = store.load_cells(spec)
+    stats.record_cached_cells(len(cached_cells))
 
-    units: List[Tuple[int, Any, int, Dict[str, Any]]] = []
+    assembler = _CellAssembler(spec, store, stats,
+                               meta={"jobs": worker_count})
+    assembler.completed.update(cached_cells)
+    units: List[_Unit] = []
     for trial in spec.trials:
-        for seed in trial.seeds:
-            units.append((len(units), spec.trial, seed, dict(trial.params)))
+        if trial.key not in cached_cells:
+            units.extend(assembler.add_cell(trial))
 
     started = time.perf_counter()
-    if worker_count <= 1 or len(units) <= 1:
-        raw: List[Any] = [trial_fn(seed, params) for _i, trial_fn, seed, params in units]
-    else:
-        ordered: List[Any] = [None] * len(units)
-        chunksize = max(1, len(units) // (worker_count * 8))
-        with multiprocessing.Pool(processes=worker_count) as pool:
-            for index, value in pool.imap_unordered(_execute_unit, units, chunksize):
-                ordered[index] = value
-        raw = ordered
-    elapsed = time.perf_counter() - started
-    raw = _normalise(raw, spec.name)
+    if units:
+        if worker_count <= 1 or len(units) <= 1:
+            for index, seed, params in units:
+                assembler.feed(index, spec.trial(seed, params))
+        else:
+            size = (default_batch(len(units), worker_count)
+                    if batch is None else max(1, int(batch)))
+            tasks = [
+                (spec.trial, units[start:start + size])
+                for start in range(0, len(units), size)
+            ]
+            stats.record_batches(len(tasks))
+            with multiprocessing.Pool(processes=worker_count) as pool:
+                for batch_results in pool.imap_unordered(_execute_batch, tasks):
+                    for index, value in batch_results:
+                        assembler.feed(index, value)
+    elapsed = time.perf_counter() - started if units else 0.0
 
-    results: Dict[str, List[Any]] = {}
-    cursor = 0
-    for trial in spec.trials:
-        results[trial.key] = raw[cursor:cursor + trial.runs]
-        cursor += trial.runs
-
+    results = {trial.key: assembler.completed[trial.key]
+               for trial in spec.trials}
     TRIALS_EXECUTED += len(units)
     if store is not None:
-        store.save(spec, results, meta={"jobs": worker_count, "elapsed_s": elapsed})
+        store.write_manifest(
+            spec, meta={"jobs": worker_count, "elapsed_s": elapsed}
+        )
     return ExperimentResult(
         spec_name=spec.name,
         hash=digest,
         results=results,
         executed=len(units),
-        cached=False,
+        cached=store is not None and not fresh and not units and bool(spec.trials),
         jobs=worker_count,
         elapsed_s=elapsed,
+        cells_cached=len(cached_cells),
+        cells_executed=len(spec.trials) - len(cached_cells),
     )

@@ -1,21 +1,46 @@
-"""A persistent, content-addressed store for experiment results.
+"""A persistent, content-addressed, cell-granular store for results.
 
-Layout: one JSON file per (spec, seed-set, run-count) under a root
-directory (default ``.repro-results/`` in the working directory).  The
-file name carries the spec name plus a prefix of the spec hash; the full
-hash inside the payload guards against prefix collisions and manual
-renames.  Because the hash covers the cells, seeds, params, version and
-the trial function's source, any change to the experiment automatically
-misses the cache — stale results cannot be returned.
+Layout: one directory per spec name under a root (default
+``.repro-results/`` in the working directory), one JSON file per *cell*
+plus an advisory spec-level manifest::
 
-Payload schema::
+    .repro-results/
+      table3/
+        manifest.json                 # spec hash + cell index (written last)
+        deploy_pbr-1a2b3c4d5e6f.json  # one atomic file per cell
+        pbr-_lfr-0f9e8d7c6b5a.json
+      campaign-<hash16>.json          # legacy single-file entries (read-through)
+
+Each cell file is keyed by :func:`repro.exp.spec.cell_hash`, which covers
+the spec identity (name, version, trial/reduce source) plus that cell's
+key, params and seeds — editing one cell invalidates exactly one file, so
+the runner recomputes only the delta and a killed run resumes from the
+cells it already wrote.  The manifest names the cells of the last
+*completed* run; cell files are self-describing, so a partial run with no
+(or a stale) manifest is still fully resumable.
+
+Cell payload schema::
+
+    {
+      "cell_hash":   "<full sha-256 cell hash>",
+      "fingerprint": { ... cell identity, human-inspectable ... },
+      "meta":        { "jobs": ..., ... },
+      "values":      [ <per-run result>, ... ]   # or the reduced summary
+    }
+
+Manifest schema::
 
     {
       "hash":        "<full sha-256 spec hash>",
-      "fingerprint": { ... spec identity, human-inspectable ... },
+      "fingerprint": { ... spec identity ... },
       "meta":        { "jobs": ..., "elapsed_s": ..., ... },
-      "results":     { "<cell key>": [ <per-run result>, ... ], ... }
+      "cells":       { "<cell key>": {"file": ..., "hash": ...}, ... }
     }
+
+The pre-cell-granular format (one ``<name>-<hash16>.json`` per spec at
+the root) is still read: a matching legacy entry is transparently served
+— and migrated to cell files on first touch — so existing stores keep
+working.
 """
 
 from __future__ import annotations
@@ -31,60 +56,57 @@ from repro.exp import spec as spec_mod
 #: Default store location, relative to the current working directory.
 DEFAULT_ROOT = ".repro-results"
 
+#: Name of the spec-level index file inside each spec directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a JSON payload, or ``None`` on any I/O or syntax problem."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
 
 class ResultStore:
-    """Load/save experiment results keyed by spec content hash."""
+    """Load/save experiment results keyed by per-cell content hash."""
 
     def __init__(self, root: Optional[str] = None):
         self.root = Path(root if root is not None else DEFAULT_ROOT)
 
-    def path_for(self, spec: "spec_mod.ExperimentSpec") -> Path:
-        """The file an entry for ``spec`` lives in (may not exist yet)."""
+    # -- paths -------------------------------------------------------------
+
+    def spec_dir(self, spec: "spec_mod.ExperimentSpec") -> Path:
+        """The directory holding ``spec``'s cell files and manifest."""
+        return self.root / spec.name
+
+    def manifest_path(self, spec: "spec_mod.ExperimentSpec") -> Path:
+        """The spec-level manifest file (may not exist yet)."""
+        return self.spec_dir(spec) / MANIFEST_NAME
+
+    def cell_path(self, spec: "spec_mod.ExperimentSpec",
+                  trial: "spec_mod.Trial") -> Path:
+        """The file one cell's values live in (may not exist yet)."""
+        digest = spec_mod.cell_hash(spec, trial)
+        slug = spec_mod.cell_slug(trial.key)
+        return self.spec_dir(spec) / f"{slug}-{digest[:12]}.json"
+
+    def legacy_path_for(self, spec: "spec_mod.ExperimentSpec") -> Path:
+        """Where the pre-cell-granular format stored this spec (legacy)."""
         digest = spec_mod.spec_hash(spec)
         return self.root / f"{spec.name}-{digest[:16]}.json"
 
-    def load(
-        self, spec: "spec_mod.ExperimentSpec"
-    ) -> Optional[Dict[str, List[Any]]]:
-        """Stored results for ``spec``, or ``None`` on miss/corruption."""
-        path = self.path_for(spec)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        if payload.get("hash") != spec_mod.spec_hash(spec):
-            return None
-        results = payload.get("results")
-        if not isinstance(results, dict):
-            return None
-        expected = [trial.key for trial in spec.trials]
-        if list(results) != expected:
-            return None
-        if any(len(results[t.key]) != t.runs for t in spec.trials):
-            return None
-        return results
+    # legacy alias: callers predating the cell-granular layout
+    path_for = legacy_path_for
 
-    def save(
-        self,
-        spec: "spec_mod.ExperimentSpec",
-        results: Dict[str, List[Any]],
-        meta: Optional[Dict[str, Any]] = None,
-    ) -> Path:
-        """Persist ``results`` for ``spec``; returns the entry path.
+    # -- atomic writes -----------------------------------------------------
 
-        The write goes through a temporary file plus an atomic rename so a
-        crashed run can never leave a half-written entry behind.
-        """
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(spec)
-        payload = {
-            "hash": spec_mod.spec_hash(spec),
-            "fingerprint": spec_mod.fingerprint(spec),
-            "meta": dict(meta or {}),
-            "results": results,
-        }
+    def _write_atomic(self, path: Path, payload: Dict[str, Any]) -> Path:
+        """Write a payload through a temp file + rename (crash-safe)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=path.stem, suffix=".tmp"
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as tmp:
@@ -98,46 +120,263 @@ class ResultStore:
             raise
         return path
 
+    # -- per-cell API ------------------------------------------------------
+
+    def load_cell(self, spec: "spec_mod.ExperimentSpec",
+                  trial: "spec_mod.Trial") -> Optional[Any]:
+        """Stored values of one cell, or ``None`` on miss/corruption."""
+        payload = _read_json(self.cell_path(spec, trial))
+        if payload is None:
+            return None
+        if payload.get("cell_hash") != spec_mod.cell_hash(spec, trial):
+            return None
+        if "values" not in payload:
+            return None
+        values = payload["values"]
+        if spec.reduce is None:
+            # un-reduced cells must be one JSON value per seeded run
+            if not isinstance(values, list) or len(values) != trial.runs:
+                return None
+        return values
+
+    def save_cell(self, spec: "spec_mod.ExperimentSpec",
+                  trial: "spec_mod.Trial", values: Any,
+                  meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Atomically persist one completed cell; returns the cell path."""
+        payload = {
+            "cell_hash": spec_mod.cell_hash(spec, trial),
+            "fingerprint": spec_mod.cell_fingerprint(spec, trial),
+            "meta": dict(meta or {}),
+            "values": values,
+        }
+        return self._write_atomic(self.cell_path(spec, trial), payload)
+
+    def load_cells(self, spec: "spec_mod.ExperimentSpec") -> Dict[str, Any]:
+        """Every stored cell of ``spec`` — possibly a partial subset.
+
+        Cells persisted by an interrupted run are found even when no
+        manifest was written.  Cells only present in a matching legacy
+        single-file entry are served from it and migrated to cell files,
+        so the old format keeps working without a conversion step.
+        """
+        found: Dict[str, Any] = {}
+        for trial in spec.trials:
+            values = self.load_cell(spec, trial)
+            if values is not None:
+                found[trial.key] = values
+        if len(found) < len(spec.trials):
+            legacy = self._load_legacy(spec)
+            if legacy is not None:
+                for trial in spec.trials:
+                    if trial.key not in found:
+                        values = legacy[trial.key]
+                        self.save_cell(spec, trial, values,
+                                       meta={"migrated": True})
+                        found[trial.key] = values
+        return found
+
+    def write_manifest(self, spec: "spec_mod.ExperimentSpec",
+                       meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Record the spec-level index over the cells present on disk."""
+        cells: Dict[str, Dict[str, str]] = {}
+        for trial in spec.trials:
+            path = self.cell_path(spec, trial)
+            if path.is_file():
+                cells[trial.key] = {
+                    "file": path.name,
+                    "hash": spec_mod.cell_hash(spec, trial),
+                }
+        payload = {
+            "hash": spec_mod.spec_hash(spec),
+            "fingerprint": spec_mod.fingerprint(spec),
+            "meta": dict(meta or {}),
+            "cells": cells,
+        }
+        return self._write_atomic(self.manifest_path(spec), payload)
+
+    # -- whole-spec API ----------------------------------------------------
+
+    def load(self, spec: "spec_mod.ExperimentSpec") -> Optional[Dict[str, Any]]:
+        """Complete stored results for ``spec``, or ``None`` if any cell
+        is missing (use :meth:`load_cells` for the partial view)."""
+        found = self.load_cells(spec)
+        if len(found) != len(spec.trials):
+            return None
+        return {trial.key: found[trial.key] for trial in spec.trials}
+
+    def _load_legacy(
+        self, spec: "spec_mod.ExperimentSpec"
+    ) -> Optional[Dict[str, List[Any]]]:
+        """A matching entry in the pre-cell-granular single-file format."""
+        payload = _read_json(self.legacy_path_for(spec))
+        if payload is None:
+            return None
+        if payload.get("hash") != spec_mod.spec_hash(spec):
+            return None
+        results = payload.get("results")
+        if not isinstance(results, dict):
+            return None
+        if list(results) != [trial.key for trial in spec.trials]:
+            return None
+        if spec.reduce is None:
+            if any(len(results[t.key]) != t.runs for t in spec.trials):
+                return None
+        return results
+
+    def save(
+        self,
+        spec: "spec_mod.ExperimentSpec",
+        results: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist a complete result set cell-by-cell; returns the manifest.
+
+        Equivalent to :meth:`save_cell` per cell followed by
+        :meth:`write_manifest` — the path the streaming runner takes
+        incrementally.
+        """
+        for trial in spec.trials:
+            self.save_cell(spec, trial, results[trial.key], meta=meta)
+        return self.write_manifest(spec, meta=meta)
+
+    # -- maintenance -------------------------------------------------------
+
     def invalidate(self, spec: "spec_mod.ExperimentSpec") -> bool:
-        """Drop the entry for ``spec``; True if one existed."""
-        path = self.path_for(spec)
+        """Drop every entry for ``spec``; True if anything existed."""
+        removed = False
+        spec_dir = self.spec_dir(spec)
+        if spec_dir.is_dir():
+            for path in spec_dir.iterdir():
+                try:
+                    path.unlink()
+                    removed = True
+                except OSError:
+                    continue
+            try:
+                spec_dir.rmdir()
+            except OSError:
+                pass
         try:
-            path.unlink()
-            return True
+            self.legacy_path_for(spec).unlink()
+            removed = True
         except OSError:
-            return False
+            pass
+        return removed
 
     def clear(self) -> int:
         """Drop every entry; returns the number of files removed."""
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in self.root.glob("*.json"):
+        for path in sorted(self.root.rglob("*"), reverse=True):
             try:
-                path.unlink()
-                removed += 1
+                if path.is_dir():
+                    path.rmdir()
+                else:
+                    path.unlink()
+                    removed += 1
             except OSError:
                 continue
         return removed
 
+    def gc(self) -> int:
+        """Remove orphaned cell files and stale temp files.
+
+        A cell file is an orphan when its spec directory has a manifest
+        that does not reference it — the leftover of an edited cell or a
+        changed trial function.  Directories *without* a manifest are
+        left alone (they may be a killed run awaiting resume); stale
+        ``*.tmp`` files are always removed.  Returns the number of files
+        deleted.  Run it when no experiment is in flight.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_file():
+                if entry.suffix == ".tmp":
+                    removed += self._unlink(entry)
+                continue
+            manifest = _read_json(entry / MANIFEST_NAME)
+            referenced = None
+            if manifest is not None and isinstance(manifest.get("cells"), dict):
+                referenced = {
+                    cell.get("file")
+                    for cell in manifest["cells"].values()
+                    if isinstance(cell, dict)
+                }
+            for path in sorted(entry.iterdir()):
+                if path.name == MANIFEST_NAME:
+                    continue
+                if path.suffix == ".tmp":
+                    removed += self._unlink(path)
+                elif referenced is not None and path.name not in referenced:
+                    removed += self._unlink(path)
+        return removed
+
+    @staticmethod
+    def _unlink(path: Path) -> int:
+        try:
+            path.unlink()
+            return 1
+        except OSError:
+            return 0
+
     def entries(self) -> List[Dict[str, Any]]:
-        """A digest of every stored entry (name, hash, cells, meta)."""
+        """A digest of every stored entry (name, hash, cells, meta).
+
+        Spec directories appear once each; a directory whose manifest is
+        missing (killed run) is reported with a ``None`` hash and the
+        count of cell files found.  Legacy single-file entries are listed
+        in their old form.
+        """
         out: List[Dict[str, Any]] = []
         if not self.root.is_dir():
             return out
-        for path in sorted(self.root.glob("*.json")):
-            try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_file():
+                if entry.suffix != ".json":
+                    continue
+                payload = _read_json(entry)
+                if payload is None:
+                    continue
+                fingerprint = payload.get("fingerprint", {})
+                out.append(
+                    {
+                        "file": entry.name,
+                        "spec": fingerprint.get("name"),
+                        "hash": payload.get("hash"),
+                        "cells": len(payload.get("results", {})),
+                        "meta": payload.get("meta", {}),
+                        "format": "legacy",
+                    }
+                )
                 continue
-            fingerprint = payload.get("fingerprint", {})
+            cell_files = [
+                p for p in entry.glob("*.json") if p.name != MANIFEST_NAME
+            ]
+            manifest = _read_json(entry / MANIFEST_NAME)
+            if manifest is None:
+                out.append(
+                    {
+                        "file": entry.name + "/",
+                        "spec": entry.name,
+                        "hash": None,
+                        "cells": len(cell_files),
+                        "meta": {},
+                        "format": "cells (no manifest)",
+                    }
+                )
+                continue
+            fingerprint = manifest.get("fingerprint", {})
             out.append(
                 {
-                    "file": path.name,
-                    "spec": fingerprint.get("name"),
-                    "hash": payload.get("hash"),
-                    "cells": len(payload.get("results", {})),
-                    "meta": payload.get("meta", {}),
+                    "file": f"{entry.name}/{MANIFEST_NAME}",
+                    "spec": fingerprint.get("name", entry.name),
+                    "hash": manifest.get("hash"),
+                    "cells": len(manifest.get("cells", {})),
+                    "meta": manifest.get("meta", {}),
+                    "format": "cells",
                 }
             )
         return out

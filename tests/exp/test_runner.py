@@ -65,6 +65,8 @@ def test_runner_counts_executed_trials():
     result = exp.run(spec, jobs=1)
     assert result.executed == 3
     assert not result.cached
+    assert result.cells_executed == 1 and result.cells_cached == 0
+    # the legacy module-level mirror still tracks executions
     assert runner.TRIALS_EXECUTED == 3
 
 

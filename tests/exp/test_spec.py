@@ -1,5 +1,6 @@
 """Unit tests for experiment specs: seed derivation, hashing, validation."""
 
+import hashlib
 import zlib
 
 import pytest
@@ -12,6 +13,11 @@ from repro.exp.errors import SpecError
 def _echo(seed, params):
     """Module-level trial used by spec tests."""
     return {"seed": seed, **dict(params)}
+
+
+def _sum_reduce(values):
+    """Module-level reduce used by spec tests."""
+    return {"n": len(values)}
 
 
 def _spec(**overrides):
@@ -28,9 +34,10 @@ def _spec(**overrides):
 
 
 def test_derive_seed_matches_documented_formula():
-    assert exp.derive_seed(1000, "deploy:pbr", 2) == 1000 + (
-        zlib.crc32(b"deploy:pbr") + 37 * 2
-    ) % 100_000
+    mix = int.from_bytes(
+        hashlib.blake2b(b"deploy:pbr\x1f2", digest_size=8).digest(), "big"
+    )
+    assert exp.derive_seed(1000, "deploy:pbr", 2) == 1000 + mix
 
 
 def test_derive_seeds_stable_and_distinct():
@@ -46,15 +53,45 @@ def test_derive_seeds_prefix_property():
     assert exp.derive_seeds(7, "cell", 3) == exp.derive_seeds(7, "cell", 5)[:3]
 
 
-def test_table3_spec_preserves_legacy_cell_seeds():
-    # the port kept the historical per-cell derivation, so stored results
-    # and published tables stay comparable across versions
+def _old_derive_seed(base_seed, key, run):
+    """The pre-64-bit derivation (collision space of 100 000)."""
+    return base_seed + (zlib.crc32(key.encode("utf-8")) + 37 * run) % 100_000
+
+
+def test_derive_seed_collision_regression():
+    # the old % 100_000 folding made distinct (key, run) pairs share seeds
+    # across cells; find such a pair and assert the 64-bit mix splits it
+    keys = [f"deploy:{k}" for k in "abcdefghij"] + [f"c{i}->c{j}"
+                                                   for i in range(8)
+                                                   for j in range(8)]
+    seen = {}
+    collision = None
+    for key in keys:
+        for run in range(50):
+            old = _old_derive_seed(0, key, run)
+            if old in seen and seen[old][0] != key:
+                collision = (seen[old], (key, run))
+                break
+            seen[old] = (key, run)
+        if collision:
+            break
+    assert collision is not None, "search space should exhibit an old collision"
+    (key_a, run_a), (key_b, run_b) = collision
+    assert _old_derive_seed(0, key_a, run_a) == _old_derive_seed(0, key_b, run_b)
+    assert exp.derive_seed(0, key_a, run_a) != exp.derive_seed(0, key_b, run_b)
+
+
+def test_derive_seed_dense_grid_is_collision_free():
+    # a Table 3-sized grid times a campaign's worth of runs: all distinct
+    keys = [f"k{i}->k{j}" for i in range(10) for j in range(10)]
+    seeds = {exp.derive_seed(0, key, run) for key in keys for run in range(100)}
+    assert len(seeds) == len(keys) * 100
+
+
+def test_table3_spec_uses_the_derived_cell_seeds():
     spec = table3.spec(runs=3, base_seed=1000)
     cell = spec.cell("pbr->lfr")
-    legacy = tuple(
-        1000 + (zlib.crc32(b"pbr->lfr") + 37 * run) % 100_000 for run in range(3)
-    )
-    assert cell.seeds == legacy
+    assert cell.seeds == exp.derive_seeds(1000, "pbr->lfr", 3)
 
 
 # -- hashing -------------------------------------------------------------------
@@ -68,15 +105,21 @@ def test_spec_hash_is_stable():
     "mutation",
     [
         {"name": "other"},
-        {"version": "2"},
+        {"version": "3"},
         {"trials": (exp.Trial("a", {"x": 1}, (1, 2)), exp.Trial("b", {"x": 2}, (4,)))},
         {"trials": (exp.Trial("a", {"x": 9}, (1, 2)), exp.Trial("b", {"x": 2}, (3,)))},
         {"trials": (exp.Trial("a", {"x": 1}, (1, 2, 3)), exp.Trial("b", {"x": 2}, (3,)))},
+        {"reduce": _sum_reduce},
     ],
-    ids=["name", "version", "seed", "params", "runs"],
+    ids=["name", "version", "seed", "params", "runs", "reduce"],
 )
 def test_spec_hash_sees_every_identity_field(mutation):
     assert exp.spec_hash(_spec(**mutation)) != exp.spec_hash(_spec())
+
+
+def test_default_version_is_bumped_for_the_64bit_seeds():
+    # entries stored under the "1" (crc32 % 100_000) scheme must miss
+    assert _spec().version == "2"
 
 
 def test_fingerprint_is_json_safe_and_names_the_trial():
@@ -86,6 +129,56 @@ def test_fingerprint_is_json_safe_and_names_the_trial():
     json.dumps(fp)
     assert fp["trial"].endswith(":_echo")
     assert fp["trials"][0]["seeds"] == [1, 2]
+    assert fp["reduce"] is None
+
+
+# -- cell hashing --------------------------------------------------------------
+
+
+def test_cell_hash_is_stable_and_distinct_per_cell():
+    spec = _spec()
+    hashes = [exp.cell_hash(spec, trial) for trial in spec.trials]
+    assert hashes == [exp.cell_hash(_spec(), trial) for trial in _spec().trials]
+    assert len(set(hashes)) == len(hashes)
+
+
+def test_editing_one_cell_changes_only_that_cells_hash():
+    spec = _spec()
+    edited = _spec(
+        trials=(exp.Trial("a", {"x": 1}, (1, 2)), exp.Trial("b", {"x": 99}, (3,)))
+    )
+    assert exp.cell_hash(spec, spec.cell("a")) == exp.cell_hash(
+        edited, edited.cell("a")
+    )
+    assert exp.cell_hash(spec, spec.cell("b")) != exp.cell_hash(
+        edited, edited.cell("b")
+    )
+
+
+def test_spec_level_changes_invalidate_every_cell():
+    spec = _spec()
+    for mutated in (_spec(version="3"), _spec(reduce=_sum_reduce)):
+        for trial in spec.trials:
+            assert exp.cell_hash(spec, trial) != exp.cell_hash(
+                mutated, mutated.cell(trial.key)
+            )
+
+
+def test_cell_fingerprint_is_json_safe():
+    import json
+
+    spec = _spec()
+    fp = exp.cell_fingerprint(spec, spec.cell("a"))
+    json.dumps(fp)
+    assert fp["cell"]["key"] == "a"
+    assert fp["version"] == spec.version
+
+
+def test_cell_slug_is_filesystem_safe():
+    assert exp.cell_slug("pbr->lfr") == "pbr-_lfr"
+    assert exp.cell_slug("deploy:pbr+tr") == "deploy_pbr+tr"
+    assert exp.cell_slug("///") == "cell"
+    assert len(exp.cell_slug("x" * 200)) == 48
 
 
 # -- validation ----------------------------------------------------------------
@@ -96,6 +189,11 @@ def test_spec_rejects_lambda_trials():
         exp.ExperimentSpec(
             name="bad", trial=lambda s, p: {}, trials=(exp.Trial("a"),)
         )
+
+
+def test_spec_rejects_lambda_reduce():
+    with pytest.raises(SpecError):
+        _spec(reduce=lambda values: len(values))
 
 
 def test_spec_rejects_duplicate_cell_keys():

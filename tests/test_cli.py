@@ -69,6 +69,54 @@ def test_cli_reproduce_fresh_ignores_the_store(capsys, tmp_path):
     assert forced["total_executed"] == baseline["total_executed"] > 0
 
 
+def test_cli_reproduce_resume_rejects_no_store_and_fresh(capsys, tmp_path):
+    assert main(["reproduce", "--resume", "--no-store"]) == 2
+    assert main(["reproduce", "--resume", "--fresh",
+                 "--store", str(tmp_path)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_reproduce_resume_reports_cached_cells(capsys, tmp_path):
+    first = _reproduce_json(capsys, tmp_path)
+    resumed = _reproduce_json(capsys, tmp_path, "--resume")
+    assert first["total_executed"] > 0
+    assert resumed["total_executed"] == 0
+    assert resumed["cells_cached"] > 0
+    assert resumed["cells_executed"] == 0
+
+
+def test_cli_campaign_reports_wilson_cis(capsys, tmp_path):
+    argv = [
+        "campaign", "--missions", "4", "--cell-size", "2",
+        "--requests", "8", "--jobs", "1", "--store", str(tmp_path), "--json",
+    ]
+    assert main(argv) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["problems"] == []
+    assert report["campaign"]["missions"] == 4
+    assert report["campaign"]["shards"] == 2
+    low, high = report["campaign"]["exactly_once_ci95"]
+    assert 0.0 <= low <= high <= 1.0
+    # a second invocation streams everything from the store
+    assert main(argv) == 0
+    cached = json.loads(capsys.readouterr().out)
+    assert cached["trials_executed"] == 0
+    assert cached["campaign"] == report["campaign"]
+
+
+def test_cli_store_list_gc_clear(capsys, tmp_path):
+    _reproduce_json(capsys, tmp_path)
+    assert main(["store", "--store", str(tmp_path)]) == 0
+    listing = capsys.readouterr().out
+    assert "table3" in listing and "cells" in listing
+    assert main(["store", "--gc", "--store", str(tmp_path)]) == 0
+    assert "gc: removed 0" in capsys.readouterr().out
+    assert main(["store", "--clear", "--store", str(tmp_path)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["store", "--store", str(tmp_path)]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
 def test_cli_reproduce_seed_changes_results(capsys, tmp_path):
     base = _reproduce_json(capsys, tmp_path)
     shifted = _reproduce_json(capsys, tmp_path, "--seed", "1")
