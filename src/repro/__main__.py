@@ -24,13 +24,20 @@ Commands
     (crash/corrupt/omission), under client load.  ``--smoke`` runs the
     cheap CI subset.  Exits non-zero if any cell loses requests or
     fails to converge.
-``campaign [--missions N] [--jobs N] [--cell-size K] [--json] [...]``
+``campaign [--missions N] [--jobs N] [--coschedule K] [--json] [...]``
     The sharded statistical fault-injection campaign: missions split
     into ~100-mission shard cells, each reduced to counts the moment it
     completes, with Wilson 95% CIs computed from the streamed counts —
     peak memory is bounded by the shard size however many missions run.
     Completed shards land in the result store, so an interrupted 10k
-    campaign resumes from where it stopped.
+    campaign resumes from where it stopped.  ``--coschedule K``
+    interleaves K mission worlds inside one event loop per worker
+    (results stay byte-identical — it is pure execution strategy).
+``profile <spec> [--top N] [--sort cumulative|tottime] [...]``
+    Run one experiment spec single-threaded under ``cProfile`` and print
+    the hottest functions, so perf work starts from data instead of
+    guesses.  Specs: ``campaign``, ``campaign-sharded``,
+    ``transition-matrix``, ``table3``.
 ``store [--list | --gc | --clear] [--store DIR]``
     Inspect or clean the cell-granular result store: ``--list`` (the
     default) prints one line per stored spec, ``--gc`` removes orphaned
@@ -241,7 +248,8 @@ def _cmd_campaign(args) -> int:
         missions=args.missions, base_seed=5000 + args.seed,
         requests=args.requests, cell_size=args.cell_size,
     )
-    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh)
+    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
+                     coschedule=args.coschedule)
     data = campaign.from_shard_results(result.results)
     print(campaign.render_sharded(data), file=out)
     problems = campaign.shard_shape_checks(data)
@@ -263,6 +271,55 @@ def _cmd_campaign(args) -> int:
         }
         print(json.dumps(summary, indent=2))
     return 1 if problems else 0
+
+
+#: Specs the ``profile`` command can build, name -> builder(args).  Each
+#: builder applies the profile command's size knobs to the real spec
+#: factory, so the profile measures exactly what the experiments run.
+_PROFILE_SPECS = {
+    "campaign": lambda args: _eval_module("campaign").spec(
+        missions=args.missions, base_seed=5000 + args.seed,
+        requests=args.requests,
+    ),
+    "campaign-sharded": lambda args: _eval_module("campaign").sharded_spec(
+        missions=args.missions, base_seed=5000 + args.seed,
+        requests=args.requests,
+    ),
+    "transition-matrix": lambda args: _eval_module("transition_matrix").spec(
+        runs=args.runs, base_seed=7000 + args.seed, smoke=True,
+    ),
+    "table3": lambda args: _eval_module("table3").spec(
+        runs=args.runs, base_seed=1000 + args.seed,
+    ),
+}
+
+
+def _eval_module(name: str):
+    """Late import of ``repro.eval.<name>`` (keeps ``--help`` instant)."""
+    import importlib
+
+    return importlib.import_module(f"repro.eval.{name}")
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from repro import exp
+
+    spec = _PROFILE_SPECS[args.spec](args)
+    print(f"profiling spec {spec.name!r}: {spec.unit_count} unit(s), "
+          f"jobs=1, store off ...", file=sys.stderr)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = exp.run(spec, jobs=1, store=None)
+    profiler.disable()
+    print(f"[{result.executed} trial(s) in {result.elapsed_s:.2f}s — "
+          f"{result.executed / max(result.elapsed_s, 1e-9):.1f} units/s]",
+          file=sys.stderr)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
 
 
 def _cmd_store(args) -> int:
@@ -397,6 +454,30 @@ def main(argv=None) -> int:
                       help="disable the result store")
     camp.add_argument("--fresh", action="store_true",
                       help="recompute even when stored shards exist")
+    camp.add_argument("--coschedule", type=_positive_int, default=1,
+                      metavar="K",
+                      help="mission worlds interleaved per event loop "
+                           "(default: 1 = off; results are byte-identical "
+                           "either way)")
+    profile = sub.add_parser(
+        "profile",
+        help="run one spec under cProfile and print the hot spots",
+    )
+    profile.add_argument("spec", choices=sorted(_PROFILE_SPECS),
+                         help="which experiment spec to profile")
+    profile.add_argument("--runs", type=_positive_int, default=1,
+                         help="seeded repetitions per cell (grid specs)")
+    profile.add_argument("--missions", type=_positive_int, default=50,
+                         help="missions (campaign specs; default: 50)")
+    profile.add_argument("--requests", type=_positive_int, default=30,
+                         help="client requests per mission (default: 30)")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="offset added to the experiment base seed")
+    profile.add_argument("--top", type=_positive_int, default=20,
+                         help="rows of the profile to print (default: 20)")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                         default="cumulative",
+                         help="stat ordering (default: cumulative)")
     store_cmd = sub.add_parser(
         "store", help="inspect or clean the cell-granular result store"
     )
@@ -418,6 +499,7 @@ def main(argv=None) -> int:
         "reproduce": _cmd_reproduce,
         "transition-matrix": _cmd_transition_matrix,
         "campaign": _cmd_campaign,
+        "profile": _cmd_profile,
         "store": _cmd_store,
         "demo": _cmd_demo,
     }

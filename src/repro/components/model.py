@@ -18,7 +18,7 @@ can block on the network, charge CPU time, and be replaced mid-run.
 from __future__ import annotations
 
 import enum
-import inspect
+from types import GeneratorType
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.components.errors import (
@@ -258,8 +258,8 @@ class Component:
         Invocations on a non-started component wait until it is started —
         this is the "block and buffer inputs" half of quiescence.
         """
-        while self.state != LifecycleState.STARTED:
-            if self.state == LifecycleState.REMOVED:
+        while self.state is not LifecycleState.STARTED:
+            if self.state is LifecycleState.REMOVED:
                 raise LifecycleError(
                     f"invocation on removed component {self.name!r}"
                 )
@@ -267,12 +267,18 @@ class Component:
             self._pending_start.append(gate)
             yield gate
 
-        target = self.service(service).operation(operation)
+        try:
+            # inlined self.service(service).operation(operation): the
+            # invocation path runs once per service call in every mission
+            target = self.services[service].operations[operation]
+        except KeyError:
+            target = self.service(service).operation(operation)  # precise error
         self._in_flight += 1
         self.invocation_count += 1
         try:
             result = target(*args, **kwargs)
-            if inspect.isgenerator(result):
+            # generators cannot be subclassed: `type is` == isinstance here
+            if type(result) is GeneratorType:
                 result = yield from result
         finally:
             self._in_flight -= 1

@@ -24,7 +24,7 @@ from repro.eval.stats import format_interval, wilson_interval
 from repro.exp import ExperimentSpec, ResultStore, Trial
 from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
-from repro.kernel import Timeout, World
+from repro.kernel import Timeout, World, WorldTask, run_solo
 
 
 @dataclass
@@ -50,8 +50,13 @@ class MissionOutcome:
         return self.all_ok and self.exactly_once
 
 
-def run_mission(seed: int, requests: int = 30) -> MissionOutcome:
-    """One randomised mission; fully determined by its seed."""
+def mission_task(seed: int, requests: int = 30) -> WorldTask:
+    """One randomised mission as a co-schedulable :class:`WorldTask`.
+
+    The task's result is the mission outcome as a plain dict (JSON-safe
+    for the result store); :func:`run_mission` is the solo-execution
+    wrapper that returns the typed :class:`MissionOutcome`.
+    """
     world = World(seed=seed)
     rng = world.sim.random.substream("campaign")
     outcome = MissionOutcome(seed=seed, requests=requests, expected_value=requests)
@@ -113,22 +118,32 @@ def run_mission(seed: int, requests: int = 30) -> MissionOutcome:
         outcome.promotions = world.trace.count("ftm", "promoted")
         outcome.reintegrations = pair.reintegrations
         outcome.transitioned_to = pair.ftm
+        return asdict(outcome)
 
-    world.run_scenario(scenario(), nodes=("alpha", "beta", "client"),
-                       name="mission")
-    return outcome
+    return WorldTask(world, scenario(), nodes=("alpha", "beta", "client"),
+                     name="mission")
+
+
+def run_mission(seed: int, requests: int = 30) -> MissionOutcome:
+    """One randomised mission; fully determined by its seed."""
+    return MissionOutcome(**run_solo(mission_task(seed, requests=requests)))
 
 
 def _trial(seed: int, params: Mapping) -> Dict:
     """One mission as a plain dict (JSON-safe for the result store)."""
-    return asdict(run_mission(seed, requests=params["requests"]))
+    return run_solo(mission_task(seed, requests=params["requests"]))
+
+
+def _cotrial(seed: int, params: Mapping) -> WorldTask:
+    """The co-schedulable form of :func:`_trial` (same result, unrun)."""
+    return mission_task(seed, requests=params["requests"])
 
 
 def spec(missions: int = 10, base_seed: int = 5000,
          requests: int = 30) -> ExperimentSpec:
     """The campaign experiment: one cell, one seed per mission."""
     return ExperimentSpec(
-        name="campaign", trial=_trial,
+        name="campaign", trial=_trial, cotrial=_cotrial,
         trials=(Trial(
             key="campaign", params={"requests": requests},
             seeds=tuple(base_seed + 101 * m for m in range(missions)),
@@ -221,7 +236,8 @@ def sharded_spec(missions: int = 10000, base_seed: int = 5000,
         for start in range(0, missions, cell_size)
     )
     return ExperimentSpec(name="campaign-sharded", trial=_trial,
-                          trials=trials, reduce=_reduce_shard)
+                          trials=trials, reduce=_reduce_shard,
+                          cotrial=_cotrial)
 
 
 def from_shard_results(results: Dict) -> Dict:
@@ -253,12 +269,13 @@ def from_shard_results(results: Dict) -> Dict:
 def generate_sharded(missions: int = 10000, base_seed: int = 5000,
                      requests: int = 30, jobs: int = 1,
                      store: Optional[ResultStore] = None,
-                     cell_size: int = SHARD_CELL_SIZE) -> Dict:
+                     cell_size: int = SHARD_CELL_SIZE,
+                     coschedule: int = 1) -> Dict:
     """Run the sharded campaign and aggregate the streamed counts."""
     result = run_experiment(
         sharded_spec(missions=missions, base_seed=base_seed,
                      requests=requests, cell_size=cell_size),
-        jobs=jobs, store=store,
+        jobs=jobs, store=store, coschedule=coschedule,
     )
     return from_shard_results(result.results)
 

@@ -40,7 +40,7 @@ package payloads are always caught by the checksum before installation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.app.workloads import constant
@@ -50,7 +50,7 @@ from repro.eval.format import render_table
 from repro.exp import ExperimentSpec, ResultStore, Trial
 from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
-from repro.kernel import Timeout, World
+from repro.kernel import Timeout, World, WorldTask, run_solo
 from repro.kernel.faults import TRANSITION_FAULT_KINDS, TRANSITION_PHASES
 
 #: The FTM transitions the matrix exercises (differential neighbours).
@@ -113,10 +113,14 @@ def _arm(world: World, phase: str, kind: str) -> None:
         world.faults.arm_transition_fault(phase, kind, node=FAULTED_NODE)
 
 
-def run_cell(
+def cell_task(
     seed: int, source: str, target: str, fault: str, requests: int = 20
-) -> CellOutcome:
-    """One seeded mission: transition under load with the cell's fault."""
+) -> WorldTask:
+    """One matrix cell as a co-schedulable :class:`WorldTask`.
+
+    The task's result is the cell outcome as a plain dict;
+    :func:`run_cell` is the solo wrapper returning :class:`CellOutcome`.
+    """
     world = World(seed=seed)
     outcome = CellOutcome(
         seed=seed, transition=f"{source}->{target}", fault=fault
@@ -194,22 +198,37 @@ def run_cell(
             outcome.status = "F"
         if not (outcome.all_ok and outcome.exactly_once):
             outcome.status += "!"
+        return asdict(outcome)
 
-    world.run_scenario(scenario(), nodes=("alpha", "beta", "client"),
-                       name="matrix-cell")
-    return outcome
+    return WorldTask(world, scenario(), nodes=("alpha", "beta", "client"),
+                     name="matrix-cell")
+
+
+def run_cell(
+    seed: int, source: str, target: str, fault: str, requests: int = 20
+) -> CellOutcome:
+    """One seeded mission: transition under load with the cell's fault."""
+    return CellOutcome(**run_solo(
+        cell_task(seed, source, target, fault, requests=requests)
+    ))
 
 
 # -- experiment plumbing ---------------------------------------------------------------
 
 
 def _trial(seed: int, params: Mapping) -> Dict:
-    from dataclasses import asdict
-
-    return asdict(run_cell(
+    return run_solo(cell_task(
         seed, params["source"], params["target"], params["fault"],
         requests=params["requests"],
     ))
+
+
+def _cotrial(seed: int, params: Mapping) -> WorldTask:
+    """The co-schedulable form of :func:`_trial` (same result, unrun)."""
+    return cell_task(
+        seed, params["source"], params["target"], params["fault"],
+        requests=params["requests"],
+    )
 
 
 def spec(runs: int = 1, base_seed: int = 7000, requests: int = 20,
@@ -238,7 +257,7 @@ def spec(runs: int = 1, base_seed: int = 7000, requests: int = 20,
             ))
     return ExperimentSpec(
         name="transition_matrix" + ("_smoke" if smoke else ""),
-        trial=_trial, trials=tuple(trials),
+        trial=_trial, trials=tuple(trials), cotrial=_cotrial,
     )
 
 

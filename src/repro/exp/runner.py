@@ -28,6 +28,7 @@ counts instead of accumulating every raw result.
 
 from __future__ import annotations
 
+import gc
 import json
 import multiprocessing
 import os
@@ -35,9 +36,10 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.exp.errors import ResultTypeError
+from repro.exp.errors import ResultTypeError, SpecError
 from repro.exp.spec import ExperimentSpec, spec_hash
 from repro.exp.store import ResultStore
+from repro.kernel.coschedule import WorldPool
 
 #: Legacy process-wide mirror of trials executed (cache hits do not
 #: count).  Kept for the CLI/store tests that predate
@@ -104,6 +106,7 @@ class ExperimentResult:
     elapsed_s: float
     cells_cached: int = 0
     cells_executed: int = 0
+    coschedule: int = 1
 
     def cell(self, key: str) -> Any:
         """Per-run results (or reduced summary) of one cell."""
@@ -120,6 +123,7 @@ class ExperimentResult:
             "trials_executed": self.executed,
             "cached": self.cached,
             "jobs": self.jobs,
+            "coschedule": self.coschedule,
             "elapsed_s": round(self.elapsed_s, 6),
         }
 
@@ -127,15 +131,63 @@ class ExperimentResult:
 #: One executable unit: (global unit index, seed, params).
 _Unit = Tuple[int, int, Dict[str, Any]]
 
+#: One worker task: (trial fn, cotrial fn or None, coschedule width, units).
+_BatchTask = Tuple[Any, Any, int, List[_Unit]]
 
-def _execute_batch(task: Tuple[Any, List[_Unit]]) -> List[Tuple[int, Any]]:
+
+def _run_units_coscheduled(
+    cotrial_fn: Any, units: List[_Unit], width: int
+) -> List[Tuple[int, Any]]:
+    """Run units in co-scheduled groups of ``width`` worlds per pool.
+
+    Grouping bounds peak memory to ``width`` live worlds; results come
+    back labelled by unit index, so arrival order never matters.  Cycle
+    collection is deferred per group — the group's worlds allocate
+    heavily and die together, so collecting in the inter-group gap is
+    strictly cheaper (this also covers the in-process ``jobs=1`` path,
+    which never goes through :func:`_execute_batch`).
+    """
+    out: List[Tuple[int, Any]] = []
+    for start in range(0, len(units), width):
+        group = units[start:start + width]
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            tasks = [
+                cotrial_fn(seed, params) for _index, seed, params in group
+            ]
+            for unit, value in zip(group, WorldPool(tasks).run()):
+                out.append((unit[0], value))
+        finally:
+            if was_enabled:
+                gc.enable()
+    return out
+
+
+def _execute_batch(task: _BatchTask) -> List[Tuple[int, Any]]:
     """Run one batch of (cell, seed) units in a worker process.
 
     A batch is a plain list so a single task dispatch (one pickle, one
-    queue round-trip) covers many tiny trials.
+    queue round-trip) covers many tiny trials.  Automatic garbage
+    collection is suspended for the duration of the batch: simulation
+    worlds allocate heavily and die together, so deferring cycle
+    collection to the inter-batch gap saves measurable time without
+    letting memory grow past one batch's worth of worlds.
     """
-    trial_fn, units = task
-    return [(index, trial_fn(seed, params)) for index, seed, params in units]
+    trial_fn, cotrial_fn, width, units = task
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        if cotrial_fn is not None and width > 1 and len(units) > 1:
+            return _run_units_coscheduled(cotrial_fn, units, width)
+        return [
+            (index, trial_fn(seed, params)) for index, seed, params in units
+        ]
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _normalise(value: Any, spec_name: str) -> Any:
@@ -225,6 +277,7 @@ def run(
     fresh: bool = False,
     batch: Optional[int] = None,
     stats: Optional[ExecutionStats] = None,
+    coschedule: Optional[int] = None,
 ) -> ExperimentResult:
     """Execute ``spec`` and return its merged, normalised results.
 
@@ -237,11 +290,23 @@ def run(
     the number of units grouped per worker task (default: sized
     automatically); ``stats``, when given, accumulates execution
     counters across calls.
+
+    ``coschedule=K`` (with a spec that defines a ``cotrial``) interleaves
+    K units' worlds inside one event loop per executor — the in-process
+    co-scheduling backend.  It is pure execution strategy: results are
+    byte-identical with any combination of ``jobs``, ``batch`` and
+    ``coschedule``.
     """
     global TRIALS_EXECUTED
     stats = stats if stats is not None else ExecutionStats()
     digest = spec_hash(spec)
     worker_count = default_jobs() if jobs is None else max(1, int(jobs))
+    width = 1 if coschedule is None else max(1, int(coschedule))
+    if width > 1 and spec.cotrial is None:
+        raise SpecError(
+            f"spec {spec.name!r} defines no cotrial; "
+            "co-scheduling needs a (seed, params) -> WorldTask builder"
+        )
 
     cached_cells: Dict[str, Any] = {}
     if store is not None and not fresh:
@@ -259,13 +324,22 @@ def run(
     started = time.perf_counter()
     if units:
         if worker_count <= 1 or len(units) <= 1:
-            for index, seed, params in units:
-                assembler.feed(index, spec.trial(seed, params))
+            if width > 1 and len(units) > 1:
+                for index, value in _run_units_coscheduled(
+                    spec.cotrial, units, width
+                ):
+                    assembler.feed(index, value)
+            else:
+                for index, seed, params in units:
+                    assembler.feed(index, spec.trial(seed, params))
         else:
             size = (default_batch(len(units), worker_count)
                     if batch is None else max(1, int(batch)))
+            if width > size:
+                size = width  # a batch holds at least one full pool
+            cotrial = spec.cotrial if width > 1 else None
             tasks = [
-                (spec.trial, units[start:start + size])
+                (spec.trial, cotrial, width, units[start:start + size])
                 for start in range(0, len(units), size)
             ]
             stats.record_batches(len(tasks))
@@ -292,4 +366,5 @@ def run(
         elapsed_s=elapsed,
         cells_cached=len(cached_cells),
         cells_executed=len(spec.trials) - len(cached_cells),
+        coschedule=width,
     )

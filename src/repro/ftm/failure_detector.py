@@ -18,7 +18,7 @@ from typing import List
 from repro.components.impl import ComponentImpl
 from repro.components.model import Multiplicity
 from repro.kernel.errors import NodeDown
-from repro.kernel.sim import TIMEOUT, Process, Timeout
+from repro.kernel.sim import Process, Timeout
 
 
 class HeartbeatFailureDetector(ComponentImpl):
@@ -33,6 +33,7 @@ class HeartbeatFailureDetector(ComponentImpl):
         self.heartbeats_seen = 0
         self._suspended = False
         self._started_at = 0.0
+        self._deadline = 0.0
 
     # -- lifecycle hooks -----------------------------------------------------------
 
@@ -41,9 +42,15 @@ class HeartbeatFailureDetector(ComponentImpl):
         if self._processes and any(p.alive for p in self._processes):
             return  # restart after a stop: processes still running
         node = self.ctx.node
-        self._processes = [
+        self._deadline = self._started_at + self.prop("timeout", 60.0)
+        self._processes = self._spawn_processes(node)
+
+    def _spawn_processes(self, node) -> List[Process]:
+        """The background processes this detector runs (subclass hook)."""
+        return [
             node.spawn(self._sender(), name="fd-sender"),
             node.spawn(self._monitor(), name="fd-monitor"),
+            node.spawn(self._watchdog(), name="fd-watchdog"),
         ]
 
     def on_stop(self) -> None:
@@ -78,33 +85,64 @@ class HeartbeatFailureDetector(ComponentImpl):
     # -- background processes ------------------------------------------------------------
 
     def _sender(self):
-        period = self.prop("period", 20.0)
+        # hottest loop in campaign workloads: hoist every lookup that
+        # cannot change (the peer prop stays dynamic — reconfigurable)
+        node = self.ctx.node
+        send = self.ctx.network.send
+        me = node.name
+        beat_payload = ("heartbeat", me)
+        get_prop = self.component.get_property
+        beat = Timeout(self.prop("period", 20.0))  # reused wait descriptor
         while True:
-            peer = self.prop("peer", "")
-            if peer and self.ctx.node.is_up:
+            peer = get_prop("peer", "")
+            if peer and node.is_up:
                 try:
-                    self.ctx.send(peer, "fd", ("heartbeat", self.ctx.node.name), size=32)
+                    send(me, peer, "fd", beat_payload, 32)
                 except NodeDown:  # pragma: no cover - killed first in practice
                     return
-            yield Timeout(period)
+            yield beat
 
     def _monitor(self):
+        """Consume heartbeats and push the suspicion deadline forward.
+
+        The receive loop deliberately has no per-``get`` timeout: a
+        timeout here would park a cancellable timer in the simulator heap
+        for every heartbeat (the dominant event source in long missions).
+        Expiry is owned by :meth:`_watchdog`, which keeps exactly one
+        timer armed and lazily re-arms it — same suspicion instants,
+        a fraction of the scheduler traffic.
+        """
         timeout = self.prop("timeout", 60.0)
+        sim = self.ctx.sim
         mailbox = self.ctx.mailbox("fd")
+        wait = mailbox.get()  # reused wait descriptor
         while True:
-            message = yield mailbox.get(timeout=timeout)
-            if message is not TIMEOUT:
-                self.heartbeats_seen += 1
-                if self.suspected and not self._suspended:
-                    # peer is talking again after a suspicion; stay suspected
-                    # until management resets us (reintegration protocol)
-                    pass
+            yield wait
+            self.heartbeats_seen += 1
+            self._deadline = sim.now + timeout
+
+    def _watchdog(self):
+        """Suspect the peer when no heartbeat lands before the deadline.
+
+        Sleeps until the current deadline; if heartbeats moved it while
+        sleeping, re-arms for the remainder instead of firing.  This is
+        observably identical to a ``get(timeout=...)`` loop — suspicion
+        happens at exactly ``last_heartbeat + timeout`` — without a
+        schedule/cancel pair per message.
+        """
+        timeout = self.prop("timeout", 60.0)
+        sim = self.ctx.sim
+        while True:
+            now = sim.now
+            if now < self._deadline:
+                yield Timeout(self._deadline - now)
                 continue
+            self._deadline = now + timeout  # expiry window restarts
             if self._suspended or self.suspected:
                 continue
             if (
                 self.heartbeats_seen == 0
-                and self.ctx.sim.now - self._started_at < self.prop("grace", 500.0)
+                and now - self._started_at < self.prop("grace", 500.0)
             ):
                 continue  # startup grace: the peer may still be deploying
             self.suspected = True
@@ -115,3 +153,4 @@ class HeartbeatFailureDetector(ComponentImpl):
                 peer=self.prop("peer", ""),
             )
             yield from self.ref("control").invoke("peer_failed")
+            self._deadline = sim.now + timeout  # the wait restarts here

@@ -136,19 +136,29 @@ class GroupLfrSyncAfter(LfrSyncAfter):
 class GroupFailureDetector(HeartbeatFailureDetector):
     """Heartbeats to the whole group; suspicion targets the current leader."""
 
+    def _spawn_processes(self, node):
+        # the group monitor owns its own expiry (per-leader bookkeeping);
+        # the pairwise watchdog of the base class must not run here
+        return [
+            node.spawn(self._sender(), name="fd-sender"),
+            node.spawn(self._monitor(), name="fd-monitor"),
+        ]
+
     def _sender(self):
-        period = self.prop("period", 20.0)
+        node = self.ctx.node
+        send = self.ctx.network.send
+        me = node.name
+        beat_payload = ("heartbeat", me)
+        others = tuple(m for m in self.prop("group", ()) if m != me)
+        beat = Timeout(self.prop("period", 20.0))  # reused wait descriptor
         while True:
-            if self.ctx.node.is_up:
-                me = self.ctx.node.name
-                for member in self.prop("group", ()):
-                    if member == me:
-                        continue
+            if node.is_up:
+                for member in others:
                     try:
-                        self.ctx.send(member, "fd", ("heartbeat", me), size=32)
+                        send(me, member, "fd", beat_payload, 32)
                     except NodeDown:  # pragma: no cover
                         return
-            yield Timeout(period)
+            yield beat
 
     def _monitor(self):
         timeout = self.prop("timeout", 60.0)

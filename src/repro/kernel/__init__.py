@@ -32,6 +32,7 @@ from repro.kernel.faults import (
     FaultKind,
     bit_flip,
 )
+from repro.kernel.coschedule import WorldPool, WorldTask, run_cotasks, run_solo
 from repro.kernel.network import Link, Message, Network
 from repro.kernel.node import Cluster, Node, NodeState
 from repro.kernel.rand import DeterministicRandom
@@ -83,4 +84,8 @@ __all__ = [
     "Trace",
     "TraceRecord",
     "World",
+    "WorldPool",
+    "WorldTask",
+    "run_cotasks",
+    "run_solo",
 ]

@@ -1,0 +1,168 @@
+"""In-process co-scheduling of many independent simulated worlds.
+
+Campaign-scale workloads run thousands of tiny missions, each in its own
+:class:`~repro.kernel.world.World`.  Spinning one world up, draining it
+and tearing it down per mission is correct but leaves the event loop idle
+between worlds; a :class:`WorldPool` instead interleaves N worlds inside
+one Python process, stepping whichever world has the earliest *local*
+virtual time next (a k-way merge over ``Simulator.peek_time``).
+
+Invariants the pool guarantees:
+
+* **isolation** — worlds share no simulator, RNG stream, trace, node or
+  network state; nothing a world does can be observed by another.  The
+  interleaving therefore cannot change any world's event order, and each
+  world's result is byte-identical to running it alone
+  (:func:`run_solo`), whatever the pool size.
+* **per-world determinism** — within one world, events still execute in
+  the strict ``(time, seq)`` order of its own simulator; co-scheduling
+  changes only which world the process works on between events.
+* **fairness by virtual time** — the pool repeatedly picks the world
+  whose next event is earliest on its local clock and advances it for up
+  to ``limit`` events before re-checking the merge order, so all worlds
+  make proportional progress (in amortised chunks, not per event) and
+  peak memory is bounded by the N in-flight worlds rather than the
+  campaign size.
+* **completion semantics** — a world is driven exactly as
+  :meth:`Simulator.run_process` drives it: until its task process
+  terminates.  A failing task raises; a world going idle before its task
+  finished raises :class:`SimulationError` (deadlock), as solo runs do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Sequence, Union
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.world import World
+
+#: A scenario is either a ready generator or a callable ``world -> gen``
+#: (the same convention as :meth:`World.run_scenario`).
+Scenario = Union[Generator, Callable[[World], Generator]]
+
+
+class WorldTask:
+    """One world plus the process that drives it to completion.
+
+    The task's *result* is the driving process's return value.  Creating
+    a task spawns the process but runs none of its code — execution
+    happens under :func:`run_solo` or a :class:`WorldPool`.
+    """
+
+    __slots__ = ("world", "process", "name")
+
+    def __init__(
+        self,
+        world: World,
+        scenario: Scenario,
+        nodes: Sequence[str] = (),
+        name: str = "scenario",
+    ):
+        if nodes:
+            world.add_nodes(list(nodes))
+        gen = scenario(world) if callable(scenario) else scenario
+        self.world = world
+        self.name = name
+        self.process = world.sim.spawn(gen, name=name)
+
+    @property
+    def done(self) -> bool:
+        """Has the driving process terminated (successfully or not)?"""
+        return self.process.terminated.triggered
+
+    def result(self) -> Any:
+        """The driving process's return value; re-raises its failure."""
+        if not self.done:
+            raise SimulationError(f"task {self.name!r} has not finished")
+        if self.process.exception is not None:
+            raise self.process.exception
+        return self.process.result
+
+
+def run_solo(task: WorldTask) -> Any:
+    """Drive one task to completion alone and return its result.
+
+    Structurally identical to ``World.run_scenario`` — the reference
+    execution the pool's results are byte-compared against in tests.
+    """
+    task.world.sim.advance(task.process.terminated)
+    return _finish(task)
+
+
+def _finish(task: WorldTask) -> Any:
+    if not task.done:
+        raise SimulationError(
+            f"task {task.name!r} never terminated (deadlock?)"
+        )
+    return task.result()
+
+
+class WorldPool:
+    """Step many independent world tasks inside one event loop.
+
+    ``run()`` returns the task results in construction order.  ``limit``
+    bounds how many events one world may execute while it holds the
+    earliest virtual time before the pool re-checks the merge order
+    (purely a fairness knob — results are interleaving-independent).
+    """
+
+    def __init__(self, tasks: Sequence[WorldTask], limit: int = 256):
+        self.tasks: List[WorldTask] = list(tasks)
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+
+    def run(self) -> List[Any]:
+        """Drive every task to completion; results in task order."""
+        frontier: List = []  # (next local virtual time, task index)
+        for index, task in enumerate(self.tasks):
+            if task.done:
+                continue
+            when = task.world.sim.peek_time()
+            if when is None:
+                _finish(task)  # raises: spawned but nothing pending
+            frontier.append((when, index))
+        heapq.heapify(frontier)
+
+        limit = self.limit
+        while frontier:
+            _when, index = heapq.heappop(frontier)
+            task = self.tasks[index]
+            sim = task.world.sim
+            # advance this world for up to ``limit`` events, then yield
+            # to the world now holding the earliest virtual time.
+            # Re-checking the merge only at budget exhaustion (not per
+            # event) keeps the overhead amortised — worlds are fully
+            # isolated, so coarser turns cannot change results.
+            outcome = sim.advance(task.process.terminated, budget=limit)
+            if outcome == "done":
+                continue  # task finished: drop it from the merge
+            if outcome == "idle":
+                _finish(task)  # raises the deadlock error
+            when = sim.peek_time()
+            if when is None:
+                _finish(task)  # raises the deadlock error
+            heapq.heappush(frontier, (when, index))
+
+        return [_finish(task) for task in self.tasks]
+
+
+def run_cotasks(
+    builders: Sequence[Callable[[], WorldTask]],
+    coschedule: int,
+    limit: int = 256,
+) -> List[Any]:
+    """Build and run tasks in co-scheduled groups of ``coschedule``.
+
+    The grouping bounds peak memory: only ``coschedule`` worlds are alive
+    at once, whatever the campaign size.  ``coschedule <= 1`` degrades to
+    strictly sequential solo runs.
+    """
+    if coschedule <= 1:
+        return [run_solo(build()) for build in builders]
+    results: List[Any] = []
+    for start in range(0, len(builders), coschedule):
+        group = [build() for build in builders[start:start + coschedule]]
+        results.extend(WorldPool(group, limit=limit).run())
+    return results

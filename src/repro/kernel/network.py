@@ -15,6 +15,7 @@ the ``bandwidth drop`` adaptation trigger of Figure 8 is produced.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -25,16 +26,32 @@ from repro.kernel.sim import Channel, Simulator
 from repro.kernel.trace import Trace
 
 
-@dataclass(frozen=True)
 class Message:
-    """An envelope delivered to a mailbox."""
+    """An envelope delivered to a mailbox.
 
-    source: str
-    destination: str
-    port: str
-    payload: Any
-    size: int
-    sent_at: float
+    A plain slotted class rather than a dataclass: one is allocated per
+    send, which makes construction cost part of the kernel's hot path.
+    Treat instances as immutable (delivery filters return new envelopes
+    instead of mutating).
+    """
+
+    __slots__ = ("source", "destination", "port", "payload", "size", "sent_at")
+
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        port: str,
+        payload: Any,
+        size: int,
+        sent_at: float,
+    ):
+        self.source = source
+        self.destination = destination
+        self.port = port
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -75,6 +92,10 @@ class Network:
         self._loss_probability = 0.0
         self._delivery_filters: List[Callable[[Message], Optional[Message]]] = []
         self._rand = sim.random.substream("network")
+        # bound once: one delivery callback is scheduled per message, so a
+        # fresh bound method per send() would dominate its allocations
+        self._deliver_cb = self._deliver
+        self._rng_random = self._rand._rng.random  # jitter draw, sans frames
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -224,39 +245,54 @@ class Network:
         crashed or partitioned destination are silently dropped, like a
         real datagram — failure detection is the protocols' job.
         """
-        src_node = self._nodes.get(source)
+        nodes = self._nodes
+        src_node = nodes.get(source)
         if src_node is None:
             raise KeyError(f"unknown node {source!r}")
-        if destination not in self._nodes:
+        if destination not in nodes:
             raise KeyError(f"unknown node {destination!r}")
         if not src_node.is_up:
             raise NodeDown(source, "send")
 
-        message = Message(
-            source=source,
-            destination=destination,
-            port=port,
-            payload=payload,
-            size=size,
-            sent_at=self.sim.now,
-        )
+        sim = self.sim
+        message = Message(source, destination, port, payload, size, sim.now)
         self.messages_sent += 1
         src_node.charge_energy_for_send(size)
 
         if source == destination:
             delay = 0.01  # loopback
         else:
-            if self.partitioned(source, destination):
+            if self._partitions and self.partitioned(source, destination):
                 self._drop(message, "partition")
                 return
-            link = self.link(source, destination)
-            if self._rand.chance(max(self._loss_probability, link.loss)):
+            link = self._links.get((source, destination))
+            if link is None:
+                raise NetworkUnreachable(source, destination)
+            loss = self._loss_probability
+            if link.loss > loss:
+                loss = link.loss
+            if loss > 0.0 and self._rand.chance(loss):
                 self._drop(message, "loss")
                 return
-            delay = self._rand.jitter(
-                link.transfer_time(size), self.costs.jitter_fraction
+            # inlined self._rand.jitter(base, fraction): same float
+            # arithmetic, same RNG stream, two call frames fewer on the
+            # per-message path
+            delay = link.latency + size / link.bandwidth
+            fraction = self.costs.jitter_fraction
+            if fraction > 0.0:
+                low = 1.0 - fraction
+                high = 1.0 + fraction
+                delay = delay * (low + (high - low) * self._rng_random())
+        # inlined sim.call_later(delay, self._deliver_cb, message) — one
+        # frame per message on the kernel's dominant timed-event source
+        sim._seq += 1
+        if delay == 0.0 and sim.fast_path:
+            sim._ready.append((sim._seq, None, self._deliver_cb, (message,)))
+        else:
+            heapq.heappush(
+                sim._queue,
+                (sim.now + delay, sim._seq, None, self._deliver_cb, (message,)),
             )
-        self.sim.schedule(delay, self._deliver, message)
 
     def _drop(self, message: Message, reason: str) -> None:
         self.messages_dropped += 1
@@ -270,20 +306,23 @@ class Network:
         )
 
     def _deliver(self, message: Message) -> None:
-        destination = self._nodes[message.destination]
+        dest_name = message.destination
+        destination = self._nodes[dest_name]
         if not destination.is_up:
             self._drop(message, "destination_down")
             return
-        if self.partitioned(message.source, message.destination):
+        if self._partitions and self.partitioned(message.source, dest_name):
             self._drop(message, "partition")
             return
-        for filter_fn in self._delivery_filters:
-            filtered = filter_fn(message)
-            if filtered is None:
-                self._drop(message, "filtered")
-                return
-            message = filtered
-        mailbox = self._mailboxes.get((message.destination, message.port))
+        if self._delivery_filters:
+            for filter_fn in self._delivery_filters:
+                filtered = filter_fn(message)
+                if filtered is None:
+                    self._drop(message, "filtered")
+                    return
+                message = filtered
+            dest_name = message.destination
+        mailbox = self._mailboxes.get((dest_name, message.port))
         if mailbox is None:
             self._drop(message, "no_mailbox")
             return

@@ -42,7 +42,9 @@ class Node:
         self.trace = trace
         self.costs = costs
         self.cpu_speed = cpu_speed
-        self.state = NodeState.UP
+        #: Plain attribute, not a property: the message path reads it on
+        #: every send/deliver, so crash/restart maintain it directly.
+        self.is_up = True
         self.processes: List[Process] = []
         self._rand = sim.random.substream(f"node.{name}")
         # accounting (reset on crash: volatile counters; cumulative kept for eval)
@@ -58,8 +60,9 @@ class Node:
         return f"<Node {self.name} {self.state.value}>"
 
     @property
-    def is_up(self) -> bool:
-        return self.state == NodeState.UP
+    def state(self) -> NodeState:
+        """The fail-stop state, derived from :attr:`is_up`."""
+        return NodeState.UP if self.is_up else NodeState.CRASHED
 
     def check_up(self, operation: str = "operation") -> None:
         """Raise :class:`NodeDown` when the node is crashed."""
@@ -112,7 +115,7 @@ class Node:
         """Fail-stop: kill every process on this node, drop volatile state."""
         if not self.is_up:
             return
-        self.state = NodeState.CRASHED
+        self.is_up = False
         self.crash_count += 1
         self.trace.record("node", "crash", node=self.name)
         self._reap()
@@ -130,7 +133,7 @@ class Node:
         """
         if self.is_up:
             return
-        self.state = NodeState.UP
+        self.is_up = True
         self.trace.record("node", "restart", node=self.name)
         for hook in list(self._restart_hooks):
             hook(self)

@@ -24,11 +24,23 @@ Processes are plain Python generators that *yield* wait descriptors:
 Time is virtual: the simulator jumps from event to event, so a simulated
 second costs microseconds of wall time, and two runs with the same seed
 produce byte-identical traces.
+
+The event loop has **two lanes**.  Timed events (``delay > 0``) live in a
+binary heap ordered by ``(time, seq)``.  Zero-delay events — process
+resumes, channel handoffs, join delivery, i.e. the overwhelming majority
+of traffic in protocol-heavy workloads — bypass the heap entirely and go
+through a FIFO *ready deque*, which costs an append/popleft instead of a
+``log n`` sift plus tuple comparisons.  Because every ready entry carries
+the global sequence number, the two lanes replay exactly the single-heap
+``(time, seq)`` order: the fast path is an optimisation, never a
+semantics change (``Simulator(fast_path=False)`` forces everything
+through the heap to prove it).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterator, List, Optional
 
 from repro.kernel.errors import (
@@ -51,33 +63,68 @@ class _Sentinel:
 TIMEOUT = _Sentinel("TIMEOUT")
 
 
+def _noop() -> None:
+    """Shared no-op canceller (avoids a closure per already-ready wait)."""
+
+
+#: Shared ``(value, exc)`` argument pair for plain resumes — every Timeout
+#: wake-up passes ``(None, None)``, so one interned tuple serves them all.
+_RESUME_ARGS = (None, None)
+
+
 class Handle:
-    """A cancellable reference to a scheduled callback."""
+    """A cancellable reference to a scheduled callback.
 
-    __slots__ = ("_cancelled", "_fired")
+    Heap-resident handles keep a back-reference to their simulator so a
+    cancellation can bump the dead-entry counter that drives lazy-cancel
+    compaction; ready-lane handles pass ``sim=None`` (the deque drains
+    every step, so cancelled entries there are bounded by construction).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_cancelled", "_fired", "_sim")
+
+    def __init__(self, sim: Optional["Simulator"] = None) -> None:
         self._cancelled = False
         self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the scheduled callback from firing."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_dead()
 
     @property
     def active(self) -> bool:
         return not (self._cancelled or self._fired)
 
 
-class Simulator:
-    """The event loop: a priority queue of timestamped callbacks."""
+#: Compaction floor: below this many dead entries the heap is left alone
+#: (compacting a tiny heap costs more than carrying the garbage).
+_COMPACT_MIN_DEAD = 64
 
-    def __init__(self, seed: int = 0):
+
+class Simulator:
+    """The event loop: a ready deque plus a priority queue of timed events."""
+
+    #: Class-wide default for the two-lane fast path.  Benchmarks flip
+    #: this to measure the legacy single-heap kernel on identical code.
+    DEFAULT_FAST_PATH = True
+
+    def __init__(self, seed: int = 0, fast_path: Optional[bool] = None):
         self.now: float = 0.0
         self.random = DeterministicRandom(seed)
         self._queue: List = []
+        self._ready: deque = deque()
         self._seq = 0
+        self._dead = 0
         self._running = False
+        self.fast_path = (
+            self.DEFAULT_FAST_PATH if fast_path is None else fast_path
+        )
         self.processes: List["Process"] = []
 
     # -- scheduling --------------------------------------------------------
@@ -86,33 +133,183 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` time units; returns a Handle."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        handle = Handle()
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, handle, fn, args))
+        if delay == 0.0 and self.fast_path:
+            handle = Handle()
+            self._ready.append((self._seq, handle, fn, args))
+        else:
+            handle = Handle(self)
+            heapq.heappush(
+                self._queue, (self.now + delay, self._seq, handle, fn, args)
+            )
         return handle
+
+    def post(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the current time; no cancellation handle.
+
+        The allocation-light lane for the kernel's own zero-delay events
+        (process resumes, channel handoffs, event triggers) whose handles
+        were never cancellable in practice — one deque append, no Handle,
+        no heap sift.
+        """
+        self._seq += 1
+        if self.fast_path:
+            self._ready.append((self._seq, None, fn, args))
+        else:
+            heapq.heappush(self._queue, (self.now, self._seq, None, fn, args))
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Timed :meth:`post`: run ``fn(*args)`` after ``delay``, no Handle.
+
+        For fire-and-forget timed events that are never cancelled — the
+        network uses it for message delivery, the dominant source of
+        timed traffic — saving one Handle allocation per event.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        if delay == 0.0 and self.fast_path:
+            self._ready.append((self._seq, None, fn, args))
+        else:
+            heapq.heappush(
+                self._queue, (self.now + delay, self._seq, None, fn, args)
+            )
 
     def spawn(self, gen: Generator, name: str = "proc") -> "Process":
         """Wrap a generator into a Process and start it at the current time."""
         process = Process(self, gen, name)
         self.processes.append(process)
-        self.schedule(0.0, process._resume, None, None)
+        self.post(process._resume_cb, None, None)
         return process
+
+    # -- lazy-cancel bookkeeping -------------------------------------------
+
+    def _note_dead(self) -> None:
+        """One more cancelled entry is sitting in the heap; maybe compact."""
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 >= len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place: ``step`` may
+        hold a reference to the list while a callback cancels handles)."""
+        self._queue[:] = [
+            e for e in self._queue if e[2] is None or not e[2]._cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._dead = 0
+
+    def pending(self) -> int:
+        """Live (non-cancelled) scheduled events across both lanes."""
+        live_heap = sum(
+            1 for e in self._queue if e[2] is None or not e[2]._cancelled
+        )
+        live_ready = sum(
+            1 for e in self._ready if e[1] is None or not e[1]._cancelled
+        )
+        return live_heap + live_ready
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or None when idle.
+
+        Cancelled heap heads are pruned as a side effect, so the answer
+        is exact; the co-scheduler uses this to merge worlds by virtual
+        time without executing anything.
+        """
+        if self._ready:
+            return self.now
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[2] is not None and head[2]._cancelled:
+                heapq.heappop(queue)
+                self._dead -= 1
+                continue
+            return head[0]
+        return None
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute the earliest pending event. Returns False when idle."""
-        while self._queue:
-            time, _seq, handle, fn, args = heapq.heappop(self._queue)
-            if handle._cancelled:
-                continue
-            handle._fired = True
+        """Execute the earliest pending event. Returns False when idle.
+
+        Ready-lane entries run at the current time, but a heap entry that
+        landed on exactly ``now`` with a smaller sequence number still
+        goes first — the two lanes together replay the strict
+        ``(time, seq)`` order of the single-heap kernel.
+        """
+        ready = self._ready
+        queue = self._queue
+        while ready or queue:
+            if ready and not (
+                queue and queue[0][0] <= self.now and queue[0][1] < ready[0][0]
+            ):
+                _seq, handle, fn, args = ready.popleft()
+                if handle is not None:
+                    if handle._cancelled:
+                        continue
+                    handle._fired = True
+                fn(*args)
+                return True
+            time, _seq, handle, fn, args = heapq.heappop(queue)
+            if handle is not None:
+                if handle._cancelled:
+                    self._dead -= 1
+                    continue
+                handle._fired = True
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
             fn(*args)
             return True
         return False
+
+    def advance(self, stop: "Event", budget: Optional[int] = None) -> str:
+        """Execute events until ``stop`` triggers, the queues drain, or
+        ``budget`` events have run.
+
+        Returns ``"done"`` (stop triggered), ``"idle"`` (nothing left to
+        execute) or ``"budget"`` (budget exhausted first).  This is
+        :meth:`step` fused with the driving loop — process runners and
+        the world co-scheduler execute one Python call per *drain*
+        instead of one per event, which is measurable at campaign scale.
+        """
+        ready = self._ready
+        queue = self._queue
+        heappop = heapq.heappop
+        if stop.triggered:
+            return "done"
+        remaining = -1 if budget is None else budget
+        # cancelled entries `continue` without charging the budget: only
+        # executed events count, exactly as repeated step() calls would
+        while remaining != 0:
+            if ready and not (
+                queue
+                and queue[0][0] <= self.now
+                and queue[0][1] < ready[0][0]
+            ):
+                _seq, handle, fn, args = ready.popleft()
+                if handle is not None:
+                    if handle._cancelled:
+                        continue
+                    handle._fired = True
+            elif queue:
+                time, _seq, handle, fn, args = heappop(queue)
+                if handle is not None:
+                    if handle._cancelled:
+                        self._dead -= 1
+                        continue
+                    handle._fired = True
+                if time < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = time
+            else:
+                return "done" if stop.triggered else "idle"
+            fn(*args)
+            if stop.triggered:
+                return "done"
+            remaining -= 1
+        return "budget"
 
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue (optionally stopping at time ``until``).
@@ -123,16 +320,19 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         try:
-            while self._queue:
-                time = self._queue[0][0]
-                if until is not None and time > until:
-                    self.now = until
-                    break
+            while True:
+                if not self._ready:
+                    time = self.peek_time()
+                    if time is None:
+                        break
+                    if until is not None and time > until:
+                        self.now = until
+                        break
                 if not self.step():
                     break
         finally:
             self._running = False
-        if until is not None and self.now < until and not self._queue:
+        if until is not None and self.now < until and not self._queue and not self._ready:
             self.now = until
         return self.now
 
@@ -146,10 +346,9 @@ class Simulator:
         next ``run`` call.
         """
         process = self.spawn(gen, name)
-        while not process.terminated.triggered:
-            if not self.step():
-                break
-        if not process.terminated.triggered:
+        terminated = process.terminated
+        self.advance(terminated)
+        if not terminated.triggered:
             raise SimulationError(f"process {name!r} never terminated (deadlock?)")
         if process.exception is not None:
             raise process.exception
@@ -171,9 +370,24 @@ class Timeout:
             raise SimulationError(f"negative timeout {delay}")
         self.delay = delay
 
-    def _subscribe(self, process: "Process") -> Callable[[], None]:
-        handle = process.sim.schedule(self.delay, process._resume, None, None)
-        return handle.cancel
+    def _subscribe(self, process: "Process") -> "Handle":
+        # the Handle itself is the canceller (see Process._abort_wait) —
+        # no bound-method allocation on the hottest wait path.  The
+        # schedule() body is inlined (delay was validated in __init__),
+        # with the shared _RESUME_ARGS pair instead of a fresh tuple.
+        sim = process.sim
+        sim._seq += 1
+        delay = self.delay
+        if delay == 0.0 and sim.fast_path:
+            handle = Handle()
+            sim._ready.append((sim._seq, handle, process._resume_cb, _RESUME_ARGS))
+        else:
+            handle = Handle(sim)
+            heapq.heappush(
+                sim._queue,
+                (sim.now + delay, sim._seq, handle, process._resume_cb, _RESUME_ARGS),
+            )
+        return handle
 
 
 class Event:
@@ -184,6 +398,8 @@ class Event:
     Waiting on an already-triggered event resumes immediately — events are
     levels, not edges, which makes join/termination race-free.
     """
+
+    __slots__ = ("sim", "name", "triggered", "value", "exception", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = "event"):
         self.sim = sim
@@ -201,7 +417,7 @@ class Event:
         self.value = value
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            self.sim.schedule(0.0, process._resume, value, None)
+            self.sim.post(process._resume_cb, value, None)
 
     def fail(self, exception: BaseException) -> None:
         """Fire the event by raising ``exception`` in every waiter."""
@@ -211,15 +427,15 @@ class Event:
         self.exception = exception
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            self.sim.schedule(0.0, process._resume, None, exception)
+            self.sim.post(process._resume_cb, None, exception)
 
     def _subscribe(self, process: "Process") -> Callable[[], None]:
         if self.triggered:
             if self.exception is not None:
-                self.sim.schedule(0.0, process._resume, None, self.exception)
+                self.sim.post(process._resume_cb, None, self.exception)
             else:
-                self.sim.schedule(0.0, process._resume, self.value, None)
-            return lambda: None
+                self.sim.post(process._resume_cb, self.value, None)
+            return _noop
         self._waiters.append(process)
 
         def cancel() -> None:
@@ -249,25 +465,38 @@ class Channel:
     while a getter is pending are handed over in FIFO order among getters.
     """
 
+    __slots__ = ("sim", "name", "_items", "_getters")
+
     def __init__(self, sim: Simulator, name: str = "channel"):
         self.sim = sim
         self.name = name
-        self._items: List[Any] = []
-        self._getters: List[tuple] = []  # (process, timeout_handle)
+        self._items: deque = deque()
+        self._getters: deque = deque()  # (channel, process, timeout_handle)
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
         """Enqueue an item (hands it straight to the oldest pending getter)."""
-        while self._getters:
-            process, timeout_handle = self._getters.pop(0)
+        getters = self._getters
+        while getters:
+            _chan, process, timeout_handle = getters.popleft()
             if timeout_handle is not None and not timeout_handle.active:
                 continue  # stale: its timeout already fired
             if timeout_handle is not None:
                 timeout_handle.cancel()
-            process._clear_wait()
-            self.sim.schedule(0.0, process._resume, item, None)
+            process._cancel_wait = None
+            # inlined sim.post(...) — the channel handoff is the single
+            # hottest zero-delay producer, one call frame matters here
+            sim = self.sim
+            sim._seq += 1
+            if sim.fast_path:
+                sim._ready.append((sim._seq, None, process._resume_cb, (item, None)))
+            else:
+                heapq.heappush(
+                    sim._queue,
+                    (sim.now, sim._seq, None, process._resume_cb, (item, None)),
+                )
             return
         self._items.append(item)
 
@@ -277,18 +506,24 @@ class Channel:
 
     def drain(self) -> List[Any]:
         """Remove and return all buffered items (no waiting)."""
-        items, self._items = self._items, []
+        items = list(self._items)
+        self._items.clear()
         return items
 
-    def _subscribe_get(
-        self, process: "Process", timeout: Optional[float]
-    ) -> Callable[[], None]:
+    def _subscribe_get(self, process: "Process", timeout: Optional[float]) -> Any:
         if self._items:
-            item = self._items.pop(0)
-            self.sim.schedule(0.0, process._resume, item, None)
-            return lambda: None
+            item = self._items.popleft()
+            self.sim.post(process._resume_cb, item, None)
+            return _noop
 
-        timeout_handle: Optional[Handle] = None
+        if timeout is None:
+            # the getter entry doubles as the canceller (see
+            # Process._abort_wait) — the receive hot path allocates one
+            # tuple per wait and nothing else
+            entry = (self, process, None)
+            self._getters.append(entry)
+            return entry
+
         entry = None
 
         def expire() -> None:
@@ -297,18 +532,10 @@ class Channel:
             process._clear_wait()
             process._resume(TIMEOUT, None)
 
-        if timeout is not None:
-            timeout_handle = self.sim.schedule(timeout, expire)
-        entry = (process, timeout_handle)
+        timeout_handle = self.sim.schedule(timeout, expire)
+        entry = (self, process, timeout_handle)
         self._getters.append(entry)
-
-        def cancel() -> None:
-            if entry in self._getters:
-                self._getters.remove(entry)
-            if timeout_handle is not None:
-                timeout_handle.cancel()
-
-        return cancel
+        return entry
 
 
 # ---------------------------------------------------------------------------
@@ -325,6 +552,11 @@ class Process:
     (``yield process``) race-free.
     """
 
+    __slots__ = (
+        "sim", "gen", "name", "result", "exception", "terminated",
+        "_cancel_wait", "_killed", "_resume_cb",
+    )
+
     def __init__(self, sim: Simulator, gen: Generator, name: str):
         if not isinstance(gen, Iterator):
             raise SimulationError(
@@ -337,8 +569,11 @@ class Process:
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self.terminated = Event(sim, name=f"{name}.terminated")
-        self._cancel_wait: Optional[Callable[[], None]] = None
+        self._cancel_wait: Any = None
         self._killed = False
+        # bound once: every wait site passes this into schedule()/post(),
+        # so rebinding the method per event would dominate allocations
+        self._resume_cb = self._resume
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.terminated.triggered else "alive"
@@ -353,6 +588,34 @@ class Process:
     def _clear_wait(self) -> None:
         self._cancel_wait = None
 
+    def _abort_wait(self) -> None:
+        """Detach from the current wait, whatever canceller form it took.
+
+        A ``_subscribe`` may return a zero-arg callable, a
+        :class:`Handle` (the Timeout hot path hands back its schedule
+        handle directly), or a channel getter entry tuple
+        ``(channel, process, timeout_handle)`` — the two non-callable
+        forms exist so the hottest wait paths allocate no canceller at
+        all; aborting a wait is rare, subscribing is not.
+        """
+        cancel = self._cancel_wait
+        if cancel is None:
+            return
+        self._cancel_wait = None
+        kind = type(cancel)
+        if kind is Handle:
+            cancel.cancel()
+        elif kind is tuple:
+            channel, _process, timeout_handle = cancel
+            try:
+                channel._getters.remove(cancel)
+            except ValueError:
+                pass  # already handed an item / expired
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+        else:
+            cancel()
+
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.terminated.triggered:
             return
@@ -363,7 +626,7 @@ class Process:
             else:
                 descriptor = self.gen.send(value)
         except StopIteration as stop:
-            self._finish(getattr(stop, "value", None), None)
+            self._finish(stop.value, None)
             return
         except (ProcessKilled, ProcessInterrupted) as terminal:
             self._finish(None, terminal)
@@ -371,13 +634,11 @@ class Process:
         except BaseException as failure:  # noqa: BLE001 - deliberate funnel
             self._finish(None, failure)
             return
-        self._wait_on(descriptor)
-
-    def _wait_on(self, descriptor: Any) -> None:
-        if isinstance(descriptor, Process):
-            descriptor = descriptor.terminated_with_result()
-        subscribe = getattr(descriptor, "_subscribe", None)
-        if subscribe is None:
+        # _wait_on inlined: this tail runs once per event for every live
+        # process, so the extra frame was pure overhead
+        try:
+            subscribe = descriptor._subscribe
+        except AttributeError:
             self._finish(
                 None,
                 SimulationError(
@@ -391,6 +652,10 @@ class Process:
     def terminated_with_result(self) -> "_Join":
         """A join descriptor: yields the result / re-raises the failure."""
         return _Join(self)
+
+    def _subscribe(self, joiner: "Process") -> Callable[[], None]:
+        # yielding a process joins it (sugar for terminated_with_result())
+        return _Join(self)._subscribe(joiner)
 
     def _finish(self, result: Any, exception: Optional[BaseException]) -> None:
         self.result = result
@@ -408,10 +673,8 @@ class Process:
         """
         if not self.alive:
             return
-        if self._cancel_wait is not None:
-            self._cancel_wait()
-            self._cancel_wait = None
-        self.sim.schedule(0.0, self._resume, None, ProcessInterrupted(cause))
+        self._abort_wait()
+        self.sim.post(self._resume_cb, None, ProcessInterrupted(cause))
 
     def kill(self) -> None:
         """Terminate the process immediately (used for node crashes).
@@ -422,9 +685,7 @@ class Process:
         if not self.alive or self._killed:
             return
         self._killed = True
-        if self._cancel_wait is not None:
-            self._cancel_wait()
-            self._cancel_wait = None
+        self._abort_wait()
         try:
             self.gen.close()
         except BaseException:  # noqa: BLE001 - a dying process can't veto death
@@ -468,11 +729,12 @@ class _Join:
 class _Forwarder:
     """Adapter so a _Join can sit in an Event waiter list."""
 
-    __slots__ = ("deliver", "joiner")
+    __slots__ = ("deliver", "joiner", "_resume_cb")
 
     def __init__(self, deliver: Callable, joiner: Process):
         self.deliver = deliver
         self.joiner = joiner
+        self._resume_cb = self._resume  # waiter-list protocol (see Event)
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         self.deliver(value)

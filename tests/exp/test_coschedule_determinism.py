@@ -1,0 +1,126 @@
+"""The determinism matrix: coschedule × jobs must not move a byte.
+
+``run(spec, coschedule=K)`` is pure execution strategy — like ``jobs``
+it may change wall-clock and nothing else.  These tests pin the
+acceptance criteria of the co-scheduling PR: sequential, co-scheduled,
+parallel and parallel+co-scheduled executions of the same spec produce
+byte-identical result payloads *and* byte-identical result-store files.
+"""
+
+import json
+
+import pytest
+
+from repro import exp
+from repro.eval import campaign, transition_matrix
+from repro.exp import SpecError
+
+
+def _payload(result):
+    """The canonical byte-comparison form used across the runner tests."""
+    return json.dumps(result.results, sort_keys=True)
+
+
+def _drop_elapsed(value):
+    """Strip wall-clock ``elapsed_s`` keys at any nesting depth."""
+    if isinstance(value, dict):
+        return {k: _drop_elapsed(v) for k, v in value.items()
+                if k != "elapsed_s"}
+    if isinstance(value, list):
+        return [_drop_elapsed(v) for v in value]
+    return value
+
+
+def test_campaign_execution_matrix_is_byte_identical():
+    spec = campaign.sharded_spec(
+        missions=12, base_seed=5100, requests=6, cell_size=4
+    )
+    sequential = exp.run(spec, jobs=1)
+    coscheduled = exp.run(spec, jobs=1, coschedule=4)
+    parallel = exp.run(spec, jobs=2)
+    both = exp.run(spec, jobs=2, coschedule=3)
+    assert (
+        _payload(sequential)
+        == _payload(coscheduled)
+        == _payload(parallel)
+        == _payload(both)
+    )
+
+
+def test_transition_matrix_coscheduled_is_byte_identical():
+    spec = transition_matrix.spec(runs=1, base_seed=7100, smoke=True)
+    sequential = exp.run(spec, jobs=1)
+    coscheduled = exp.run(spec, jobs=1, coschedule=3)
+    assert _payload(sequential) == _payload(coscheduled)
+
+
+def test_store_files_are_byte_identical_sequential_vs_coscheduled(tmp_path):
+    # enabling co-scheduling must not invalidate or even perturb stored
+    # results: every file the store writes has to match byte for byte
+    spec = campaign.sharded_spec(
+        missions=8, base_seed=5200, requests=6, cell_size=4
+    )
+    exp.run(spec, jobs=1, store=exp.ResultStore(tmp_path / "seq"))
+    exp.run(spec, jobs=1, coschedule=4,
+            store=exp.ResultStore(tmp_path / "cosched"))
+
+    seq_files = sorted(p for p in (tmp_path / "seq").rglob("*") if p.is_file())
+    co_files = sorted(
+        p for p in (tmp_path / "cosched").rglob("*") if p.is_file()
+    )
+    assert [p.name for p in seq_files] == [p.name for p in co_files]
+    assert seq_files  # the store actually wrote something
+    for seq_file, co_file in zip(seq_files, co_files):
+        seq_bytes, co_bytes = seq_file.read_bytes(), co_file.read_bytes()
+        if seq_file.name == "manifest.json":
+            # elapsed_s is wall-clock: it differs between any two runs,
+            # co-scheduled or not — every other byte must match
+            seq_bytes, co_bytes = (
+                json.dumps(_drop_elapsed(json.loads(raw)),
+                           sort_keys=True).encode()
+                for raw in (seq_bytes, co_bytes)
+            )
+        assert seq_bytes == co_bytes, seq_file.name
+
+
+def test_coscheduled_run_hits_warm_store(tmp_path):
+    spec = campaign.sharded_spec(
+        missions=8, base_seed=5300, requests=6, cell_size=4
+    )
+    store = exp.ResultStore(tmp_path)
+    cold = exp.run(spec, jobs=1, store=store)
+    warm = exp.run(spec, jobs=1, coschedule=4, store=store)
+    assert cold.executed > 0
+    assert warm.executed == 0
+    assert _payload(cold) == _payload(warm)
+
+
+def _plain_trial(seed, params):
+    return {"seed": seed}
+
+
+def test_coschedule_without_cotrial_is_a_spec_error():
+    spec = exp.ExperimentSpec(
+        name="plain", trial=_plain_trial,
+        trials=(exp.Trial(key="only", seeds=(1, 2)),),
+    )
+    with pytest.raises(SpecError, match="cotrial"):
+        exp.run(spec, jobs=1, coschedule=2)
+
+
+def test_coschedule_width_one_works_without_cotrial():
+    spec = exp.ExperimentSpec(
+        name="plain", trial=_plain_trial,
+        trials=(exp.Trial(key="only", seeds=(1, 2)),),
+    )
+    result = exp.run(spec, jobs=1, coschedule=1)
+    assert result.results["only"] == [{"seed": 1}, {"seed": 2}]
+
+
+def test_result_records_coschedule_width():
+    spec = transition_matrix.spec(runs=1, base_seed=7200, smoke=True)
+    result = exp.run(spec, jobs=1, coschedule=3)
+    assert result.coschedule == 3
+    assert result.summary()["coschedule"] == 3
+    default = exp.run(spec, jobs=1)
+    assert default.coschedule == 1

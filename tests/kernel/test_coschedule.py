@@ -1,0 +1,138 @@
+"""WorldPool / WorldTask: co-scheduling must never change results.
+
+The pool's contract (see :mod:`repro.kernel.coschedule`) is that worlds
+share no state, so interleaving N of them inside one process produces
+exactly the results of running each alone.  These tests exercise the
+contract on synthetic worlds (where every RNG draw and clock read would
+expose cross-talk) and the error paths (failing tasks, deadlocks).
+"""
+
+import pytest
+
+from repro.kernel import (
+    Event,
+    SimulationError,
+    Timeout,
+    World,
+    WorldPool,
+    WorldTask,
+    run_cotasks,
+    run_solo,
+)
+
+
+def _rng_task(seed, steps=5):
+    """A task whose result encodes its RNG stream and local clock — any
+    cross-world leakage would change it."""
+    world = World(seed=seed)
+
+    def scenario():
+        values = []
+        for _ in range(steps):
+            yield Timeout(float(1 + seed % 5))
+            values.append(world.sim.random.randint(0, 10_000))
+        return {"seed": seed, "values": values, "end": world.sim.now}
+
+    return WorldTask(world, scenario(), name=f"rng-{seed}")
+
+
+def _failing_task():
+    world = World(seed=1)
+
+    def scenario():
+        yield Timeout(1.0)
+        raise RuntimeError("boom")
+
+    return WorldTask(world, scenario(), name="failing")
+
+
+def _deadlocked_task():
+    world = World(seed=2)
+
+    def scenario():
+        yield Event(world.sim)  # never triggered
+
+    return WorldTask(world, scenario(), name="stuck")
+
+
+SEEDS = (3, 11, 12, 20, 47)
+
+
+def test_pool_results_match_solo_in_task_order():
+    solo = [run_solo(_rng_task(seed)) for seed in SEEDS]
+    pooled = WorldPool([_rng_task(seed) for seed in SEEDS]).run()
+    assert pooled == solo
+
+
+def test_pool_of_one_matches_solo():
+    assert WorldPool([_rng_task(7)]).run() == [run_solo(_rng_task(7))]
+
+
+def test_pool_limit_is_only_a_fairness_knob():
+    # a budget of one event per turn maximises interleaving; results
+    # must not move
+    solo = [run_solo(_rng_task(seed)) for seed in SEEDS]
+    assert WorldPool([_rng_task(s) for s in SEEDS], limit=1).run() == solo
+
+
+def test_pool_rejects_nonpositive_limit():
+    with pytest.raises(ValueError):
+        WorldPool([], limit=0)
+
+
+def test_failing_task_propagates_from_pool():
+    with pytest.raises(RuntimeError, match="boom"):
+        WorldPool([_rng_task(3), _failing_task()]).run()
+
+
+def test_failing_task_propagates_from_solo():
+    with pytest.raises(RuntimeError, match="boom"):
+        run_solo(_failing_task())
+
+
+def test_deadlocked_task_raises_like_run_process():
+    with pytest.raises(SimulationError, match="never terminated"):
+        run_solo(_deadlocked_task())
+    with pytest.raises(SimulationError, match="never terminated"):
+        WorldPool([_rng_task(3), _deadlocked_task()]).run()
+
+
+def test_result_before_completion_raises():
+    task = _rng_task(5)
+    assert not task.done
+    with pytest.raises(SimulationError, match="has not finished"):
+        task.result()
+
+
+def test_worldtask_adds_nodes_and_accepts_callable_scenario():
+    world = World(seed=9)
+
+    def scenario(w):
+        yield Timeout(1.0)
+        return sorted(w.cluster.nodes)
+
+    task = WorldTask(world, scenario, nodes=("alpha", "beta"))
+    assert run_solo(task) == ["alpha", "beta"]
+
+
+def test_run_cotasks_groups_match_sequential():
+    builders = [
+        (lambda seed=seed: _rng_task(seed)) for seed in SEEDS
+    ]
+    sequential = run_cotasks(builders, coschedule=1)
+    grouped = run_cotasks(builders, coschedule=2)
+    whole = run_cotasks(builders, coschedule=len(builders))
+    assert grouped == sequential == whole
+
+
+def test_pool_interleaves_real_missions_byte_identically():
+    # the campaign's own mission task through the pool: the workload the
+    # runner co-schedules in production
+    from repro.eval import campaign
+
+    seeds = (5001, 5002, 5003)
+    solo = [run_solo(campaign.mission_task(s, requests=6)) for s in seeds]
+    pooled = WorldPool(
+        [campaign.mission_task(s, requests=6) for s in seeds]
+    ).run()
+    assert pooled == solo

@@ -1,0 +1,162 @@
+"""The two-lane event loop: fast/legacy parity and lazy-cancel bounds.
+
+The fast path (ready deque for zero-delay events, lazy-cancel heap for
+timed ones) is an optimisation, never a semantics change.  These tests
+pin that claim: identical workloads replay in identical order under
+``fast_path=True`` and ``fast_path=False``, a full seeded mission is
+byte-identical across the two kernels, and mass timer cancellation can
+no longer grow the heap without bound.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.kernel import SimulationError, Simulator, Timeout
+
+
+def _nop():
+    pass
+
+
+def _record(log, sim, tag):
+    log.append((sim.now, tag))
+
+
+def _mixed_workload(sim, log):
+    """Every scheduling lane at once: timed, zero-delay, post, call_later,
+    nested scheduling from callbacks, and a cancellation."""
+    sim.schedule(5.0, _record, log, sim, "timed-5")
+    sim.schedule(0.0, _record, log, sim, "zero-a")
+    sim.post(_record, log, sim, "post-a")
+    sim.call_later(5.0, _record, log, sim, "later-5")
+    sim.call_later(0.0, _record, log, sim, "later-0")
+    sim.schedule(2.0, _record, log, sim, "timed-2")
+    doomed = sim.schedule(3.0, _record, log, sim, "cancelled")
+    doomed.cancel()
+
+    def nested():
+        log.append((sim.now, "nested"))
+        sim.post(_record, log, sim, "nested-post")
+        sim.schedule(1.0, _record, log, sim, "nested-timed")
+
+    sim.schedule(4.0, nested)
+    sim.run()
+
+
+def test_fast_and_legacy_replay_identical_order():
+    fast_log, legacy_log = [], []
+    _mixed_workload(Simulator(fast_path=True), fast_log)
+    _mixed_workload(Simulator(fast_path=False), legacy_log)
+    assert fast_log == legacy_log
+    assert fast_log[0][1] in ("zero-a",)  # zero-delay fires before timers
+
+
+def test_heap_entry_at_now_with_smaller_seq_beats_ready_entry():
+    # two timers land on t=5; the first one's callback posts a ready
+    # entry, which must still fire *after* the second timer (smaller seq)
+    sim = Simulator(fast_path=True)
+    order = []
+
+    def first():
+        order.append("first")
+        sim.post(order.append, "posted")
+
+    sim.schedule(5.0, first)
+    sim.schedule(5.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "posted"]
+
+
+def test_post_and_zero_schedule_interleave_fifo():
+    sim = Simulator()
+    order = []
+    sim.post(order.append, 0)
+    sim.schedule(0.0, order.append, 1)
+    sim.post(order.append, 2)
+    sim.call_later(0.0, order.append, 3)
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_call_later_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-0.5, _nop)
+
+
+def test_cancelled_ready_entry_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.active
+
+
+def test_lazy_cancel_keeps_heap_bounded():
+    # the PR-4 regression: 10k schedule+cancel cycles used to leave 10k
+    # dead tuples in the heap; compaction must bound it near the floor
+    sim = Simulator()
+    for _ in range(10_000):
+        sim.schedule(1_000.0, _nop).cancel()
+    assert len(sim._queue) < 256
+    assert sim.pending() == 0
+    sim.run()
+    assert sim.now == 0.0  # nothing live ever fired
+
+
+def test_compaction_preserves_live_timers():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(50.0 + i, fired.append, i)
+    for _ in range(5_000):
+        sim.schedule(10.0, fired.append, "dead").cancel()
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_peek_time_skips_cancelled_heads():
+    sim = Simulator()
+    head = sim.schedule(1.0, _nop)
+    sim.schedule(2.0, _nop)
+    head.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_peek_time_sees_ready_lane():
+    sim = Simulator()
+    assert sim.peek_time() is None
+    sim.post(_nop)
+    assert sim.peek_time() == 0.0
+
+
+def test_processes_run_identically_on_both_kernels():
+    def scenario(sim, log):
+        def proc(tag, period):
+            for _ in range(3):
+                yield Timeout(period)
+                log.append((sim.now, tag, sim.random.randint(0, 99)))
+
+        sim.spawn(proc("a", 1.5))
+        sim.spawn(proc("b", 1.0))
+        sim.run()
+
+    fast_log, legacy_log = [], []
+    scenario(Simulator(seed=9, fast_path=True), fast_log)
+    scenario(Simulator(seed=9, fast_path=False), legacy_log)
+    assert fast_log == legacy_log
+
+
+def test_mission_is_byte_identical_fast_vs_legacy(monkeypatch):
+    # the satellite acceptance check: one full seeded campaign mission
+    # through the real protocol stack, fast path vs legacy single heap
+    from repro.eval import campaign
+
+    fast = asdict(campaign.run_mission(seed=77, requests=8))
+    monkeypatch.setattr(Simulator, "DEFAULT_FAST_PATH", False)
+    legacy = asdict(campaign.run_mission(seed=77, requests=8))
+    assert json.dumps(fast, sort_keys=True) == json.dumps(legacy, sort_keys=True)

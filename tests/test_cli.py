@@ -104,6 +104,35 @@ def test_cli_campaign_reports_wilson_cis(capsys, tmp_path):
     assert cached["campaign"] == report["campaign"]
 
 
+def test_cli_campaign_coschedule_matches_sequential(capsys, tmp_path):
+    base = [
+        "campaign", "--missions", "6", "--cell-size", "3", "--requests", "6",
+        "--jobs", "1", "--no-store", "--json",
+    ]
+    assert main(base) == 0
+    sequential = json.loads(capsys.readouterr().out)
+    assert main(base + ["--coschedule", "3"]) == 0
+    coscheduled = json.loads(capsys.readouterr().out)
+    assert coscheduled["campaign"] == sequential["campaign"]
+    assert coscheduled["coschedule"] == 3
+    assert sequential["coschedule"] == 1
+
+
+def test_cli_profile_prints_hot_spots(capsys):
+    assert main(["profile", "table3", "--top", "5"]) == 0
+    captured = capsys.readouterr()
+    assert "function calls" in captured.out
+    assert "cumulative" in captured.out
+    assert "profiling spec 'table3'" in captured.err
+    assert "units/s" in captured.err
+
+
+def test_cli_profile_rejects_unknown_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["profile", "nonsense"])
+    capsys.readouterr()
+
+
 def test_cli_store_list_gc_clear(capsys, tmp_path):
     _reproduce_json(capsys, tmp_path)
     assert main(["store", "--store", str(tmp_path)]) == 0
