@@ -1,0 +1,231 @@
+"""Benchmark: executor backends — serial, persistent local pool, remote.
+
+Writes ``BENCH_distributed.json`` (uploaded as a CI artifact next to
+``BENCH_runner.json`` / ``BENCH_kernel.json``) with two sections:
+
+* **grid** — campaign missions/sec across a jobs × coschedule × workers
+  grid: single-process serial (the PR 4 configuration), the persistent
+  local pool at 2 and ``cpu_count`` workers, and the remote backend
+  fanning batches over 2 localhost ``repro worker`` subprocesses.  Every
+  configuration's results are asserted byte-identical to the serial
+  reference before any number is reported — backends are pure execution
+  strategy.  Speedups are computed against the same-host single-process
+  baseline measured in the same session (interleaved, best-of-REPS) and
+  against the recorded PR 4 constant (117.0 missions/s).
+* **pool** — the satellite micro-benchmark: dispatch overhead of the
+  persistent pool vs a cold pool per ``exp.run`` call, over a burst of
+  small specs (the ``repro reproduce`` shape: many specs, one process).
+
+Localhost caveat recorded in the JSON: worker configurations can only
+beat single-process throughput when the host has >1 CPU; the numbers
+carry ``cpu_count`` so a 1-core container's flat grid reads as what it
+is.  CI regenerates this file on multi-core runners.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro import exp
+from repro.eval import campaign
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+
+#: The recorded PR 4 single-process figure (BENCH_kernel.json,
+#: fast_coscheduled_missions_per_sec) — the cross-PR reference.
+PR4_RECORDED_MISSIONS_PER_SEC = 117.0
+
+MISSIONS = int(os.environ.get("BENCH_DISTRIBUTED_MISSIONS", "48"))
+REQUESTS = 30
+COSCHEDULE = 8
+REPS = max(1, int(os.environ.get("BENCH_DISTRIBUTED_REPS", "2")))
+#: Batches sized so every worker gets several (load-balancing realism).
+CELL_SIZE = max(1, MISSIONS // 8)
+
+POOL_BURST_SPECS = 8
+POOL_BURST_CELLS = 4
+
+
+def _campaign_spec():
+    return campaign.sharded_spec(
+        missions=MISSIONS, base_seed=5000, requests=REQUESTS,
+        cell_size=CELL_SIZE,
+    )
+
+
+def _dump(result):
+    return json.dumps(result.results, sort_keys=True)
+
+
+def _start_worker():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+        env=env, stdout=subprocess.PIPE, text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on (\S+)", line)
+    assert match, f"worker did not announce its address: {line!r}"
+    return process, match.group(1)
+
+
+def _timed_run(**kwargs):
+    spec = _campaign_spec()
+    started = time.perf_counter()
+    result = exp.run(spec, **kwargs)
+    return result, MISSIONS / max(time.perf_counter() - started, 1e-9)
+
+
+def _pool_burst(persistent):
+    """Wall seconds for a burst of small local-pool runs.
+
+    ``persistent=False`` tears the pool down before every run — the
+    pre-PR behavior of one fresh ``multiprocessing.Pool`` per call.
+    """
+    specs = [
+        campaign.sharded_spec(missions=POOL_BURST_CELLS * 2,
+                              base_seed=6000 + 100 * i, requests=4,
+                              cell_size=2)
+        for i in range(POOL_BURST_SPECS)
+    ]
+    started = time.perf_counter()
+    for spec in specs:
+        if not persistent:
+            exp.shutdown_local_pool()
+        exp.run(spec, jobs=2, backend="local", batch=1)
+    elapsed = time.perf_counter() - started
+    exp.shutdown_local_pool()
+    return elapsed
+
+
+def test_bench_distributed_backends(benchmark):
+    cpu_count = os.cpu_count() or 1
+    workers = []
+    addresses = []
+    for _ in range(2):
+        process, address = _start_worker()
+        workers.append(process)
+        addresses.append(address)
+    try:
+        reference = exp.run(_campaign_spec(), jobs=1, backend="serial")
+
+        grid = [
+            ("serial jobs=1 coschedule=1",
+             dict(jobs=1, backend="serial")),
+            ("serial jobs=1 coschedule=8",
+             dict(jobs=1, backend="serial", coschedule=COSCHEDULE)),
+            ("local jobs=2 coschedule=8",
+             dict(jobs=2, backend="local", coschedule=COSCHEDULE)),
+            ("remote workers=2 coschedule=8",
+             dict(workers=addresses, coschedule=COSCHEDULE)),
+        ]
+        if cpu_count > 2:
+            grid.insert(3, (f"local jobs={cpu_count} coschedule=8",
+                            dict(jobs=cpu_count, backend="local",
+                                 coschedule=COSCHEDULE)))
+
+        # interleaved best-of-REPS: shared-hardware load drifts on a
+        # minutes scale, so only back-to-back runs compare like with like
+        best = {scenario: 0.0 for scenario, _ in grid}
+        first_result, first_mps = run_once(
+            benchmark, lambda: _timed_run(**dict(grid[0][1]))
+        )
+        assert _dump(first_result) == _dump(reference)
+        best[grid[0][0]] = first_mps
+        for rep in range(REPS):
+            for scenario, kwargs in grid:
+                if rep == 0 and scenario == grid[0][0]:
+                    continue  # already measured via the benchmark fixture
+                result, mps = _timed_run(**dict(kwargs))
+                # backends are pure execution strategy: bytes first
+                assert _dump(result) == _dump(reference), scenario
+                best[scenario] = max(best[scenario], mps)
+    finally:
+        for process in workers:
+            process.terminate()
+        for process in workers:
+            process.wait(timeout=10)
+        exp.shutdown_local_pool()
+
+    baseline = best["serial jobs=1 coschedule=1"]
+    rows = [
+        {
+            "scenario": scenario,
+            "missions_per_sec": round(mps, 2),
+            "speedup": round(mps / baseline, 2),
+        }
+        for scenario, mps in best.items()
+    ]
+    multiworker = max(
+        mps for scenario, mps in best.items()
+        if "jobs=2" in scenario or "workers=2" in scenario
+        or "jobs=4" in scenario
+    )
+
+    # -- pool micro-benchmark: persistent vs cold dispatch ----------------
+    cold_s = min(_pool_burst(persistent=False) for _ in range(REPS))
+    warm_s = min(_pool_burst(persistent=True) for _ in range(REPS))
+
+    report = {
+        "generated_by": "benchmarks/test_bench_distributed.py",
+        "note": (
+            f"best-of-{REPS} interleaved; campaign missions/sec over "
+            f"{MISSIONS} seeded missions per configuration; byte-identity "
+            "of every backend asserted against the serial reference "
+            "before reporting"
+        ),
+        "host": {"cpu_count": cpu_count, "platform": sys.platform},
+        "missions": MISSIONS,
+        "requests": REQUESTS,
+        "cell_size": CELL_SIZE,
+        "baseline_missions_per_sec": round(baseline, 2),
+        "pr4_recorded_missions_per_sec": PR4_RECORDED_MISSIONS_PER_SEC,
+        "best_multiworker_missions_per_sec": round(multiworker, 2),
+        "speedup_multiworker_vs_same_host_serial": round(
+            multiworker / baseline, 2),
+        "speedup_multiworker_vs_pr4_recorded": round(
+            multiworker / PR4_RECORDED_MISSIONS_PER_SEC, 2),
+        "rows": rows,
+        "pool": {
+            "burst_specs": POOL_BURST_SPECS,
+            "cold_pool_s": round(cold_s, 3),
+            "persistent_pool_s": round(warm_s, 3),
+            "dispatch_overhead_saved": round(1.0 - warm_s / cold_s, 3),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"{row['scenario']:<34s} {row['missions_per_sec']:>8.1f}/s "
+        f"({row['speedup']:.2f}x)"
+        for row in rows
+    ]
+    print(
+        "\ndistributed grid (campaign missions/s, byte-identical):\n  "
+        + "\n  ".join(lines)
+        + f"\npool burst ({POOL_BURST_SPECS} specs): cold {cold_s:.2f}s vs "
+        f"persistent {warm_s:.2f}s "
+        f"({100 * (1 - warm_s / cold_s):.0f}% dispatch overhead saved)\n"
+        f"host cpu_count={cpu_count}; "
+        f"multiworker best {multiworker:.1f}/s = "
+        f"{multiworker / baseline:.2f}x same-host serial, "
+        f"{multiworker / PR4_RECORDED_MISSIONS_PER_SEC:.2f}x the recorded "
+        f"PR 4 117.0/s\nwrote {BENCH_PATH.name}"
+    )
+
+    if cpu_count >= 2:
+        # on real multi-core hardware the 2-worker configurations must
+        # clear the bar; on a 1-core container parallelism cannot help,
+        # so the grid is recorded but not asserted
+        assert multiworker / baseline > 1.2, (
+            f"multi-worker backends should beat single-process on "
+            f"{cpu_count} CPUs: {multiworker:.1f} vs {baseline:.1f}"
+        )

@@ -33,6 +33,18 @@ Commands
     campaign resumes from where it stopped.  ``--coschedule K``
     interleaves K mission worlds inside one event loop per worker
     (results stay byte-identical — it is pure execution strategy).
+    ``--backend serial|local|remote`` picks where shards execute;
+    ``--workers host:port,...`` fans them over ``repro worker``
+    processes (implies the remote backend).
+``worker --listen HOST:PORT [--coschedule K] [--max-batches N]``
+    Serve trial batches to a remote-backend coordinator: accepts framed
+    TCP batches, drains each through the co-scheduling ``WorldPool``,
+    streams results back.  Start one per host, then point
+    ``campaign --workers`` (or ``exp.run(..., workers=[...])``) at them.
+``bench --report [--dir DIR]``
+    Read every recorded ``BENCH_*.json`` benchmark report and print one
+    throughput-trajectory table (PR 3 baseline → PR 4 kernel → the
+    distributed grid).
 ``profile <spec> [--top N] [--sort cumulative|tottime] [...]``
     Run one experiment spec single-threaded under ``cProfile`` and print
     the hottest functions, so perf work starts from data instead of
@@ -248,15 +260,19 @@ def _cmd_campaign(args) -> int:
         missions=args.missions, base_seed=5000 + args.seed,
         requests=args.requests, cell_size=args.cell_size,
     )
+    workers = ([w.strip() for w in args.workers.split(",") if w.strip()]
+               if args.workers else None)
     result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
-                     coschedule=args.coschedule)
+                     coschedule=args.coschedule, backend=args.backend,
+                     workers=workers)
     data = campaign.from_shard_results(result.results)
     print(campaign.render_sharded(data), file=out)
     problems = campaign.shard_shape_checks(data)
     status = "clean" if not problems else f"FAILS: {problems}"
     print(f"  -> Campaign: {status} "
           f"[{result.cells_cached}/{len(spec.trials)} shards from store, "
-          f"{result.executed} missions simulated, {result.elapsed_s:.2f}s]",
+          f"{result.executed} missions simulated, {result.elapsed_s:.2f}s, "
+          f"backend={result.backend}]",
           file=out)
     if args.json:
         summary = result.summary()
@@ -342,6 +358,84 @@ def _cmd_store(args) -> int:
         digest = entry["hash"][:12] if entry["hash"] else "(no manifest)"
         print(f"  {entry['file']:44s} spec={entry['spec']} "
               f"cells={entry['cells']} {digest} [{entry['format']}]")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.exp import distributed
+
+    host, port = distributed.parse_address(args.listen)
+    distributed.serve(host, port, coschedule=args.coschedule,
+                      max_batches=args.max_batches)
+    return 0
+
+
+def _bench_rows(data) -> list:
+    """Extract (scenario, value, unit) rows from one BENCH_*.json blob.
+
+    Understands three shapes: the structured ``rows`` list written by
+    ``benchmarks/test_bench_distributed.py``, the nested rate dicts of
+    ``BENCH_kernel.json`` (any numeric leaf named ``*_per_sec`` or
+    ``speedup*``), and raw pytest-benchmark exports (``benchmarks``
+    list; the mean is inverted to a rate).
+    """
+    rows = []
+    if isinstance(data.get("rows"), list):
+        for row in data["rows"]:
+            unit = "missions/s"
+            if row.get("speedup") is not None:
+                unit = f"missions/s ({row['speedup']:.2f}x)"
+            rows.append((str(row.get("scenario", "-")),
+                         row.get("missions_per_sec"), unit))
+        return rows
+    if isinstance(data.get("benchmarks"), list):  # pytest-benchmark export
+        for bench in data["benchmarks"]:
+            mean = (bench.get("stats") or {}).get("mean")
+            rows.append((str(bench.get("name", "-")),
+                         None if not mean else 1.0 / mean, "calls/s"))
+        return rows
+
+    def walk(prefix, node):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), value)
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf = prefix.rsplit(".", 1)[-1]
+            if leaf.endswith("_per_sec"):
+                unit = "missions/s" if "missions" in leaf else "events/s"
+                rows.append((prefix, float(node), unit))
+            elif leaf.startswith("speedup"):
+                rows.append((prefix, float(node), "x"))
+
+    walk("", data)
+    return rows
+
+
+def _cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    if not args.report:
+        print("nothing to do: pass --report to print the throughput "
+              "trajectory across BENCH_*.json files", file=sys.stderr)
+        return 2
+    root = Path(args.dir)
+    reports = sorted(root.glob("BENCH_*.json"))
+    if not reports:
+        print(f"no BENCH_*.json files under {root}/", file=sys.stderr)
+        return 1
+    print("throughput trajectory across recorded benchmark reports\n")
+    print(f"{'report':<24s} {'scenario':<46s} {'value':>12s}  unit")
+    print("-" * 96)
+    for path in reports:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path.name:<24s} unreadable: {exc}")
+            continue
+        for scenario, value, unit in _bench_rows(data):
+            value_text = "-" if value is None else f"{value:,.2f}"
+            print(f"{path.name:<24s} {scenario:<46s} {value_text:>12s}  {unit}")
     return 0
 
 
@@ -459,6 +553,34 @@ def main(argv=None) -> int:
                       help="mission worlds interleaved per event loop "
                            "(default: 1 = off; results are byte-identical "
                            "either way)")
+    camp.add_argument("--backend", choices=("serial", "local", "remote"),
+                      default=None,
+                      help="execution backend (default: local, or remote "
+                           "when --workers is given; byte-identical results)")
+    camp.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                      help="comma-separated repro worker addresses for the "
+                           "remote backend")
+    worker = sub.add_parser(
+        "worker",
+        help="serve trial batches to a remote-backend coordinator",
+    )
+    worker.add_argument("--listen", required=True, metavar="HOST:PORT",
+                        help="address to listen on (port 0 = OS-assigned; "
+                             "the bound address is printed on stdout)")
+    worker.add_argument("--coschedule", type=_positive_int, default=None,
+                        metavar="K",
+                        help="override the coordinator's co-schedule width")
+    worker.add_argument("--max-batches", type=_positive_int, default=None,
+                        metavar="N",
+                        help="hard-exit after N batches (crash testing)")
+    bench = sub.add_parser(
+        "bench",
+        help="report recorded benchmark results (BENCH_*.json)",
+    )
+    bench.add_argument("--report", action="store_true",
+                       help="print the throughput trajectory table")
+    bench.add_argument("--dir", default=".", metavar="DIR",
+                       help="directory holding BENCH_*.json (default: .)")
     profile = sub.add_parser(
         "profile",
         help="run one spec under cProfile and print the hot spots",
@@ -501,6 +623,8 @@ def main(argv=None) -> int:
         "campaign": _cmd_campaign,
         "profile": _cmd_profile,
         "store": _cmd_store,
+        "worker": _cmd_worker,
+        "bench": _cmd_bench,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

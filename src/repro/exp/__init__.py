@@ -7,9 +7,13 @@ every evaluation into data plus a pure function:
 * :class:`ExperimentSpec` / :class:`Trial` declare *what* to measure —
   cells, parameter points and explicit per-run seeds
   (:mod:`repro.exp.spec`);
-* :func:`run` executes a spec serially or over a process pool with an
-  order-independent merge and per-worker unit batching, so ``jobs=N``
-  is byte-identical to ``jobs=1`` (:mod:`repro.exp.runner`);
+* :func:`run` executes a spec through a pluggable
+  :class:`ExecutorBackend` — inline (``serial``), over a persistent
+  in-host process pool (``local``), or fanned over TCP workers on other
+  hosts (``remote``, :mod:`repro.exp.distributed`) — with an
+  order-independent merge and per-worker unit batching, so every
+  backend and ``jobs=N`` is byte-identical to ``jobs=1``
+  (:mod:`repro.exp.runner`);
 * :class:`ResultStore` persists results **per cell**, content-addressed
   by :func:`cell_hash`, so editing one cell recomputes one cell, a
   killed run resumes from its finished cells, and re-running an
@@ -27,18 +31,25 @@ Typical use::
 """
 
 from repro.exp.errors import (
+    DistributedError,
     ExperimentError,
     ResultTypeError,
     SpecError,
     StoreError,
 )
 from repro.exp.runner import (
+    BACKENDS,
+    ExecutionPlan,
     ExecutionStats,
+    ExecutorBackend,
     ExperimentResult,
+    LocalPoolBackend,
+    SerialBackend,
     default_batch,
     default_jobs,
     reset_executed_counter,
     run,
+    shutdown_local_pool,
     trials_executed,
 )
 from repro.exp.spec import (
@@ -57,11 +68,17 @@ from repro.exp.spec import (
 from repro.exp.store import DEFAULT_ROOT, ResultStore
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_ROOT",
+    "DistributedError",
+    "ExecutionPlan",
     "ExecutionStats",
+    "ExecutorBackend",
     "ExperimentError",
     "ExperimentResult",
     "ExperimentSpec",
+    "LocalPoolBackend",
+    "SerialBackend",
     "ReduceFn",
     "ResultStore",
     "ResultTypeError",
@@ -79,6 +96,7 @@ __all__ = [
     "fingerprint",
     "reset_executed_counter",
     "run",
+    "shutdown_local_pool",
     "spec_hash",
     "trials_executed",
 ]

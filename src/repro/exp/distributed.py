@@ -1,0 +1,548 @@
+"""Remote execution backend: TCP fan-out to ``repro worker`` processes.
+
+The ``exp.run`` contract — pure trials, blake2b-derived seeds,
+order-independent cell merge — is machine-agnostic, so a campaign can
+fan its unit batches over worker processes on other hosts exactly as it
+fans them over a local pool.  This module supplies both halves:
+
+* :class:`RemoteBackend` — the coordinator.  One feeder thread per
+  worker pulls batches from a shared :class:`_BatchScheduler`, ships
+  them over a framed TCP connection and streams results back into the
+  caller's merge loop, so completed cells hit the store the moment their
+  last unit lands (``--resume`` keeps working mid-campaign).
+* :func:`serve` — the worker.  ``repro worker --listen HOST:PORT``
+  accepts one coordinator at a time and drains each batch through the
+  same :func:`~repro.exp.runner.run_unit_batch` body every other backend
+  uses, including :class:`~repro.kernel.coschedule.WorldPool`
+  co-scheduling of the batch's worlds.
+
+Wire protocol (version 1)
+-------------------------
+
+Every message is one *frame*::
+
+    magic   b"RXP1"                      (4 bytes)
+    length  big-endian uint32            (payload byte count)
+    digest  blake2b(payload, 8 bytes)    (integrity checksum)
+    payload UTF-8 JSON object            (insertion-ordered keys: trial
+                                          results must round-trip with
+                                          their key order intact, or
+                                          remote store bytes diverge)
+
+Payloads always carry a ``"type"`` key.  The conversation::
+
+    coordinator -> worker   {"type": "hello", "version": 1, "spec": ...,
+                             "trial": "mod:fn", "cotrial": "mod:fn"|null,
+                             "width": K}
+    worker -> coordinator   {"type": "ready", "host": ..., "pid": ...}
+    coordinator -> worker   {"type": "batch", "id": N,
+                             "units": [[index, seed, params], ...]}
+    worker -> coordinator   {"type": "result", "id": N,
+                             "values": [[index, value], ...]}
+                          | {"type": "error", "id": N, "message": ...}
+    coordinator -> worker   {"type": "bye"}
+
+Failure model and the rebatching invariant
+------------------------------------------
+
+Batches are *atomic*: a worker replies with the complete result list of
+a batch or (as far as the coordinator is concerned) with nothing.  A
+recv timeout, a broken connection, a checksum mismatch or a protocol
+violation marks the worker dead; every batch that was outstanding on it
+is returned to the scheduler's pending heap **by batch id**, so
+surviving workers pick orphans up in the original dispatch order —
+deterministic rebatching.  Results are merged by unit index, so even a
+batch that was (invisibly) executed twice would feed identical values
+into identical slots.  The run fails with :class:`DistributedError`
+only when every worker is dead while batches remain.  Connection
+attempts retry with capped exponential backoff before giving up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exp.errors import DistributedError
+from repro.exp.runner import (
+    ExecutionPlan,
+    ExecutorBackend,
+    resolve_function_ref,
+    run_unit_batch,
+)
+
+try:  # blake2b is in hashlib everywhere we run, but keep the import local
+    from hashlib import blake2b
+except ImportError:  # pragma: no cover - python always ships blake2b
+    blake2b = None  # type: ignore[assignment]
+
+MAGIC = b"RXP1"
+PROTOCOL_VERSION = 1
+CHECKSUM_BYTES = 8
+HEADER_BYTES = len(MAGIC) + 4 + CHECKSUM_BYTES
+#: Refuse absurd frames before allocating for them (64 MiB).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Seconds a coordinator waits for one batch result before declaring the
+#: worker dead.  Generous: a batch is at most a few dozen missions.
+DEFAULT_BATCH_TIMEOUT = 300.0
+#: Connection retry schedule: capped exponential backoff.
+CONNECT_ATTEMPTS = 5
+CONNECT_BACKOFF_BASE = 0.2
+CONNECT_BACKOFF_CAP = 2.0
+
+
+class ProtocolError(DistributedError):
+    """A frame or message violated the wire protocol."""
+
+
+def _checksum(payload: bytes) -> bytes:
+    return blake2b(payload, digest_size=CHECKSUM_BYTES).digest()
+
+
+def send_msg(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialise and send one framed message.
+
+    Keys are deliberately NOT sorted: trial results round-trip through
+    this frame, and the store persists them with insertion order intact
+    — sorting here would make remote cell files differ from serial ones
+    byte-for-byte.
+    """
+    payload = json.dumps(message).encode("utf-8")
+    frame = b"".join(
+        (MAGIC, len(payload).to_bytes(4, "big"), _checksum(payload), payload)
+    )
+    sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Dict[str, Any]:
+    """Receive and validate one framed message.
+
+    Raises :class:`ProtocolError` on bad magic, oversize frames or a
+    checksum mismatch, and :class:`ConnectionError` on a half-closed
+    peer — both of which the coordinator treats as a dead worker.
+    """
+    header = _recv_exact(sock, HEADER_BYTES)
+    if header[:4] != MAGIC:
+        raise ProtocolError(f"bad frame magic {header[:4]!r}")
+    length = int.from_bytes(header[4:8], "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the protocol cap")
+    digest = header[8:HEADER_BYTES]
+    payload = _recv_exact(sock, length)
+    if _checksum(payload) != digest:
+        raise ProtocolError("frame checksum mismatch (corrupted payload)")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame payload is not a typed message object")
+    return message
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; raises on malformed input."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise DistributedError(
+            f"worker address {text!r} is not of the form host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise DistributedError(
+            f"worker address {text!r} has a non-numeric port"
+        ) from exc
+    if not 0 <= port < 65536:
+        raise DistributedError(f"worker address {text!r} port out of range")
+    return host, port  # port 0 = OS-assigned (listen side only)
+
+
+def _connect(address: Tuple[str, int], timeout: float) -> socket.socket:
+    """Connect with capped exponential backoff; raise after the budget."""
+    last: Optional[Exception] = None
+    for attempt in range(CONNECT_ATTEMPTS):
+        try:
+            sock = socket.create_connection(address, timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            delay = min(CONNECT_BACKOFF_CAP,
+                        CONNECT_BACKOFF_BASE * (2 ** attempt))
+            time.sleep(delay)
+    raise DistributedError(
+        f"cannot connect to worker {address[0]}:{address[1]} "
+        f"after {CONNECT_ATTEMPTS} attempts: {last}"
+    )
+
+
+class _BatchScheduler:
+    """Thread-safe batch dispenser with deterministic orphan rebatching.
+
+    Batches enter the pending heap keyed by their original dispatch id;
+    feeder threads ``acquire`` the smallest pending id, and a dead
+    worker's outstanding batches are ``abandon``-ed back into the heap —
+    so survivors drain orphans in the original order, and a re-run with
+    the same failure pattern re-dispatches identically.  The plan is
+    done only when every batch has *completed* (not merely left the
+    queue): survivors therefore block in ``acquire`` while batches are
+    outstanding elsewhere, ready to adopt them if their worker dies.
+    """
+
+    def __init__(self, batches: Sequence[List[Any]]):
+        self._cond = threading.Condition()
+        self._batches = {bid: batch for bid, batch in enumerate(batches)}
+        self._pending: List[int] = list(range(len(batches)))
+        heapq.heapify(self._pending)
+        self._outstanding: Dict[int, str] = {}
+        self._done: set = set()
+        self._failure: Optional[Exception] = None
+
+    def acquire(self, worker: str) -> Optional[Tuple[int, List[Any]]]:
+        """The next pending (id, batch), or ``None`` when the plan is done.
+
+        Blocks while other workers hold outstanding batches that might
+        yet be abandoned back to us.
+        """
+        with self._cond:
+            while True:
+                if self._failure is not None:
+                    return None
+                if self._pending:
+                    bid = heapq.heappop(self._pending)
+                    self._outstanding[bid] = worker
+                    return bid, self._batches[bid]
+                if len(self._done) == len(self._batches):
+                    return None
+                self._cond.wait(timeout=0.5)
+
+    def complete(self, bid: int) -> None:
+        """Mark one batch finished (its results are fully received)."""
+        with self._cond:
+            self._outstanding.pop(bid, None)
+            self._done.add(bid)
+            self._cond.notify_all()
+
+    def abandon(self, worker: str) -> List[int]:
+        """Return a dead worker's outstanding batches to the heap."""
+        with self._cond:
+            orphaned = sorted(
+                bid for bid, owner in self._outstanding.items()
+                if owner == worker
+            )
+            for bid in orphaned:
+                del self._outstanding[bid]
+                heapq.heappush(self._pending, bid)
+            self._cond.notify_all()
+            return orphaned
+
+    def fail(self, exc: Exception) -> None:
+        """Abort the plan: wake every feeder with a terminal failure."""
+        with self._cond:
+            if self._failure is None:
+                self._failure = exc
+            self._cond.notify_all()
+
+    @property
+    def failure(self) -> Optional[Exception]:
+        with self._cond:
+            return self._failure
+
+    def unfinished(self) -> int:
+        with self._cond:
+            return len(self._batches) - len(self._done)
+
+
+class RemoteBackend(ExecutorBackend):
+    """Coordinator: fan plan batches over TCP workers, merge by index.
+
+    One feeder thread per worker address; each thread owns its socket
+    and loops acquire → send → receive → complete, pushing results onto
+    a queue the ``execute`` generator drains (store writes therefore
+    happen on the caller's thread, preserving the streaming/resume
+    contract).  Worker death at any point — connect failure after
+    backoff, batch timeout, broken frame — abandons that worker's
+    outstanding batches for the survivors.  Only when *no* worker
+    remains does the run raise :class:`DistributedError`.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers: Sequence[str],
+                 batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+                 connect_timeout: float = 10.0):
+        if not workers:
+            raise DistributedError("remote backend needs at least one worker")
+        self.addresses = [parse_address(w) for w in workers]
+        self.batch_timeout = batch_timeout
+        self.connect_timeout = connect_timeout
+
+    # -- feeder thread ------------------------------------------------
+
+    def _hello(self, plan: ExecutionPlan) -> Dict[str, Any]:
+        trial_ref, cotrial_ref, width = plan.context_key()
+        return {
+            "type": "hello",
+            "version": PROTOCOL_VERSION,
+            "spec": plan.spec.name,
+            "trial": trial_ref,
+            "cotrial": cotrial_ref,
+            "width": width,
+        }
+
+    def _feed_worker(
+        self,
+        label: str,
+        address: Tuple[str, int],
+        plan: ExecutionPlan,
+        scheduler: _BatchScheduler,
+        out: "List[_Feed]",
+        out_cond: threading.Condition,
+        dead: Dict[str, str],
+    ) -> None:
+        sock: Optional[socket.socket] = None
+        bid: Optional[int] = None
+        try:
+            sock = _connect(address, self.connect_timeout)
+            sock.settimeout(self.batch_timeout)
+            send_msg(sock, self._hello(plan))
+            ready = recv_msg(sock)
+            if ready.get("type") != "ready":
+                raise ProtocolError(
+                    f"worker {label} answered hello with {ready.get('type')!r}"
+                )
+            while True:
+                bid = None
+                item = scheduler.acquire(label)
+                if item is None:
+                    break
+                bid, units = item
+                send_msg(sock, {"type": "batch", "id": bid,
+                                "units": [list(u) for u in units]})
+                reply = recv_msg(sock)
+                kind = reply.get("type")
+                if kind == "error":
+                    # the trial itself failed — every worker would fail
+                    # identically (pure functions), so abort the plan
+                    scheduler.fail(DistributedError(
+                        f"worker {label} batch {bid}: {reply.get('message')}"
+                    ))
+                    return
+                if kind != "result" or reply.get("id") != bid:
+                    raise ProtocolError(
+                        f"worker {label} sent {kind!r} (id {reply.get('id')}) "
+                        f"while batch {bid} was outstanding"
+                    )
+                values = [(int(i), v) for i, v in reply["values"]]
+                if len(values) != len(units):
+                    raise ProtocolError(
+                        f"worker {label} returned {len(values)} values "
+                        f"for a {len(units)}-unit batch"
+                    )
+                scheduler.complete(bid)
+                bid = None
+                with out_cond:
+                    out.append(values)
+                    out_cond.notify()
+            try:
+                send_msg(sock, {"type": "bye"})
+            except OSError:
+                pass
+        except (DistributedError, ConnectionError, OSError) as exc:
+            dead[label] = str(exc)
+            scheduler.abandon(label)
+            with out_cond:
+                out_cond.notify()
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            with out_cond:
+                out_cond.notify()
+
+    # -- coordinator --------------------------------------------------
+
+    def execute(self, plan: ExecutionPlan) -> Iterator[Tuple[int, Any]]:
+        """Fan the plan's batches over the workers, yielding as they land.
+
+        One feed thread per worker; results are yielded on the caller's
+        thread (so store writes stay on the coordinator), in completion
+        order — the runner's merge is order-independent.  Raises
+        :class:`DistributedError` when every worker is dead with batches
+        still unfinished.
+        """
+        batches = plan.batches()
+        plan.stats.record_batches(len(batches))
+        scheduler = _BatchScheduler(batches)
+        out: List[List[Tuple[int, Any]]] = []
+        out_cond = threading.Condition()
+        dead: Dict[str, str] = {}
+        threads: List[threading.Thread] = []
+        for idx, address in enumerate(self.addresses):
+            label = f"{address[0]}:{address[1]}#{idx}"
+            thread = threading.Thread(
+                target=self._feed_worker,
+                args=(label, address, plan, scheduler, out, out_cond, dead),
+                name=f"repro-remote-{label}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+        try:
+            while True:
+                with out_cond:
+                    while (not out and any(t.is_alive() for t in threads)
+                           and scheduler.failure is None):
+                        out_cond.wait(timeout=0.5)
+                    feeds, out[:] = list(out), []
+                for values in feeds:
+                    yield from values
+                failure = scheduler.failure
+                if failure is not None:
+                    raise failure
+                if not any(t.is_alive() for t in threads):
+                    break
+            if scheduler.unfinished():
+                details = "; ".join(
+                    f"{label}: {reason}" for label, reason in dead.items()
+                ) or "no worker details"
+                raise DistributedError(
+                    f"all {len(self.addresses)} worker(s) died with "
+                    f"{scheduler.unfinished()} batch(es) unfinished "
+                    f"({details})"
+                )
+            # drain feeds that landed between the last wait and thread exit
+            with out_cond:
+                feeds, out[:] = list(out), []
+            for values in feeds:
+                yield from values
+        finally:
+            scheduler.fail(DistributedError("coordinator shut down"))
+            for thread in threads:
+                thread.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Worker server
+# ---------------------------------------------------------------------------
+
+
+def _serve_connection(conn: socket.socket, batch_budget: List[Optional[int]],
+                      coschedule: Optional[int]) -> None:
+    """Drive one coordinator conversation on an accepted connection."""
+    hello = recv_msg(conn)
+    if hello.get("type") != "hello":
+        raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
+    if hello.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: coordinator speaks "
+            f"{hello.get('version')}, worker speaks {PROTOCOL_VERSION}"
+        )
+    trial_fn = resolve_function_ref(hello["trial"])
+    cotrial_ref = hello.get("cotrial")
+    width = int(hello.get("width") or 1)
+    if coschedule is not None:
+        width = max(1, coschedule)
+    cotrial_fn = (resolve_function_ref(cotrial_ref)
+                  if cotrial_ref and width > 1 else None)
+    send_msg(conn, {"type": "ready",
+                    "host": socket.gethostname(), "pid": os.getpid()})
+    while True:
+        message = recv_msg(conn)
+        kind = message.get("type")
+        if kind == "bye":
+            return
+        if kind != "batch":
+            raise ProtocolError(f"expected batch or bye, got {kind!r}")
+        bid = message["id"]
+        units = [(int(i), int(seed), params)
+                 for i, seed, params in message["units"]]
+        try:
+            values = run_unit_batch(trial_fn, cotrial_fn, width, units)
+        except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+            send_msg(conn, {"type": "error", "id": bid,
+                            "message": f"{type(exc).__name__}: {exc}"})
+            return
+        send_msg(conn, {"type": "result", "id": bid,
+                        "values": [[i, v] for i, v in values]})
+        if batch_budget[0] is not None:
+            batch_budget[0] -= 1
+            if batch_budget[0] <= 0:
+                # crash-test hook: hard exit *after* replying, so the
+                # coordinator has this batch but loses the connection
+                conn.close()
+                os._exit(0)
+
+
+def serve(host: str, port: int, coschedule: Optional[int] = None,
+          max_batches: Optional[int] = None) -> None:
+    """Run a ``repro worker``: accept coordinators until interrupted.
+
+    One coordinator at a time (the protocol is strictly request/reply
+    per connection); each batch runs through the shared
+    :func:`~repro.exp.runner.run_unit_batch` body, so a remote worker
+    co-schedules its batch's worlds exactly like the local backends.
+    ``coschedule`` overrides the width the coordinator asks for;
+    ``max_batches`` hard-exits the process after N completed batches —
+    the deterministic worker-crash hook the failover tests use.
+    """
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((host, port))
+    server.listen(4)
+    bound = server.getsockname()
+    # the readiness line scripts wait for before launching the campaign
+    print(f"repro worker listening on {bound[0]}:{bound[1]}", flush=True)
+    budget: List[Optional[int]] = [max_batches]
+    try:
+        while True:
+            conn, _addr = server.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                _serve_connection(conn, budget, coschedule)
+            except Exception as exc:  # noqa: BLE001 - a bad coordinator
+                # (broken frame, unresolvable trial ref) must not take
+                # the worker down; it just costs that one connection
+                print(f"repro worker: connection failed: {exc}", flush=True)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (test helper)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()

@@ -17,3 +17,8 @@ class ResultTypeError(ExperimentError):
 
 class StoreError(ExperimentError):
     """The result store directory or a stored entry is unusable."""
+
+
+class DistributedError(ExperimentError):
+    """The remote backend cannot complete the plan (all workers lost,
+    protocol violation, or a worker reported a trial failure)."""

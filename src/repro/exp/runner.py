@@ -17,26 +17,42 @@ strategy:
   moment its last unit lands, so a killed run resumes from its finished
   cells and only the missing cells' units are ever dispatched.
 
-Worker processes receive the trial function by import reference (plain
-pickling of a module-level ``def``), which works under both ``fork`` and
-``spawn`` start methods.  Units are grouped into **batches** per worker
-task, amortising task pickling and dispatch overhead for campaign-style
-workloads with thousands of tiny trials; a spec-level ``reduce`` hook
-then collapses each completed cell to a summary so such campaigns stream
-counts instead of accumulating every raw result.
+*Where* units execute is delegated to an :class:`ExecutorBackend`:
+
+* ``serial`` runs units inline (optionally co-scheduled through a
+  :class:`~repro.kernel.coschedule.WorldPool`);
+* ``local`` fans batches over a **persistent** ``multiprocessing.Pool``
+  that outlives individual :func:`run` calls — campaign pipelines that
+  execute several specs in one process pay pool startup once, and
+  workers resolve the trial function from a compact import reference
+  installed once per (spec, width) context instead of unpickling a
+  function object per task;
+* ``remote`` (:mod:`repro.exp.distributed`) ships the same batches over
+  TCP to ``repro worker`` processes on other hosts.
+
+A backend is *pure execution strategy*: the merged results — and the
+bytes the store writes — are identical across all three, which the
+backend equivalence tests assert.  Units are grouped into **batches**
+per dispatch, amortising pickling and round-trip overhead for
+campaign-style workloads with thousands of tiny trials; a spec-level
+``reduce`` hook then collapses each completed cell to a summary so such
+campaigns stream counts instead of accumulating every raw result.
 """
 
 from __future__ import annotations
 
+import atexit
 import gc
+import importlib
 import json
 import multiprocessing
 import os
+import sys
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.exp.errors import ResultTypeError, SpecError
+from repro.exp.errors import ExperimentError, ResultTypeError, SpecError
 from repro.exp.spec import ExperimentSpec, spec_hash
 from repro.exp.store import ResultStore
 from repro.kernel.coschedule import WorldPool
@@ -82,7 +98,7 @@ class ExecutionStats:
         self.executed += units
 
     def record_batches(self, count: int) -> None:
-        """Count ``count`` batch tasks handed to the worker pool."""
+        """Count ``count`` batch tasks handed to a worker pool."""
         self.batches += count
 
 
@@ -94,7 +110,10 @@ class ExperimentResult:
     specs with a ``reduce`` hook, the reduced summary), in spec order.
     ``executed`` counts the trials actually simulated — zero when the
     result store served the whole spec; ``cells_cached`` /
-    ``cells_executed`` split the same story per cell.
+    ``cells_executed`` split the same story per cell, and
+    ``cache_state`` names the mix coherently: ``"full"`` (everything
+    served), ``"partial"`` (some cells served, some executed),
+    ``"cold"`` (nothing served) or ``"disabled"`` (no store attached).
     """
 
     spec_name: str
@@ -107,6 +126,8 @@ class ExperimentResult:
     cells_cached: int = 0
     cells_executed: int = 0
     coschedule: int = 1
+    backend: str = "serial"
+    cache_state: str = "disabled"
 
     def cell(self, key: str) -> Any:
         """Per-run results (or reduced summary) of one cell."""
@@ -122,8 +143,10 @@ class ExperimentResult:
             "cells_executed": self.cells_executed,
             "trials_executed": self.executed,
             "cached": self.cached,
+            "cache_state": self.cache_state,
             "jobs": self.jobs,
             "coschedule": self.coschedule,
+            "backend": self.backend,
             "elapsed_s": round(self.elapsed_s, 6),
         }
 
@@ -131,12 +154,50 @@ class ExperimentResult:
 #: One executable unit: (global unit index, seed, params).
 _Unit = Tuple[int, int, Dict[str, Any]]
 
-#: One worker task: (trial fn, cotrial fn or None, coschedule width, units).
-_BatchTask = Tuple[Any, Any, int, List[_Unit]]
+#: One local-pool task: (context key, units).  The context key is the
+#: compact import-reference form of the spec's execution context — see
+#: :func:`_resolve_context`.
+_PoolTask = Tuple[Tuple[str, Optional[str], int], List[_Unit]]
+
+
+def function_ref(fn: Any) -> str:
+    """The importable ``module:qualname`` reference of a trial function."""
+    return f"{fn.__module__}:{getattr(fn, '__qualname__', fn.__name__)}"
+
+
+def resolve_function_ref(ref: str) -> Any:
+    """Import a function back from its ``module:qualname`` reference."""
+    module_name, _, qualname = ref.partition(":")
+    module = sys.modules.get(module_name)
+    if module is None:
+        module = importlib.import_module(module_name)
+    obj: Any = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+#: Per-process cache of resolved execution contexts:
+#: (trial_ref, cotrial_ref, width) -> (trial_fn, cotrial_fn).  Worker
+#: processes resolve each context once, then every batch is a cache hit.
+_RESOLVED_CONTEXTS: Dict[Tuple[str, Optional[str], int], Tuple[Any, Any]] = {}
+
+
+def _resolve_context(key: Tuple[str, Optional[str], int]) -> Tuple[Any, Any]:
+    """The (trial, cotrial) functions of a compact context key (cached)."""
+    fns = _RESOLVED_CONTEXTS.get(key)
+    if fns is None:
+        trial_ref, cotrial_ref, _width = key
+        fns = (
+            resolve_function_ref(trial_ref),
+            None if cotrial_ref is None else resolve_function_ref(cotrial_ref),
+        )
+        _RESOLVED_CONTEXTS[key] = fns
+    return fns
 
 
 def _run_units_coscheduled(
-    cotrial_fn: Any, units: List[_Unit], width: int
+    cotrial_fn: Any, units: Sequence[_Unit], width: int
 ) -> List[Tuple[int, Any]]:
     """Run units in co-scheduled groups of ``width`` worlds per pool.
 
@@ -145,7 +206,7 @@ def _run_units_coscheduled(
     collection is deferred per group — the group's worlds allocate
     heavily and die together, so collecting in the inter-group gap is
     strictly cheaper (this also covers the in-process ``jobs=1`` path,
-    which never goes through :func:`_execute_batch`).
+    which never goes through a worker pool).
     """
     out: List[Tuple[int, Any]] = []
     for start in range(0, len(units), width):
@@ -165,17 +226,19 @@ def _run_units_coscheduled(
     return out
 
 
-def _execute_batch(task: _BatchTask) -> List[Tuple[int, Any]]:
-    """Run one batch of (cell, seed) units in a worker process.
+def run_unit_batch(
+    trial_fn: Any, cotrial_fn: Any, width: int, units: Sequence[_Unit]
+) -> List[Tuple[int, Any]]:
+    """Run one batch of (cell, seed) units in the current process.
 
-    A batch is a plain list so a single task dispatch (one pickle, one
-    queue round-trip) covers many tiny trials.  Automatic garbage
-    collection is suspended for the duration of the batch: simulation
-    worlds allocate heavily and die together, so deferring cycle
-    collection to the inter-batch gap saves measurable time without
-    letting memory grow past one batch's worth of worlds.
+    The shared execution body of every backend's worker side: a batch is
+    a plain list so a single dispatch (one pickle or one network frame)
+    covers many tiny trials.  Automatic garbage collection is suspended
+    for the duration of the batch: simulation worlds allocate heavily
+    and die together, so deferring cycle collection to the inter-batch
+    gap saves measurable time without letting memory grow past one
+    batch's worth of worlds.
     """
-    trial_fn, cotrial_fn, width, units = task
     was_enabled = gc.isenabled()
     if was_enabled:
         gc.disable()
@@ -188,6 +251,13 @@ def _execute_batch(task: _BatchTask) -> List[Tuple[int, Any]]:
     finally:
         if was_enabled:
             gc.enable()
+
+
+def _execute_pool_task(task: _PoolTask) -> List[Tuple[int, Any]]:
+    """Run one batch in a pool worker, resolving the cached context."""
+    key, units = task
+    trial_fn, cotrial_fn = _resolve_context(key)
+    return run_unit_batch(trial_fn, cotrial_fn, key[2], units)
 
 
 def _normalise(value: Any, spec_name: str) -> Any:
@@ -217,6 +287,217 @@ def default_batch(unit_count: int, worker_count: int) -> int:
     return max(1, min(32, unit_count // (worker_count * 4)))
 
 
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything a backend needs to execute one spec's missing units.
+
+    The plan is execution strategy made explicit: the spec (for the
+    trial/cotrial functions), the units to run, the requested local
+    parallelism, the co-schedule width and the batch size.  Backends
+    consume the plan and yield ``(unit index, raw value)`` pairs in any
+    order; the caller owns normalisation, assembly and persistence.
+    """
+
+    spec: ExperimentSpec
+    units: List[_Unit]
+    worker_count: int
+    width: int = 1
+    batch_size: int = 1
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def batches(self) -> List[List[_Unit]]:
+        """The units grouped into dispatch batches, in unit order."""
+        size = max(1, self.batch_size)
+        return [
+            list(self.units[start:start + size])
+            for start in range(0, len(self.units), size)
+        ]
+
+    def context_key(self) -> Tuple[str, Optional[str], int]:
+        """The compact import-reference form of the execution context."""
+        cotrial = self.spec.cotrial
+        return (
+            function_ref(self.spec.trial),
+            None if cotrial is None or self.width <= 1 else function_ref(cotrial),
+            self.width,
+        )
+
+
+class ExecutorBackend:
+    """Where a plan's units execute — pure strategy, identical results.
+
+    Implementations must yield every unit of the plan exactly once as
+    ``(unit index, raw value)`` pairs; order is irrelevant (the caller
+    merges by index).  ``close()`` releases backend resources; backends
+    with cheap or process-global resources may make it a no-op.
+    """
+
+    name = "abstract"
+
+    def execute(self, plan: ExecutionPlan) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(unit_index, value)`` for every unit in the plan.
+
+        Order is free — the runner merges by index — but the *set* of
+        yielded indices must be exactly the plan's units: the backend
+        decides where units run, never which units run.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+
+class SerialBackend(ExecutorBackend):
+    """Run every unit inline, in unit order (the reference execution)."""
+
+    name = "serial"
+
+    def execute(self, plan: ExecutionPlan) -> Iterator[Tuple[int, Any]]:
+        units = plan.units
+        if plan.width > 1 and len(units) > 1:
+            yield from _run_units_coscheduled(
+                plan.spec.cotrial, units, plan.width
+            )
+            return
+        trial = plan.spec.trial
+        for index, seed, params in units:
+            yield index, trial(seed, params)
+
+
+# -- persistent local pool --------------------------------------------------
+
+_LOCAL_POOL: Optional[Any] = None
+_LOCAL_POOL_PROCESSES = 0
+#: Dispatches served by the currently live pool (micro-benchmark probe).
+_LOCAL_POOL_REUSES = 0
+
+
+def _pool_worker_init(context_key: Tuple[str, Optional[str], int]) -> None:
+    """Pool initializer: pre-resolve the spawning run's context once.
+
+    Later runs reusing the pool with a *different* spec fall back to the
+    lazy per-context cache in :func:`_resolve_context` — either way a
+    worker resolves each context exactly once for the pool's lifetime.
+    """
+    try:
+        _resolve_context(context_key)
+    except Exception:  # noqa: BLE001 - resolve again (and report) per task
+        _RESOLVED_CONTEXTS.pop(context_key, None)
+
+
+def local_pool(processes: int,
+               context_key: Optional[Tuple[str, Optional[str], int]] = None):
+    """The process-wide persistent worker pool, (re)sized to ``processes``.
+
+    The pool outlives individual :func:`run` calls: campaign pipelines
+    that execute several specs in one process (``repro reproduce`` runs
+    eleven) pay fork-and-import startup once instead of once per spec.
+    Asking for a different worker count tears the old pool down first —
+    the common case (same count throughout) is a dictionary hit.
+    """
+    global _LOCAL_POOL, _LOCAL_POOL_PROCESSES, _LOCAL_POOL_REUSES
+    if _LOCAL_POOL is not None and _LOCAL_POOL_PROCESSES == processes:
+        _LOCAL_POOL_REUSES += 1
+        return _LOCAL_POOL
+    shutdown_local_pool()
+    _LOCAL_POOL = multiprocessing.Pool(
+        processes=processes,
+        initializer=None if context_key is None else _pool_worker_init,
+        initargs=() if context_key is None else (context_key,),
+    )
+    _LOCAL_POOL_PROCESSES = processes
+    _LOCAL_POOL_REUSES = 0
+    return _LOCAL_POOL
+
+
+def shutdown_local_pool() -> None:
+    """Tear down the persistent local pool (idempotent).
+
+    Called automatically at interpreter exit and whenever a run needs a
+    different worker count; call it explicitly to reclaim the worker
+    processes early or to force a cold pool in benchmarks.
+    """
+    global _LOCAL_POOL, _LOCAL_POOL_PROCESSES
+    pool = _LOCAL_POOL
+    _LOCAL_POOL = None
+    _LOCAL_POOL_PROCESSES = 0
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_local_pool)
+
+
+class LocalPoolBackend(ExecutorBackend):
+    """Fan batches over the persistent in-host ``multiprocessing.Pool``.
+
+    Tasks carry the compact context key (two import-reference strings
+    and the co-schedule width) instead of pickled function objects;
+    workers resolve the context once and serve every later batch of the
+    same spec from a cache hit.  Plans with one worker or one unit run
+    inline — a pool cannot beat a function call.  A failure mid-dispatch
+    tears the pool down so stale in-flight tasks never burn CPU into the
+    next run.
+    """
+
+    name = "local"
+
+    def execute(self, plan: ExecutionPlan) -> Iterator[Tuple[int, Any]]:
+        if plan.worker_count <= 1 or len(plan.units) <= 1:
+            yield from SerialBackend().execute(plan)
+            return
+        key = plan.context_key()
+        tasks: List[_PoolTask] = [(key, batch) for batch in plan.batches()]
+        plan.stats.record_batches(len(tasks))
+        pool = local_pool(plan.worker_count, context_key=key)
+        try:
+            for batch_results in pool.imap_unordered(_execute_pool_task, tasks):
+                yield from batch_results
+        except BaseException:
+            # in-flight tasks of the abandoned iterator would keep
+            # running in the background; a failed run forfeits the pool
+            shutdown_local_pool()
+            raise
+
+
+#: Registry of the built-in backend names.
+BACKENDS = ("serial", "local", "remote")
+
+
+def _resolve_backend(
+    backend: Union[str, ExecutorBackend, None],
+    workers: Optional[Sequence[str]],
+) -> ExecutorBackend:
+    """Turn the ``backend=`` argument into a live :class:`ExecutorBackend`."""
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend is None:
+        backend = "remote" if workers else "local"
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "local":
+        return LocalPoolBackend()
+    if backend == "remote":
+        from repro.exp.distributed import RemoteBackend
+
+        if not workers:
+            raise ExperimentError(
+                "backend='remote' needs workers=['host:port', ...] "
+                "(start them with: repro worker --listen HOST:PORT)"
+            )
+        return RemoteBackend(workers)
+    raise ExperimentError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS} "
+        "or an ExecutorBackend instance"
+    )
+
+
 class _CellAssembler:
     """Streams unit results into per-cell slots; completes cells eagerly.
 
@@ -228,11 +509,10 @@ class _CellAssembler:
     """
 
     def __init__(self, spec: ExperimentSpec, store: Optional[ResultStore],
-                 stats: ExecutionStats, meta: Dict[str, Any]):
+                 stats: ExecutionStats):
         self.spec = spec
         self.store = store
         self.stats = stats
-        self.meta = meta
         self.completed: Dict[str, Any] = {}
         self._slots: Dict[str, List[Any]] = {}
         self._pending: Dict[str, int] = {}
@@ -266,8 +546,11 @@ class _CellAssembler:
         self.completed[key] = values
         self.stats.record_cell(self._trial_by_key[key].runs)
         if self.store is not None:
-            self.store.save_cell(self.spec, self._trial_by_key[key], values,
-                                 meta=self.meta)
+            # cell files carry no execution-strategy metadata: their
+            # bytes are a pure function of the cell identity and its
+            # values, which is what makes serial/local/remote stores
+            # byte-identical (the backend equivalence contract)
+            self.store.save_cell(self.spec, self._trial_by_key[key], values)
 
 
 def run(
@@ -278,11 +561,13 @@ def run(
     batch: Optional[int] = None,
     stats: Optional[ExecutionStats] = None,
     coschedule: Optional[int] = None,
+    backend: Union[str, ExecutorBackend, None] = None,
+    workers: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
     """Execute ``spec`` and return its merged, normalised results.
 
-    ``jobs`` selects the level of parallelism (default: one worker per
-    CPU).  With a ``store``, previously completed *cells* are served
+    ``jobs`` selects the level of local parallelism (default: one worker
+    per CPU).  With a ``store``, previously completed *cells* are served
     without simulating anything — only missing cells' units are
     dispatched — and every completed cell is persisted immediately, so
     an interrupted run resumes where it stopped.  ``fresh`` forces full
@@ -292,10 +577,15 @@ def run(
     counters across calls.
 
     ``coschedule=K`` (with a spec that defines a ``cotrial``) interleaves
-    K units' worlds inside one event loop per executor — the in-process
-    co-scheduling backend.  It is pure execution strategy: results are
-    byte-identical with any combination of ``jobs``, ``batch`` and
-    ``coschedule``.
+    K units' worlds inside one event loop per executor.
+
+    ``backend`` picks the execution strategy: ``"serial"``, ``"local"``
+    (the default — a persistent in-host process pool), ``"remote"``
+    (TCP fan-out to ``repro worker`` processes named by ``workers=
+    ["host:port", ...]``; implied when ``workers`` is given), or any
+    :class:`ExecutorBackend` instance.  Backends — like ``jobs``,
+    ``batch`` and ``coschedule`` — are pure execution strategy: results
+    and store bytes are identical across all of them.
     """
     global TRIALS_EXECUTED
     stats = stats if stats is not None else ExecutionStats()
@@ -313,58 +603,67 @@ def run(
         cached_cells = store.load_cells(spec)
     stats.record_cached_cells(len(cached_cells))
 
-    assembler = _CellAssembler(spec, store, stats,
-                               meta={"jobs": worker_count})
+    assembler = _CellAssembler(spec, store, stats)
     assembler.completed.update(cached_cells)
     units: List[_Unit] = []
     for trial in spec.trials:
         if trial.key not in cached_cells:
             units.extend(assembler.add_cell(trial))
 
+    executor = _resolve_backend(backend, workers)
+    owned = not isinstance(backend, ExecutorBackend)
     started = time.perf_counter()
     if units:
-        if worker_count <= 1 or len(units) <= 1:
-            if width > 1 and len(units) > 1:
-                for index, value in _run_units_coscheduled(
-                    spec.cotrial, units, width
-                ):
-                    assembler.feed(index, value)
-            else:
-                for index, seed, params in units:
-                    assembler.feed(index, spec.trial(seed, params))
-        else:
-            size = (default_batch(len(units), worker_count)
-                    if batch is None else max(1, int(batch)))
-            if width > size:
-                size = width  # a batch holds at least one full pool
-            cotrial = spec.cotrial if width > 1 else None
-            tasks = [
-                (spec.trial, cotrial, width, units[start:start + size])
-                for start in range(0, len(units), size)
-            ]
-            stats.record_batches(len(tasks))
-            with multiprocessing.Pool(processes=worker_count) as pool:
-                for batch_results in pool.imap_unordered(_execute_batch, tasks):
-                    for index, value in batch_results:
-                        assembler.feed(index, value)
+        size = (default_batch(len(units), worker_count)
+                if batch is None else max(1, int(batch)))
+        if width > size:
+            size = width  # a batch holds at least one full pool
+        plan = ExecutionPlan(
+            spec=spec, units=units, worker_count=worker_count,
+            width=width, batch_size=size, stats=stats,
+        )
+        try:
+            for index, value in executor.execute(plan):
+                assembler.feed(index, value)
+        finally:
+            if owned:
+                executor.close()
     elapsed = time.perf_counter() - started if units else 0.0
 
+    missing = [trial.key for trial in spec.trials
+               if trial.key not in assembler.completed]
+    if missing:
+        raise ExperimentError(
+            f"backend {executor.name!r} lost {len(missing)} cell(s) of "
+            f"spec {spec.name!r}: {missing[:5]}"
+        )
     results = {trial.key: assembler.completed[trial.key]
                for trial in spec.trials}
     TRIALS_EXECUTED += len(units)
     if store is not None:
         store.write_manifest(
-            spec, meta={"jobs": worker_count, "elapsed_s": elapsed}
+            spec, meta={"jobs": worker_count, "backend": executor.name,
+                        "elapsed_s": elapsed}
         )
+    if store is None:
+        cache_state = "disabled"
+    elif not cached_cells:
+        cache_state = "cold"
+    elif not units:
+        cache_state = "full"
+    else:
+        cache_state = "partial"
     return ExperimentResult(
         spec_name=spec.name,
         hash=digest,
         results=results,
         executed=len(units),
-        cached=store is not None and not fresh and not units and bool(spec.trials),
+        cached=cache_state == "full" and bool(spec.trials),
         jobs=worker_count,
         elapsed_s=elapsed,
         cells_cached=len(cached_cells),
         cells_executed=len(spec.trials) - len(cached_cells),
         coschedule=width,
+        backend=executor.name,
+        cache_state=cache_state,
     )

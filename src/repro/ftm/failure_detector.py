@@ -6,9 +6,13 @@ transitions, and its background processes keep running while variable
 features are being swapped, so a real crash during a transition is still
 detected (Sec. 5.3, distributed consistency).
 
-Two processes per replica: a sender emitting heartbeats to the peer, and
-a monitor that suspects the peer when no heartbeat arrives within the
-timeout, then invokes ``peer_failed`` on the protocol component.
+Per replica: a sender process emitting heartbeats to the peer, a
+synchronous mailbox *sink* consuming them (heartbeats are the dominant
+event source in long campaigns — a sink handles each one inside the
+network delivery event instead of waking a monitor process per beat),
+and a watchdog process that suspects the peer when no heartbeat arrives
+within the timeout, then invokes ``peer_failed`` on the protocol
+component.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ class HeartbeatFailureDetector(ComponentImpl):
         self._suspended = False
         self._started_at = 0.0
         self._deadline = 0.0
+        self._mailbox = None
 
     # -- lifecycle hooks -----------------------------------------------------------
 
@@ -47,11 +52,59 @@ class HeartbeatFailureDetector(ComponentImpl):
 
     def _spawn_processes(self, node) -> List[Process]:
         """The background processes this detector runs (subclass hook)."""
+        self._install_monitor_sink()
         return [
-            node.spawn(self._sender(), name="fd-sender"),
-            node.spawn(self._monitor(), name="fd-monitor"),
+            self._spawn_sender(node),
             node.spawn(self._watchdog(), name="fd-watchdog"),
         ]
+
+    def _spawn_sender(self, node):
+        """Emit one heartbeat per period as a node ticker.
+
+        The hottest loop in campaign workloads: a ticker fires the send
+        straight from the event loop — same beat instants and event
+        ordering as the old ``while True: send; yield Timeout(period)``
+        process, without a generator resume per beat.  Every lookup that
+        cannot change is hoisted (the peer prop stays dynamic —
+        reconfigurable).
+        """
+        send = self.ctx.network.send
+        me = node.name
+        beat_payload = ("heartbeat", me)
+        get_prop = self.component.get_property
+
+        def beat() -> None:
+            peer = get_prop("peer", "")
+            if peer and node.is_up:
+                try:
+                    send(me, peer, "fd", beat_payload, 32)
+                except NodeDown:  # pragma: no cover - killed first in practice
+                    ticker.kill()
+
+        ticker = node.every(self.prop("period", 20.0), beat)
+        return ticker
+
+    def _install_monitor_sink(self) -> None:
+        """Consume heartbeats synchronously inside the delivery event.
+
+        The receive loop deliberately spawns no process and parks no
+        getter: a process here would cost a ready-lane event plus a
+        generator resume for every heartbeat (the dominant event source
+        in long missions).  Expiry is owned by :meth:`_watchdog`, which
+        keeps exactly one timer armed — same suspicion instants, a
+        fraction of the scheduler traffic.  Buffered beats are drained
+        on install, so a detector redeployed onto a restarted node picks
+        up exactly where a blocking monitor would have.
+        """
+        self._mailbox = self.ctx.mailbox("fd")
+        timeout = self.prop("timeout", 60.0)
+        sim = self.ctx.sim
+
+        def on_heartbeat(_message) -> None:
+            self.heartbeats_seen += 1
+            self._deadline = sim.now + timeout
+
+        self._mailbox.set_sink(on_heartbeat)
 
     def on_stop(self) -> None:
         # The FD is a common part and is normally never stopped; if a script
@@ -59,6 +112,10 @@ class HeartbeatFailureDetector(ComponentImpl):
         for process in self._processes:
             process.kill()
         self._processes = []
+        mailbox = getattr(self, "_mailbox", None)
+        if mailbox is not None:
+            mailbox.set_sink(None)
+            self._mailbox = None
 
     # -- service operations ----------------------------------------------------------
 
@@ -83,43 +140,6 @@ class HeartbeatFailureDetector(ComponentImpl):
         self._suspended = False
 
     # -- background processes ------------------------------------------------------------
-
-    def _sender(self):
-        # hottest loop in campaign workloads: hoist every lookup that
-        # cannot change (the peer prop stays dynamic — reconfigurable)
-        node = self.ctx.node
-        send = self.ctx.network.send
-        me = node.name
-        beat_payload = ("heartbeat", me)
-        get_prop = self.component.get_property
-        beat = Timeout(self.prop("period", 20.0))  # reused wait descriptor
-        while True:
-            peer = get_prop("peer", "")
-            if peer and node.is_up:
-                try:
-                    send(me, peer, "fd", beat_payload, 32)
-                except NodeDown:  # pragma: no cover - killed first in practice
-                    return
-            yield beat
-
-    def _monitor(self):
-        """Consume heartbeats and push the suspicion deadline forward.
-
-        The receive loop deliberately has no per-``get`` timeout: a
-        timeout here would park a cancellable timer in the simulator heap
-        for every heartbeat (the dominant event source in long missions).
-        Expiry is owned by :meth:`_watchdog`, which keeps exactly one
-        timer armed and lazily re-arms it — same suspicion instants,
-        a fraction of the scheduler traffic.
-        """
-        timeout = self.prop("timeout", 60.0)
-        sim = self.ctx.sim
-        mailbox = self.ctx.mailbox("fd")
-        wait = mailbox.get()  # reused wait descriptor
-        while True:
-            yield wait
-            self.heartbeats_seen += 1
-            self._deadline = sim.now + timeout
 
     def _watchdog(self):
         """Suspect the peer when no heartbeat lands before the deadline.

@@ -24,6 +24,43 @@ class NodeState(enum.Enum):
     CRASHED = "crashed"
 
 
+class Ticker:
+    """A node-pinned repeating timer callback — the process fast path.
+
+    For background loops of the shape ``while True: work(); yield
+    Timeout(period)`` whose work is a plain function call (no blocking
+    waits), a ticker fires the callback directly from the event loop:
+    same instants, same event ordering, no generator frame to resume per
+    tick.  It rides in ``node.processes`` next to real processes (duck
+    typed: ``alive`` / ``kill``), so a node crash stops it exactly like
+    a spawned loop; a tick already in the queue when the ticker dies
+    fires as a no-op.
+    """
+
+    __slots__ = ("sim", "period", "fn", "_killed")
+
+    def __init__(self, sim: Simulator, period: float, fn: Callable[[], None]):
+        self.sim = sim
+        self.period = period
+        self.fn = fn
+        self._killed = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._killed
+
+    def kill(self) -> None:
+        """Stop ticking (idempotent); a queued tick becomes a no-op."""
+        self._killed = True
+
+    def _tick(self) -> None:
+        if self._killed:
+            return
+        self.fn()
+        if not self._killed:  # fn may have killed us
+            self.sim.call_later(self.period, self._tick)
+
+
 class Node:
     """One simulated host with CPU-speed, energy and crash semantics."""
 
@@ -45,7 +82,8 @@ class Node:
         #: Plain attribute, not a property: the message path reads it on
         #: every send/deliver, so crash/restart maintain it directly.
         self.is_up = True
-        self.processes: List[Process] = []
+        #: Spawned processes and tickers, killed together on crash.
+        self.processes: List = []
         self._rand = sim.random.substream(f"node.{name}")
         # accounting (reset on crash: volatile counters; cumulative kept for eval)
         self.busy_ms = 0.0
@@ -77,6 +115,20 @@ class Node:
         process = self.sim.spawn(gen, name=f"{self.name}/{name}")
         self.processes.append(process)
         return process
+
+    def every(self, period: float, fn: Callable[[], None]) -> Ticker:
+        """Run ``fn()`` now and then every ``period`` ms until killed.
+
+        Equivalent to spawning ``while True: fn(); yield Timeout(period)``
+        — first call at the current instant via the zero-delay lane, one
+        timed event per tick thereafter — minus the per-tick generator
+        resume.  Killed when the node crashes, like any spawned process.
+        """
+        self.check_up("every")
+        ticker = Ticker(self.sim, period, fn)
+        self.processes.append(ticker)
+        self.sim.post(ticker._tick)
+        return ticker
 
     def _reap(self) -> None:
         self.processes = [p for p in self.processes if p.alive]

@@ -1,0 +1,183 @@
+"""Executor-backend equivalence and persistent-pool behavior.
+
+The backend contract: *where* units execute — inline, over the
+persistent local pool, or on remote workers — is pure execution
+strategy.  Results, and the bytes the store writes, are identical
+across every backend.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import exp
+from repro.eval import campaign, table3
+from repro.exp import runner
+
+
+def _dump(result):
+    return json.dumps(result.results, sort_keys=True)
+
+
+def _store_bytes(root):
+    """SHA-256 of every cell file under ``root`` (manifests excluded:
+    they record execution metadata like jobs/backend by design)."""
+    digests = {}
+    for path in sorted(root.rglob("*.json")):
+        if path.name == "manifest.json":
+            continue
+        digests[str(path.relative_to(root))] = hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+    return digests
+
+
+def echo_trial(seed, params):
+    return {"seed": seed, "cell": params["cell"]}
+
+
+def _echo_spec(cells=6, runs=2):
+    trials = tuple(
+        exp.Trial(key=f"c{i}", params={"cell": i},
+                  seeds=tuple(range(runs * i, runs * i + runs)))
+        for i in range(cells)
+    )
+    return exp.ExperimentSpec(name="echo-backends", trial=echo_trial,
+                              trials=trials)
+
+
+def test_serial_and_local_backends_are_byte_identical():
+    spec = table3.spec(runs=2, base_seed=11, ftms=("pbr", "lfr"))
+    serial = exp.run(spec, jobs=1, backend="serial")
+    local = exp.run(spec, jobs=3, backend="local", batch=2)
+    assert _dump(serial) == _dump(local)
+    assert serial.backend == "serial"
+    assert local.backend == "local"
+
+
+def test_backend_stores_are_byte_identical(tmp_path):
+    spec = campaign.sharded_spec(missions=6, base_seed=77, requests=8,
+                                 cell_size=3)
+    serial_store = exp.ResultStore(tmp_path / "serial")
+    local_store = exp.ResultStore(tmp_path / "local")
+    exp.run(spec, jobs=1, backend="serial", store=serial_store)
+    exp.run(spec, jobs=2, backend="local", batch=1, store=local_store)
+    serial_bytes = _store_bytes(tmp_path / "serial")
+    assert serial_bytes == _store_bytes(tmp_path / "local")
+    assert serial_bytes  # non-empty: the cells really were written
+
+
+def test_local_backend_coschedule_matches_serial():
+    spec = campaign.sharded_spec(missions=8, base_seed=21, requests=6,
+                                 cell_size=4)
+    serial = exp.run(spec, jobs=1, backend="serial")
+    cos = exp.run(spec, jobs=2, backend="local", coschedule=4)
+    assert _dump(serial) == _dump(cos)
+
+
+def test_backend_instance_can_be_passed_directly():
+    spec = _echo_spec()
+    result = exp.run(spec, backend=exp.SerialBackend())
+    assert result.backend == "serial"
+    assert result.executed == spec.unit_count
+
+
+def test_unknown_backend_name_is_rejected():
+    with pytest.raises(exp.ExperimentError, match="unknown backend"):
+        exp.run(_echo_spec(), backend="carrier-pigeon")
+
+
+def test_remote_backend_requires_worker_addresses():
+    with pytest.raises(exp.ExperimentError, match="workers"):
+        exp.run(_echo_spec(), backend="remote")
+
+
+def test_workers_argument_implies_remote_backend():
+    # a bad address fails in address parsing — proving backend selection
+    with pytest.raises(exp.DistributedError, match="host:port"):
+        exp.run(_echo_spec(), workers=["not-an-address"])
+
+
+def test_local_pool_persists_across_runs():
+    exp.shutdown_local_pool()
+    try:
+        spec_a = _echo_spec(cells=8)
+        spec_b = table3.spec(runs=2, base_seed=5, ftms=("pbr",))
+        exp.run(spec_a, jobs=2, backend="local", batch=1)
+        first_pool = runner._LOCAL_POOL
+        assert first_pool is not None
+        exp.run(spec_b, jobs=2, backend="local", batch=1)
+        assert runner._LOCAL_POOL is first_pool
+        assert runner._LOCAL_POOL_REUSES >= 1
+    finally:
+        exp.shutdown_local_pool()
+
+
+def test_local_pool_resizes_on_different_worker_count():
+    exp.shutdown_local_pool()
+    try:
+        spec = _echo_spec(cells=8)
+        exp.run(spec, jobs=2, backend="local", batch=1)
+        first_pool = runner._LOCAL_POOL
+        exp.run(spec, jobs=3, backend="local", batch=1)
+        assert runner._LOCAL_POOL is not first_pool
+        assert runner._LOCAL_POOL_PROCESSES == 3
+    finally:
+        exp.shutdown_local_pool()
+
+
+def test_function_ref_roundtrip():
+    ref = runner.function_ref(echo_trial)
+    assert ref == f"{__name__}:echo_trial"
+    assert runner.resolve_function_ref(ref) is echo_trial
+
+
+def test_execution_plan_batches_preserve_unit_order():
+    spec = _echo_spec(cells=5, runs=1)
+    units = [(i, i * 10, {"cell": i}) for i in range(5)]
+    plan = runner.ExecutionPlan(spec=spec, units=units, worker_count=2,
+                                batch_size=2)
+    batches = plan.batches()
+    assert [len(b) for b in batches] == [2, 2, 1]
+    assert [u[0] for b in batches for u in b] == list(range(5))
+
+
+# -- cache_state coherence (the ExperimentResult.cached fix) ----------------
+
+
+def test_cache_state_disabled_without_store():
+    result = exp.run(_echo_spec())
+    assert result.cache_state == "disabled"
+    assert not result.cached
+
+
+def test_cache_state_cold_then_full(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    spec = _echo_spec(cells=3)
+    first = exp.run(spec, store=store)
+    assert first.cache_state == "cold"
+    assert not first.cached
+    assert first.cells_executed == 3
+    second = exp.run(spec, store=store)
+    assert second.cache_state == "full"
+    assert second.cached
+    assert second.cells_cached == 3
+    assert second.executed == 0
+
+
+def test_cache_state_partial_mixes_coherently(tmp_path):
+    store = exp.ResultStore(tmp_path)
+    small = _echo_spec(cells=2)
+    exp.run(small, store=store)
+    grown = _echo_spec(cells=4)  # two cells cached, two missing
+    mixed = exp.run(grown, store=store)
+    assert mixed.cache_state == "partial"
+    assert not mixed.cached  # partially-cached runs must not claim "cached"
+    assert mixed.cells_cached == 2
+    assert mixed.cells_executed == 2
+    summary = mixed.summary()
+    assert summary["cache_state"] == "partial"
+    assert summary["cells_cached"] == 2
+    assert summary["cells_executed"] == 2
+    assert summary["backend"] in exp.BACKENDS

@@ -1,0 +1,116 @@
+"""Channel sinks and node tickers — the receive/send fast paths.
+
+Both exist so high-frequency streams (failure-detector heartbeats)
+avoid a generator resume per item; semantically they must be
+indistinguishable from the get-loop / Timeout-loop they replace.
+"""
+
+import pytest
+
+from repro.kernel import Channel, NodeDown, Simulator, Timeout, World
+
+
+# -- Channel.set_sink --------------------------------------------------------
+
+
+def test_sink_consumes_puts_synchronously_in_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    seen = []
+    ch.set_sink(seen.append)
+    ch.put("a")
+    ch.put("b")
+    assert seen == ["a", "b"]  # no sim step needed: consumed inside put
+    assert len(ch) == 0
+
+
+def test_installing_sink_drains_buffered_items_in_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.put(1)
+    ch.put(2)
+    seen = []
+    ch.set_sink(seen.append)
+    assert seen == [1, 2]
+    ch.put(3)
+    assert seen == [1, 2, 3]
+
+
+def test_pending_getter_keeps_priority_over_sink():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+    sunk = []
+
+    def consumer():
+        got.append((yield ch.get()))
+
+    process = sim.spawn(consumer())
+    sim.run()  # park the getter
+    ch.set_sink(sunk.append)
+    ch.put("for-getter")
+    sim.run()
+    assert got == ["for-getter"]
+    assert sunk == []
+    assert not process.alive
+    ch.put("for-sink")  # no getter left: the sink takes over
+    assert sunk == ["for-sink"]
+
+
+def test_detaching_sink_restores_buffering():
+    sim = Simulator()
+    ch = Channel(sim)
+    seen = []
+    ch.set_sink(seen.append)
+    ch.put("x")
+    ch.set_sink(None)
+    ch.put("y")
+    assert seen == ["x"]
+    assert len(ch) == 1
+
+
+# -- Node.every --------------------------------------------------------------
+
+
+def test_every_fires_now_then_each_period():
+    world = World(seed=1)
+    node = world.add_node("alpha")
+    ticks = []
+
+    def observe():
+        ticks.append(world.sim.now)
+
+    ticker = node.every(10.0, observe)
+
+    def scenario():
+        yield Timeout(35.0)
+        ticker.kill()
+        yield Timeout(50.0)
+
+    world.run_process(scenario())
+    assert ticks == [0.0, 10.0, 20.0, 30.0]  # none after kill()
+    assert not ticker.alive
+
+
+def test_node_crash_kills_its_tickers():
+    world = World(seed=1)
+    node = world.add_node("alpha")
+    ticks = []
+    ticker = node.every(10.0, lambda: ticks.append(world.sim.now))
+
+    def scenario():
+        yield Timeout(25.0)
+        node.crash()
+        yield Timeout(50.0)
+
+    world.run_process(scenario())
+    assert ticks == [0.0, 10.0, 20.0]
+    assert not ticker.alive
+
+
+def test_every_on_downed_node_is_refused():
+    world = World(seed=1)
+    node = world.add_node("alpha")
+    node.crash()
+    with pytest.raises(NodeDown):
+        node.every(5.0, lambda: None)
