@@ -36,6 +36,15 @@ Commands
     ``--backend serial|local|remote`` picks where shards execute;
     ``--workers host:port,...`` fans them over ``repro worker``
     processes (implies the remote backend).
+``fleet-campaign [--hosts N] [--apps N] [--missions N] [...]``
+    The fleet-scale campaign: generate a multi-host topology, place
+    many FTM-protected app pairs under each placement policy, drive
+    them with seeded open-loop workloads while hosts churn down and up,
+    and let the fleet Resilience Manager recompute every pair's R from
+    the *shared* host/link utilisation — executing the mandatory
+    transitions contention forces.  One cell per (placement policy ×
+    churn rate); same store/backends/co-scheduling knobs as
+    ``campaign``, with the same byte-identical guarantee.
 ``worker --listen HOST:PORT [--coschedule K] [--max-batches N]``
     Serve trial batches to a remote-backend coordinator: accepts framed
     TCP batches, drains each through the co-scheduling ``WorldPool``,
@@ -289,6 +298,54 @@ def _cmd_campaign(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_fleet_campaign(args) -> int:
+    import json
+
+    from repro import exp
+    from repro.eval import fleet_campaign
+
+    jobs = exp.default_jobs() if args.jobs is None else max(1, args.jobs)
+    store = None if args.no_store else exp.ResultStore(args.store)
+    out = sys.stderr if args.json else sys.stdout
+
+    placements = [p.strip() for p in args.placements.split(",") if p.strip()]
+    churn_rates = [int(c) for c in args.churn.split(",") if c.strip()]
+    spec = fleet_campaign.spec(
+        missions=args.missions, base_seed=9000 + args.seed,
+        hosts=args.hosts, apps=args.apps, kind=args.kind,
+        placements=placements, churn_rates=churn_rates,
+        duration_ms=args.duration_ms,
+    )
+    workers = ([w.strip() for w in args.workers.split(",") if w.strip()]
+               if args.workers else None)
+    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
+                     coschedule=args.coschedule, backend=args.backend,
+                     workers=workers)
+    data = fleet_campaign.from_results(result.results)
+    print(fleet_campaign.render(data), file=out)
+    problems = fleet_campaign.shape_checks(data)
+    status = "clean" if not problems else f"FAILS: {problems}"
+    print(f"  -> Fleet campaign: {status} "
+          f"[{args.hosts} hosts x {args.apps} apps, "
+          f"{result.cells_cached}/{len(spec.trials)} cells from store, "
+          f"{result.executed} missions simulated, {result.elapsed_s:.2f}s, "
+          f"backend={result.backend}]",
+          file=out)
+    if args.json:
+        summary = result.summary()
+        summary["problems"] = problems
+        summary["fleet"] = {
+            key: data[key]
+            for key in (
+                "missions", "sent", "ok", "errors", "dropped",
+                "transitions", "contention_decisions", "node_downs",
+                "reintegrations",
+            )
+        }
+        print(json.dumps(summary, indent=2))
+    return 1 if problems else 0
+
+
 #: Specs the ``profile`` command can build, name -> builder(args).  Each
 #: builder applies the profile command's size knobs to the real spec
 #: factory, so the profile measures exactly what the experiments run.
@@ -303,6 +360,9 @@ _PROFILE_SPECS = {
     ),
     "transition-matrix": lambda args: _eval_module("transition_matrix").spec(
         runs=args.runs, base_seed=7000 + args.seed, smoke=True,
+    ),
+    "fleet-campaign": lambda args: _eval_module("fleet_campaign").spec(
+        missions=args.missions, base_seed=9000 + args.seed,
     ),
     "table3": lambda args: _eval_module("table3").spec(
         runs=args.runs, base_seed=1000 + args.seed,
@@ -420,10 +480,15 @@ def _cmd_bench(args) -> int:
               "trajectory across BENCH_*.json files", file=sys.stderr)
         return 2
     root = Path(args.dir)
+    if not root.is_dir():
+        print(f"warning: {root}/ does not exist — nothing to report",
+              file=sys.stderr)
+        return 0
     reports = sorted(root.glob("BENCH_*.json"))
     if not reports:
-        print(f"no BENCH_*.json files under {root}/", file=sys.stderr)
-        return 1
+        print(f"warning: no BENCH_*.json files under {root}/ — run the "
+              f"benchmarks first (pytest benchmarks/)", file=sys.stderr)
+        return 0
     print("throughput trajectory across recorded benchmark reports\n")
     print(f"{'report':<24s} {'scenario':<46s} {'value':>12s}  unit")
     print("-" * 96)
@@ -431,9 +496,14 @@ def _cmd_bench(args) -> int:
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"{path.name:<24s} unreadable: {exc}")
+            print(f"{path.name:<24s} warning: unreadable ({exc})")
             continue
-        for scenario, value, unit in _bench_rows(data):
+        try:
+            rows = _bench_rows(data)
+        except (TypeError, ValueError, KeyError, AttributeError) as exc:
+            print(f"{path.name:<24s} warning: unrecognised shape ({exc})")
+            continue
+        for scenario, value, unit in rows:
             value_text = "-" if value is None else f"{value:,.2f}"
             print(f"{path.name:<24s} {scenario:<46s} {value_text:>12s}  {unit}")
     return 0
@@ -560,6 +630,53 @@ def main(argv=None) -> int:
     camp.add_argument("--workers", default=None, metavar="HOST:PORT,...",
                       help="comma-separated repro worker addresses for the "
                            "remote backend")
+    fleet = sub.add_parser(
+        "fleet-campaign",
+        help="fleet-scale placement x churn campaign (shared-R transitions)",
+    )
+    fleet.add_argument("--hosts", type=_positive_int, default=10,
+                       help="hosts per fleet topology (default: 10)")
+    fleet.add_argument("--apps", type=_positive_int, default=3,
+                       help="FTM-protected app pairs per fleet (default: 3)")
+    fleet.add_argument("--missions", type=_positive_int, default=2,
+                       help="seeded fleet missions per cell (default: 2)")
+    fleet.add_argument("--kind", choices=("line", "star", "tree", "random"),
+                       default="random",
+                       help="topology generator (default: random)")
+    fleet.add_argument("--placements", default="round-robin,greedy,affinity",
+                       metavar="P1,P2,...",
+                       help="placement policies to grid over "
+                            "(default: round-robin,greedy,affinity)")
+    fleet.add_argument("--churn", default="0,2", metavar="N1,N2,...",
+                       help="churn rates (host outages per mission) to grid "
+                            "over (default: 0,2)")
+    fleet.add_argument("--duration-ms", type=float, default=8_000.0,
+                       help="open-loop workload window per mission "
+                            "(default: 8000)")
+    fleet.add_argument("--jobs", type=_positive_int, default=None,
+                       help="worker processes (default: all CPUs)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="offset added to the fleet base seed")
+    fleet.add_argument("--json", action="store_true",
+                       help="machine-readable summary on stdout")
+    fleet.add_argument("--store", default=None, metavar="DIR",
+                       help="result-store directory (default: .repro-results)")
+    fleet.add_argument("--no-store", action="store_true",
+                       help="disable the result store")
+    fleet.add_argument("--fresh", action="store_true",
+                       help="recompute even when stored cells exist")
+    fleet.add_argument("--coschedule", type=_positive_int, default=1,
+                       metavar="K",
+                       help="fleet worlds interleaved per event loop "
+                            "(default: 1 = off; results are byte-identical "
+                            "either way)")
+    fleet.add_argument("--backend", choices=("serial", "local", "remote"),
+                       default=None,
+                       help="execution backend (default: local, or remote "
+                            "when --workers is given; byte-identical results)")
+    fleet.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                       help="comma-separated repro worker addresses for the "
+                            "remote backend")
     worker = sub.add_parser(
         "worker",
         help="serve trial batches to a remote-backend coordinator",
@@ -621,6 +738,7 @@ def main(argv=None) -> int:
         "reproduce": _cmd_reproduce,
         "transition-matrix": _cmd_transition_matrix,
         "campaign": _cmd_campaign,
+        "fleet-campaign": _cmd_fleet_campaign,
         "profile": _cmd_profile,
         "store": _cmd_store,
         "worker": _cmd_worker,

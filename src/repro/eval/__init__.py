@@ -25,6 +25,7 @@ module             paper artifact
 ``agility``        Sec. 6.2 — agile vs preprogrammed
 ``consistency_eval``  Sec. 5.3 — distributed consistency claims
 ``transition_matrix``  transition-survival matrix (fault × phase)
+``fleet_campaign``  fleet-scale placement × churn campaigns
 =================  =============================================
 """
 
@@ -37,6 +38,7 @@ from repro.eval import (
     figure5,
     figure8,
     figure9,
+    fleet_campaign,
     table1,
     table2,
     table3,
@@ -55,6 +57,7 @@ __all__ = [
     "figure5",
     "figure8",
     "figure9",
+    "fleet_campaign",
     "table1",
     "table2",
     "table3",

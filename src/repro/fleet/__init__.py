@@ -1,0 +1,96 @@
+"""Fleet-scale platform layer: Topology / Placement / Population.
+
+Scales the repo from one protected pair to tens-to-hundreds of
+heterogeneous hosts, following the YAFS-style decomposition (SNIPPETS.md
+snippet 1) around the existing DES kernel:
+
+* :mod:`repro.fleet.topology` — named hosts + characterised links, shape
+  generators, and :meth:`Topology.materialise` onto a kernel world;
+* :mod:`repro.fleet.placement` — policies assigning FTM-protected app
+  pairs (and their clients) onto hosts;
+* :mod:`repro.fleet.population` — seeded open-loop arrival workloads and
+  deterministic churn schedules;
+* :mod:`repro.fleet.manager` — the fleet Resilience Manager: per-pair
+  (FT, A, R) contexts whose R is computed from *shared* host/link
+  utilisation, so one pair's transition can invalidate a neighbour's
+  resources;
+* :mod:`repro.fleet.demand` — the qualitative→quantitative calibration
+  of FTM resource appetites the two layers above share.
+"""
+
+from repro.fleet.demand import (
+    BANDWIDTH_UNITS,
+    CPU_UNITS,
+    bandwidth_units,
+    cpu_units,
+    ftm_demand,
+)
+from repro.fleet.manager import FleetResilienceManager, PlacedPair
+from repro.fleet.placement import (
+    POLICIES,
+    AffinityPlacement,
+    AppSpec,
+    Assignment,
+    GreedyPlacement,
+    PlacementError,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    policy,
+)
+from repro.fleet.population import (
+    AppLoad,
+    ChurnEvent,
+    Population,
+    apply_churn,
+    churn_schedule,
+)
+from repro.fleet.topology import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    FLEET_KINDS,
+    Edge,
+    Host,
+    Topology,
+    TopologyError,
+    line_fleet,
+    make_fleet,
+    random_fleet,
+    star_fleet,
+    tree_fleet,
+)
+
+__all__ = [
+    "BANDWIDTH_UNITS",
+    "CPU_UNITS",
+    "bandwidth_units",
+    "cpu_units",
+    "ftm_demand",
+    "FleetResilienceManager",
+    "PlacedPair",
+    "POLICIES",
+    "AffinityPlacement",
+    "AppSpec",
+    "Assignment",
+    "GreedyPlacement",
+    "PlacementError",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "policy",
+    "AppLoad",
+    "ChurnEvent",
+    "Population",
+    "apply_churn",
+    "churn_schedule",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_LATENCY",
+    "FLEET_KINDS",
+    "Edge",
+    "Host",
+    "Topology",
+    "TopologyError",
+    "line_fleet",
+    "make_fleet",
+    "random_fleet",
+    "star_fleet",
+    "tree_fleet",
+]

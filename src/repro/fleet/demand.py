@@ -1,0 +1,44 @@
+"""Quantitative resource demand of a deployed FTM.
+
+The catalog describes each FTM's resource appetite qualitatively
+(Table 1: bandwidth high/low/n-a, CPU high/low).  Fleet-level placement
+and the shared-R computation need numbers to sum across co-routed pairs
+and co-hosted replicas, so this module fixes one calibration:
+
+* **CPU units** are fractions of a speed-1.0 host one replica keeps busy;
+* **bandwidth units** are bytes/ms of inter-replica traffic one pair puts
+  on every edge of its route.
+
+The absolute values matter less than the ratios: two high-bandwidth
+pairs must oversubscribe one generator-drawn edge (8–16 kB/ms), while
+two low-bandwidth pairs must not — that is what turns placement into a
+shared-resource problem.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ftm.catalog import PATTERN_CLASSES, check_ftm_name
+
+#: Fraction of one speed-1.0 host a replica at each CPU level consumes.
+CPU_UNITS = {"high": 0.45, "low": 0.18}
+#: Bytes/ms of replica-to-replica traffic at each bandwidth level.
+BANDWIDTH_UNITS = {"high": 6_000.0, "low": 1_500.0, "n/a": 0.0}
+
+
+def ftm_demand(ftm: str) -> Tuple[float, float]:
+    """``(cpu_units, bandwidth_units)`` one replica pair of ``ftm`` needs."""
+    check_ftm_name(ftm)
+    pattern = PATTERN_CLASSES[ftm]
+    return CPU_UNITS[pattern.CPU], BANDWIDTH_UNITS[pattern.BANDWIDTH]
+
+
+def cpu_units(ftm: str) -> float:
+    """The per-replica CPU demand of an FTM."""
+    return ftm_demand(ftm)[0]
+
+
+def bandwidth_units(ftm: str) -> float:
+    """The per-pair link bandwidth demand of an FTM."""
+    return ftm_demand(ftm)[1]

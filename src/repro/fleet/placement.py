@@ -1,0 +1,186 @@
+"""Placement policies: assigning FTM-protected app pairs onto fleet hosts.
+
+A policy maps a list of :class:`AppSpec` onto a :class:`Topology`,
+producing one :class:`Assignment` per app — the two replica hosts plus a
+client host.  Replica slots are **host-exclusive**: each host carries at
+most one replica, because a replica binds its node's well-known
+``requests`` / ``peer`` mailboxes.  Clients bind per-client reply ports,
+so client hosts are shared freely (leftover hosts first, round-robin).
+
+Three policies cover the design space:
+
+* :class:`RoundRobinPlacement` — hosts in topology order, two per app;
+* :class:`GreedyPlacement` — resource-greedy: hungriest apps first onto
+  the fastest remaining hosts (heterogeneity-aware);
+* :class:`AffinityPlacement` — latency-affine: each pair lands on the
+  free host pair with the lowest route latency between its replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fleet.demand import cpu_units
+from repro.fleet.topology import Topology
+from repro.ftm.catalog import check_ftm_name
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application to protect: a name and the FTM to start under."""
+
+    name: str
+    ftm: str = "pbr"
+
+    def __post_init__(self) -> None:
+        check_ftm_name(self.ftm)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Where one app's protected pair (and its client) live."""
+
+    app: str
+    ftm: str
+    nodes: Tuple[str, str]
+    client: str
+
+
+class PlacementError(ValueError):
+    """Raised when a fleet cannot carry the requested apps."""
+
+
+class PlacementPolicy:
+    """Interface: subclasses implement :meth:`replica_hosts`."""
+
+    name = "abstract"
+
+    def place(self, topology: Topology,
+              apps: Sequence[AppSpec]) -> List[Assignment]:
+        """Assign every app two exclusive replica hosts plus a client host."""
+        hosts = topology.host_names()
+        if 2 * len(apps) > len(hosts):
+            raise PlacementError(
+                f"{len(apps)} apps need {2 * len(apps)} exclusive replica "
+                f"hosts but the fleet has {len(hosts)}"
+            )
+        pairs = self.replica_hosts(topology, apps)
+        used = [h for pair in pairs for h in pair]
+        if len(set(used)) != len(used):
+            raise PlacementError(
+                f"policy {self.name!r} co-located replicas: {used}"
+            )
+        clients = _client_hosts(hosts, used, len(apps))
+        return [
+            Assignment(app=spec.name, ftm=spec.ftm, nodes=pairs[i],
+                       client=clients[i])
+            for i, spec in enumerate(apps)
+        ]
+
+    def replica_hosts(self, topology: Topology,
+                      apps: Sequence[AppSpec]) -> List[Tuple[str, str]]:
+        """One (host, host) replica pair per app, in app order."""
+        raise NotImplementedError
+
+
+def _client_hosts(hosts: Sequence[str], used: Sequence[str],
+                  count: int) -> List[str]:
+    """Client hosts: leftover hosts round-robin, else any host round-robin."""
+    free = [h for h in hosts if h not in set(used)]
+    pool = free if free else list(hosts)
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Hosts in topology order, two consecutive hosts per app."""
+
+    name = "round-robin"
+
+    def replica_hosts(self, topology, apps):
+        """Consecutive host pairs in topology insertion order."""
+        hosts = topology.host_names()
+        return [
+            (hosts[2 * i], hosts[2 * i + 1]) for i in range(len(apps))
+        ]
+
+
+class GreedyPlacement(PlacementPolicy):
+    """Resource-greedy: hungriest apps onto the fastest remaining hosts.
+
+    Apps are ordered by descending CPU demand (name-tiebroken), hosts by
+    descending CPU speed then ascending name; each app takes the top two
+    free hosts.  On a heterogeneous fleet this keeps high-CPU FTMs (LFR
+    family, TR composites) off the slow machines.
+    """
+
+    name = "greedy"
+
+    def replica_hosts(self, topology, apps):
+        """Top two free hosts by CPU speed for each app, hungriest first."""
+        ranked_hosts = sorted(
+            topology.hosts.values(),
+            key=lambda h: (-h.cpu_speed, h.name),
+        )
+        order = sorted(
+            range(len(apps)),
+            key=lambda i: (-cpu_units(apps[i].ftm), apps[i].name),
+        )
+        pairs: List[Tuple[str, str]] = [("", "")] * len(apps)
+        cursor = 0
+        for index in order:
+            pairs[index] = (
+                ranked_hosts[cursor].name, ranked_hosts[cursor + 1].name
+            )
+            cursor += 2
+        return pairs
+
+
+class AffinityPlacement(PlacementPolicy):
+    """Latency-affine: each pair on the closest free host pair.
+
+    Apps are placed in list order; for each, every free host pair is
+    scored by route latency between the two hosts (name-tiebroken) and
+    the closest wins.  Quadratic in fleet size per app — fine for the
+    tens-to-hundreds of hosts this layer targets.
+    """
+
+    name = "affinity"
+
+    def replica_hosts(self, topology, apps):
+        """The free host pair with the lowest route latency, per app."""
+        free = list(topology.host_names())
+        pairs: List[Tuple[str, str]] = []
+        for _spec in apps:
+            best: Tuple[float, str, str] = (float("inf"), "", "")
+            for i, a in enumerate(free):
+                for b in free[i + 1:]:
+                    latency = topology.route_latency(a, b)
+                    candidate = (latency, a, b)
+                    if candidate < best:
+                        best = candidate
+            _latency, a, b = best
+            pairs.append((a, b))
+            free.remove(a)
+            free.remove(b)
+        return pairs
+
+
+#: Policy registry, keyed by CLI name.
+POLICIES: Dict[str, PlacementPolicy] = {
+    policy.name: policy
+    for policy in (
+        RoundRobinPlacement(), GreedyPlacement(), AffinityPlacement()
+    )
+}
+
+
+def policy(name: str) -> PlacementPolicy:
+    """Look a placement policy up by name."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise PlacementError(
+            f"unknown placement policy {name!r} "
+            f"(have: {', '.join(sorted(POLICIES))})"
+        ) from None

@@ -1,0 +1,180 @@
+"""Population: open-loop workloads and churn schedules for a fleet.
+
+The third leg of the Topology / Placement / Population decomposition
+(YAFS, SNIPPETS.md snippet 1).  A :class:`Population` drives every
+placed app with an **open-loop** arrival process: inter-arrival times are
+drawn from a seeded exponential distribution and each arrival issues its
+request in an independent one-shot process, so a slow or failing pair
+never throttles its own offered load (unlike the closed-loop workloads in
+:mod:`repro.app.workloads`).
+
+Churn is described the same way: :func:`churn_schedule` draws a
+deterministic list of :class:`ChurnEvent` (which host goes down when, and
+for how long) from a named substream, and :func:`apply_churn` arms them
+through :meth:`FaultInjector.schedule_node_down` /
+:meth:`~repro.kernel.faults.FaultInjector.schedule_node_up`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.ftm.client import Client
+from repro.ftm.errors import FTMError
+from repro.kernel.errors import NodeDown
+from repro.kernel.rand import DeterministicRandom
+from repro.kernel.sim import Timeout, all_of
+
+
+@dataclass
+class AppLoad:
+    """What one app's open-loop driver observed."""
+
+    app: str
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    dropped: int = 0  # requests that could not even be issued (host down)
+
+    @property
+    def attempted(self) -> int:
+        return self.sent + self.dropped
+
+
+@dataclass
+class ChurnEvent:
+    """One host outage: down at ``at``, back ``downtime_ms`` later."""
+
+    at: float
+    host: str
+    downtime_ms: float
+
+
+class Population:
+    """Open-loop drivers for every placed app in one fleet world.
+
+    Each app gets a :class:`~repro.ftm.client.Client` on its assigned
+    client host and a driver process spawning one request per arrival.
+    Inter-arrival times come from the world's ``population.<app>``
+    substream, so adding an app never perturbs another app's arrivals.
+    """
+
+    def __init__(self, world, assignments, rate_per_s: float = 2.0,
+                 duration_ms: float = 10_000.0,
+                 client_timeout: float = 2_000.0):
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+        self.world = world
+        self.assignments = list(assignments)
+        self.rate_per_s = rate_per_s
+        self.duration_ms = duration_ms
+        self.client_timeout = client_timeout
+        self.loads: Dict[str, AppLoad] = {}
+        self.clients: Dict[str, Client] = {}
+        self._processes: List = []
+
+    def start(self) -> None:
+        """Spawn one driver per app (drivers are not node-pinned)."""
+        for assignment in self.assignments:
+            load = AppLoad(app=assignment.app)
+            self.loads[assignment.app] = load
+            client = Client(
+                self.world,
+                self.world.cluster.node(assignment.client),
+                f"c-{assignment.app}",
+                list(assignment.nodes),
+                timeout=self.client_timeout,
+                max_attempts=6,
+            )
+            self.clients[assignment.app] = client
+            process = self.world.sim.spawn(
+                self._drive(assignment.app, client, load),
+                name=f"population-{assignment.app}",
+            )
+            self._processes.append(process)
+
+    def _drive(self, app: str, client: Client, load: AppLoad):
+        rng = self.world.sim.random.substream(f"population.{app}")
+        deadline = self.world.now + self.duration_ms
+        while True:
+            gap_ms = rng.expovariate(self.rate_per_s) * 1_000.0
+            if self.world.now + gap_ms > deadline:
+                return load
+            yield Timeout(gap_ms)
+            process = self.world.sim.spawn(
+                self._one_request(client, load),
+                name=f"request-{app}-{load.attempted}",
+            )
+            self._processes.append(process)
+
+    def _one_request(self, client: Client, load: AppLoad):
+        try:
+            reply = yield from client.request(("add", 1))
+        except NodeDown:
+            load.dropped += 1  # the client's own host is churned out
+            return
+        except FTMError:
+            load.sent += 1
+            load.errors += 1
+            return
+        load.sent += 1
+        if reply.ok:
+            load.ok += 1
+        else:
+            load.errors += 1
+
+    def drain(self):
+        """Wait for every driver and in-flight request (generator)."""
+        yield from all_of(self.world.sim, list(self._processes))
+        return self.loads
+
+    def totals(self) -> Dict[str, int]:
+        """Summed counters over every app."""
+        return {
+            "sent": sum(load.sent for load in self.loads.values()),
+            "ok": sum(load.ok for load in self.loads.values()),
+            "errors": sum(load.errors for load in self.loads.values()),
+            "dropped": sum(load.dropped for load in self.loads.values()),
+        }
+
+
+def churn_schedule(
+    hosts: Sequence[str],
+    seed: int,
+    events: int,
+    window: tuple,
+    downtime_ms: tuple = (800.0, 2_500.0),
+    rng: Optional[DeterministicRandom] = None,
+) -> List[ChurnEvent]:
+    """Draw a deterministic churn schedule over candidate hosts.
+
+    ``events`` outages are drawn with uniformly random instants inside
+    ``window = (start_ms, end_ms)``, victims chosen uniformly from
+    ``hosts`` and downtimes from ``downtime_ms``.  A fixed ``seed`` (or a
+    caller-provided ``rng`` substream) always yields the same schedule;
+    the returned list is sorted by instant.
+    """
+    if not hosts and events:
+        raise ValueError("churn needs at least one candidate host")
+    start, end = window
+    if end < start:
+        raise ValueError(f"churn window ends before it starts: {window}")
+    stream = rng if rng is not None else DeterministicRandom(seed, "fleet.churn")
+    drawn = [
+        ChurnEvent(
+            at=round(stream.uniform(start, end), 3),
+            host=stream.choice(list(hosts)),
+            downtime_ms=round(stream.uniform(*downtime_ms), 3),
+        )
+        for _ in range(events)
+    ]
+    return sorted(drawn, key=lambda e: (e.at, e.host))
+
+
+def apply_churn(world, events: Sequence[ChurnEvent]) -> None:
+    """Arm a churn schedule through the world's fault injector."""
+    for event in events:
+        node = world.cluster.node(event.host)
+        world.faults.schedule_node_down(node, at=event.at)
+        world.faults.schedule_node_up(node, at=event.at + event.downtime_ms)

@@ -1,0 +1,331 @@
+"""Fleet topologies: named hosts, characterised links, routed worlds.
+
+A :class:`Topology` is the *description* of a fleet — heterogeneous hosts
+(CPU speed, energy budget) connected by an undirected graph of
+latency/bandwidth-characterised edges — decoupled from the simulation
+kernel, following the Topology / Placement / Population decomposition of
+YAFS (SNIPPETS.md snippet 1).  :meth:`Topology.materialise` turns the
+description into kernel state: one :class:`~repro.kernel.node.Node` per
+host, and every ordered node pair's :class:`~repro.kernel.network.Link`
+set from the shortest route through the graph (summed latency, bottleneck
+bandwidth), installed in one bulk
+:meth:`~repro.kernel.network.Network.configure_links` call.
+
+Generators build the standard shapes — :func:`line_fleet`,
+:func:`star_fleet`, :func:`tree_fleet` and the seeded heterogeneous
+:func:`random_fleet` — all deterministic for a given argument tuple.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kernel.network import Link
+from repro.kernel.rand import DeterministicRandom
+
+#: Default edge characteristics (match the cost model's uniform defaults).
+DEFAULT_LATENCY = 0.45
+DEFAULT_BANDWIDTH = 12_500.0
+
+
+@dataclass(frozen=True)
+class Host:
+    """One fleet machine: a name plus its kernel-level capacity knobs."""
+
+    name: str
+    cpu_speed: float = 1.0
+    energy_budget: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One undirected link of the fleet graph."""
+
+    a: str
+    b: str
+    latency: float = DEFAULT_LATENCY
+    bandwidth: float = DEFAULT_BANDWIDTH
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The canonical (sorted) endpoint pair identifying this edge."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+class TopologyError(ValueError):
+    """Raised for malformed fleet descriptions (unknown hosts, no route)."""
+
+
+class Topology:
+    """Named hosts plus undirected characterised edges.
+
+    Hosts and edges keep insertion order (deterministic iteration); edge
+    endpoints are canonicalised so ``connect(a, b)`` and ``connect(b, a)``
+    describe the same edge.
+    """
+
+    def __init__(self) -> None:
+        self.hosts: Dict[str, Host] = {}
+        self.edges: Dict[Tuple[str, str], Edge] = {}
+        self._routes: Optional[Dict[Tuple[str, str], List[str]]] = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_host(self, name: str, cpu_speed: float = 1.0,
+                 energy_budget: Optional[float] = None) -> Host:
+        """Declare one host (names must be unique)."""
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host {name!r}")
+        host = Host(name, cpu_speed, energy_budget)
+        self.hosts[name] = host
+        self._routes = None
+        return host
+
+    def connect(self, a: str, b: str, latency: float = DEFAULT_LATENCY,
+                bandwidth: float = DEFAULT_BANDWIDTH) -> Edge:
+        """Add (or re-characterise) the undirected edge between two hosts."""
+        for name in (a, b):
+            if name not in self.hosts:
+                raise TopologyError(f"unknown host {name!r}")
+        if a == b:
+            raise TopologyError(f"self-edge on host {a!r}")
+        edge = Edge(a, b, latency, bandwidth)
+        self.edges[edge.key] = edge
+        self._routes = None
+        return edge
+
+    # -- queries -----------------------------------------------------------
+
+    def host_names(self) -> List[str]:
+        """Host names in insertion order."""
+        return list(self.hosts)
+
+    def host(self, name: str) -> Host:
+        """The :class:`Host` named ``name`` (raises on unknown names)."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(f"unknown host {name!r}") from None
+
+    def edge(self, a: str, b: str) -> Edge:
+        """The undirected edge between two hosts (must be adjacent)."""
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self.edges[key]
+        except KeyError:
+            raise TopologyError(f"no edge between {a!r} and {b!r}") from None
+
+    def neighbours(self, name: str) -> List[str]:
+        """Hosts adjacent to ``name`` (sorted)."""
+        out = set()
+        for a, b in self.edges:
+            if a == name:
+                out.add(b)
+            elif b == name:
+                out.add(a)
+        return sorted(out)
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, a: str, b: str) -> List[str]:
+        """The shortest host path from ``a`` to ``b`` (inclusive).
+
+        Dijkstra over edge latency with lexicographic host-name
+        tie-breaking, so routes are deterministic whatever the insertion
+        order.  Raises :class:`TopologyError` when the hosts are
+        disconnected.
+        """
+        if a == b:
+            return [a]
+        for name in (a, b):
+            self.host(name)
+        adjacency: Dict[str, List[Tuple[str, float]]] = {
+            name: [] for name in self.hosts
+        }
+        for edge in self.edges.values():
+            adjacency[edge.a].append((edge.b, edge.latency))
+            adjacency[edge.b].append((edge.a, edge.latency))
+        # (cost, path) heap: comparing the path tuple breaks cost ties by
+        # host name, which makes the chosen route order-independent
+        frontier: List[Tuple[float, Tuple[str, ...]]] = [(0.0, (a,))]
+        best: Dict[str, float] = {}
+        while frontier:
+            cost, path = heapq.heappop(frontier)
+            node = path[-1]
+            if node == b:
+                return list(path)
+            if best.get(node, float("inf")) <= cost:
+                continue
+            best[node] = cost
+            for neighbour, latency in sorted(adjacency[node]):
+                if neighbour in best:
+                    continue
+                heapq.heappush(frontier, (cost + latency, path + (neighbour,)))
+        raise TopologyError(f"hosts {a!r} and {b!r} are disconnected")
+
+    def route_edges(self, a: str, b: str) -> List[Tuple[str, str]]:
+        """The canonical edge keys along the route from ``a`` to ``b``."""
+        path = self.route(a, b)
+        return [
+            self.edge(path[i], path[i + 1]).key
+            for i in range(len(path) - 1)
+        ]
+
+    def route_latency(self, a: str, b: str) -> float:
+        """Summed latency along the route from ``a`` to ``b``."""
+        return sum(
+            self.edges[key].latency for key in self.route_edges(a, b)
+        )
+
+    # -- kernel materialisation --------------------------------------------
+
+    def materialise(self, world) -> None:
+        """Create this fleet's nodes and routed links inside a world.
+
+        Every host becomes a node with its CPU speed and energy budget;
+        every ordered host pair's network link is characterised from the
+        shortest route — latency is the sum along the path, bandwidth the
+        path's bottleneck edge — so the kernel's point-to-point fabric
+        reflects the multi-hop graph without simulating store-and-forward
+        routers.
+        """
+        names = self.host_names()
+        world.add_nodes(
+            names,
+            cpu_speed={h.name: h.cpu_speed for h in self.hosts.values()},
+            energy_budget={
+                h.name: h.energy_budget
+                for h in self.hosts.values()
+                if h.energy_budget is not None
+            },
+        )
+        links: Dict[Tuple[str, str], Link] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                edges = [self.edges[key] for key in self.route_edges(a, b)]
+                routed = Link(
+                    latency=sum(e.latency for e in edges),
+                    bandwidth=min(e.bandwidth for e in edges),
+                )
+                links[(a, b)] = routed
+                links[(b, a)] = routed
+        world.network.configure_links(links)
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def _host_names(hosts: int) -> List[str]:
+    if hosts < 1:
+        raise TopologyError(f"a fleet needs at least 1 host, got {hosts}")
+    return [f"h{i:03d}" for i in range(hosts)]
+
+
+def line_fleet(hosts: int, latency: float = DEFAULT_LATENCY,
+               bandwidth: float = DEFAULT_BANDWIDTH) -> Topology:
+    """A chain: h000 — h001 — ... — h(n-1)."""
+    topo = Topology()
+    names = _host_names(hosts)
+    for name in names:
+        topo.add_host(name)
+    for a, b in zip(names, names[1:]):
+        topo.connect(a, b, latency, bandwidth)
+    return topo
+
+
+def star_fleet(hosts: int, latency: float = DEFAULT_LATENCY,
+               bandwidth: float = DEFAULT_BANDWIDTH) -> Topology:
+    """A hub-and-spoke fleet: every host hangs off h000."""
+    topo = Topology()
+    names = _host_names(hosts)
+    for name in names:
+        topo.add_host(name)
+    for leaf in names[1:]:
+        topo.connect(names[0], leaf, latency, bandwidth)
+    return topo
+
+
+def tree_fleet(hosts: int, fanout: int = 2,
+               latency: float = DEFAULT_LATENCY,
+               bandwidth: float = DEFAULT_BANDWIDTH) -> Topology:
+    """A complete ``fanout``-ary tree rooted at h000."""
+    if fanout < 1:
+        raise TopologyError(f"fanout must be >= 1, got {fanout}")
+    topo = Topology()
+    names = _host_names(hosts)
+    for name in names:
+        topo.add_host(name)
+    for i in range(1, hosts):
+        parent = names[(i - 1) // fanout]
+        topo.connect(parent, names[i], latency, bandwidth)
+    return topo
+
+
+def random_fleet(hosts: int, seed: int, extra_edges: Optional[int] = None) -> Topology:
+    """A seeded heterogeneous fleet: random tree plus shortcut edges.
+
+    Host CPU speeds, energy budgets, and link characteristics are drawn
+    from a :class:`DeterministicRandom` substream of ``seed``, so the same
+    ``(hosts, seed)`` always builds the same fleet.  Connectivity is a
+    random spanning tree (every host attaches to a random earlier host)
+    plus ``extra_edges`` shortcuts (default: ``hosts // 3``).
+    """
+    rng = DeterministicRandom(seed, "fleet.topology")
+    topo = Topology()
+    names = _host_names(hosts)
+    for name in names:
+        topo.add_host(
+            name,
+            cpu_speed=round(rng.uniform(0.5, 1.5), 3),
+            energy_budget=round(rng.uniform(2e6, 8e6), 1),
+        )
+
+    def characteristics() -> Tuple[float, float]:
+        return (
+            round(rng.uniform(0.2, 1.2), 3),      # latency ms
+            round(rng.uniform(8_000.0, 16_000.0), 1),  # bytes/ms
+        )
+
+    for i in range(1, hosts):
+        attach = names[rng.randint(0, i - 1)]
+        latency, bandwidth = characteristics()
+        topo.connect(attach, names[i], latency, bandwidth)
+    shortcuts = hosts // 3 if extra_edges is None else extra_edges
+    for _ in range(shortcuts):
+        if hosts < 2:
+            break
+        a = names[rng.randint(0, hosts - 1)]
+        b = names[rng.randint(0, hosts - 1)]
+        if a == b or (a, b) in topo.edges or (b, a) in topo.edges:
+            continue  # skipped draw, deterministically
+        latency, bandwidth = characteristics()
+        topo.connect(a, b, latency, bandwidth)
+    return topo
+
+
+#: The generator registry the campaign grid draws from.
+FLEET_KINDS = ("line", "star", "tree", "random")
+
+
+def make_fleet(kind: str, hosts: int, seed: int = 0) -> Topology:
+    """Build a fleet by kind name (see :data:`FLEET_KINDS`)."""
+    if kind == "line":
+        return line_fleet(hosts)
+    if kind == "star":
+        return star_fleet(hosts)
+    if kind == "tree":
+        return tree_fleet(hosts)
+    if kind == "random":
+        return random_fleet(hosts, seed)
+    raise TopologyError(
+        f"unknown fleet kind {kind!r} (have: {', '.join(FLEET_KINDS)})"
+    )
+
+
+def iter_edges(topo: Topology) -> Iterable[Edge]:
+    """The topology's edges in insertion order (convenience)."""
+    return topo.edges.values()

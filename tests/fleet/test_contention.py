@@ -1,0 +1,113 @@
+"""Shared-R contention: one pair's placement degrades its neighbour.
+
+The fleet acceptance scenario: pair B runs happily on the two inner
+hosts of a line fleet; pair A then lands on the outer hosts, and its
+route crosses the narrow inner edge B depends on.  The fleet Resilience
+Manager recomputes both pairs' R from the shared edge utilisation,
+declares B's bandwidth-hungry PBR degraded, and executes the mandatory
+transition to LFR — cause ``contention``, culprit ``appA``.
+"""
+
+from repro.fleet import Assignment, FleetResilienceManager, Topology
+from repro.ftm import deploy_ftm_pair
+from repro.kernel import Timeout, World
+
+
+def _narrow_middle_line():
+    topo = Topology()
+    for name in ("h000", "h001", "h002", "h003"):
+        topo.add_host(name)
+    topo.connect("h000", "h001", latency=0.3, bandwidth=14_000.0)
+    topo.connect("h001", "h002", latency=0.3, bandwidth=8_000.0)  # contested
+    topo.connect("h002", "h003", latency=0.3, bandwidth=14_000.0)
+    return topo
+
+
+def test_neighbour_placement_forces_contention_transition():
+    world = World(seed=7)
+    topo = _narrow_middle_line()
+    topo.materialise(world)
+    manager = FleetResilienceManager(world, topo)
+
+    def scenario():
+        pair_b = yield from deploy_ftm_pair(
+            world, "pbr", ["h001", "h002"], composite_name="ftm-appB"
+        )
+        manager.register(
+            Assignment(app="appB", ftm="pbr", nodes=("h001", "h002"),
+                       client="h000"),
+            pair_b,
+        )
+        manager.start()
+        yield Timeout(1_000.0)
+        # alone, B's route fits the narrow edge: no decisions at all
+        assert manager.decisions == []
+        assert pair_b.ftm == "pbr"
+
+        pair_a = yield from deploy_ftm_pair(
+            world, "pbr", ["h000", "h003"], composite_name="ftm-appA"
+        )
+        manager.register(
+            Assignment(app="appA", ftm="pbr", nodes=("h000", "h003"),
+                       client="h001"),
+            pair_a,
+        )
+        yield Timeout(15_000.0)
+        manager.stop()
+        return pair_a, pair_b
+
+    pair_a, pair_b = world.run_process(scenario(), name="contention")
+
+    b_decisions = [d for d in manager.decisions if d["app"] == "appB"]
+    assert any(
+        d["kind"] == "mandatory" and d["cause"] == "contention"
+        and d["culprits"] == ["appA"] and d["executed"]
+        for d in b_decisions
+    ), b_decisions
+    # B escaped to the low-bandwidth FTM; the narrow edge is contested
+    # no more, so the way back shows up only as queued proposals for the
+    # system manager (the man-in-the-loop damping oscillation)
+    assert pair_b.ftm == "lfr"
+    assert world.trace.count("fleet", "contention") >= 1
+    summary = manager.summary()
+    assert summary["contention_decisions"] >= 1
+    assert summary["transitions"] >= 1
+    assert summary["pending_proposals"] >= 1
+
+
+def test_transition_keeps_serving_and_context_tracks_current_ftm():
+    world = World(seed=8)
+    topo = _narrow_middle_line()
+    topo.materialise(world)
+    manager = FleetResilienceManager(world, topo)
+
+    def scenario():
+        pair_b = yield from deploy_ftm_pair(
+            world, "pbr", ["h001", "h002"], composite_name="ftm-appB"
+        )
+        placed_b = manager.register(
+            Assignment(app="appB", ftm="pbr", nodes=("h001", "h002"),
+                       client="h000"),
+            pair_b,
+        )
+        manager.start()
+        pair_a = yield from deploy_ftm_pair(
+            world, "pbr", ["h000", "h003"], composite_name="ftm-appA"
+        )
+        manager.register(
+            Assignment(app="appA", ftm="pbr", nodes=("h000", "h003"),
+                       client="h001"),
+            pair_a,
+        )
+        yield Timeout(15_000.0)
+        manager.stop()
+        return placed_b
+
+    placed_b = world.run_process(scenario(), name="tracks")
+    # demand follows the deployed FTM: after B's escape the utilisation
+    # sweep sees LFR's low bandwidth appetite and B's own R recovers
+    host_cpu, edge_bw = manager.utilisation()
+    assert placed_b.pair.ftm == "lfr"
+    narrow = edge_bw.get(("h001", "h002"), 0.0)
+    assert narrow <= 8_000.0
+    assert placed_b.context.r.bandwidth_ok

@@ -1,0 +1,80 @@
+"""Placement policies: host-exclusive replicas, policy semantics."""
+
+import pytest
+
+from repro.fleet import (
+    POLICIES,
+    AppSpec,
+    PlacementError,
+    line_fleet,
+    policy,
+    random_fleet,
+)
+from repro.fleet.topology import Topology
+
+
+def _apps(count, ftm="pbr"):
+    return [AppSpec(f"app{i:02d}", ftm=ftm) for i in range(count)]
+
+
+def test_appspec_rejects_unknown_ftm():
+    with pytest.raises(Exception):
+        AppSpec("x", ftm="not-an-ftm")
+
+
+def test_policy_lookup():
+    assert policy("round-robin").name == "round-robin"
+    with pytest.raises(PlacementError):
+        policy("nope")
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_replicas_are_never_colocated(name):
+    topo = random_fleet(10, seed=2)
+    assignments = policy(name).place(topo, _apps(4))
+    used = [host for a in assignments for host in a.nodes]
+    assert len(used) == len(set(used)), f"{name} co-located replicas"
+    assert [a.app for a in assignments] == [s.name for s in _apps(4)]
+
+
+def test_place_rejects_overfull_fleet():
+    topo = line_fleet(5)
+    with pytest.raises(PlacementError):
+        policy("round-robin").place(topo, _apps(3))  # needs 6 hosts
+
+
+def test_round_robin_walks_hosts_in_order():
+    topo = line_fleet(6)
+    assignments = policy("round-robin").place(topo, _apps(2))
+    assert assignments[0].nodes == ("h000", "h001")
+    assert assignments[1].nodes == ("h002", "h003")
+    # leftover hosts serve the clients
+    assert {a.client for a in assignments} <= {"h004", "h005"}
+
+
+def test_greedy_gives_fast_hosts_to_cpu_hungry_ftms():
+    topo = Topology()
+    for name, speed in [("slow1", 0.5), ("slow2", 0.6),
+                        ("fast1", 2.0), ("fast2", 1.8)]:
+        topo.add_host(name, cpu_speed=speed)
+    topo.connect("slow1", "slow2")
+    topo.connect("slow2", "fast1")
+    topo.connect("fast1", "fast2")
+    # lfr is CPU-high, pbr is CPU-low: lfr must land on the fast hosts
+    assignments = policy("greedy").place(
+        topo, [AppSpec("light", ftm="pbr"), AppSpec("heavy", ftm="lfr")]
+    )
+    by_app = {a.app: a for a in assignments}
+    assert set(by_app["heavy"].nodes) == {"fast1", "fast2"}
+    assert set(by_app["light"].nodes) == {"slow1", "slow2"}
+
+
+def test_affinity_picks_the_lowest_latency_pair():
+    topo = Topology()
+    for name in ("a", "b", "c", "d"):
+        topo.add_host(name)
+    topo.connect("a", "b", latency=5.0)
+    topo.connect("b", "c", latency=0.1)
+    topo.connect("c", "d", latency=5.0)
+    assignments = policy("affinity").place(topo, _apps(1))
+    assert set(assignments[0].nodes) == {"b", "c"}

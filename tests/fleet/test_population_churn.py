@@ -1,0 +1,119 @@
+"""Population workloads and deterministic churn schedules."""
+
+import pytest
+
+from repro.fleet import (
+    AppSpec,
+    Assignment,
+    Population,
+    apply_churn,
+    churn_schedule,
+    policy,
+)
+from repro.fleet.topology import line_fleet
+from repro.ftm import deploy_ftm_pair
+from repro.kernel import Timeout, World
+
+
+def test_churn_schedule_is_seed_deterministic_and_sorted():
+    hosts = ["h000", "h001", "h002"]
+    first = churn_schedule(hosts, seed=9, events=5, window=(1_000.0, 5_000.0))
+    again = churn_schedule(hosts, seed=9, events=5, window=(1_000.0, 5_000.0))
+    other = churn_schedule(hosts, seed=10, events=5, window=(1_000.0, 5_000.0))
+    assert first == again
+    assert first != other
+    assert first == sorted(first, key=lambda e: (e.at, e.host))
+    for event in first:
+        assert 1_000.0 <= event.at <= 5_000.0
+        assert event.host in hosts
+        assert 800.0 <= event.downtime_ms <= 2_500.0
+
+
+def test_churn_schedule_validates_inputs():
+    with pytest.raises(ValueError):
+        churn_schedule([], seed=1, events=2, window=(0.0, 10.0))
+    with pytest.raises(ValueError):
+        churn_schedule(["h"], seed=1, events=2, window=(10.0, 0.0))
+
+
+def test_apply_churn_downs_then_restores_hosts():
+    world = World(seed=4)
+    world.add_nodes(["a", "b"])
+    events = churn_schedule(["a"], seed=7, events=1,
+                            window=(100.0, 200.0), downtime_ms=(50.0, 60.0))
+    apply_churn(world, events)
+
+    seen = []
+
+    def probe():
+        yield Timeout(events[0].at + 1.0)
+        seen.append(world.cluster.node("a").is_up)
+        yield Timeout(events[0].downtime_ms + 1.0)
+        seen.append(world.cluster.node("a").is_up)
+
+    world.run_process(probe(), name="probe")
+    assert seen == [False, True]
+    assert world.faults.churn_events == {"node_down": 1, "node_up": 1}
+    assert world.trace.count("fault", "node_down") == 1
+    assert world.trace.count("fault", "node_up") == 1
+
+
+def _run_population(seed):
+    world = World(seed=seed)
+    topo = line_fleet(5)
+    topo.materialise(world)
+    assignments = policy("round-robin").place(topo, [AppSpec("solo")])
+
+    def scenario():
+        assignment = assignments[0]
+        yield from deploy_ftm_pair(
+            world, assignment.ftm, list(assignment.nodes),
+            composite_name=f"ftm-{assignment.app}",
+        )
+        population = Population(world, assignments, rate_per_s=4.0,
+                                duration_ms=3_000.0)
+        population.start()
+        loads = yield from population.drain()
+        return {"totals": population.totals(),
+                "attempted": loads["solo"].attempted}
+
+    result = world.run_process(scenario(), name="pop")
+    result["finished_at"] = world.now  # arrival times shape the clock
+    return result
+
+
+def test_population_is_open_loop_and_seed_deterministic():
+    first = _run_population(11)
+    again = _run_population(11)
+    other = _run_population(12)
+    assert first == again
+    assert first["totals"]["sent"] > 0
+    assert first["totals"]["ok"] == first["totals"]["sent"]
+    assert first != other  # different seed, different arrivals
+
+
+def test_population_counts_requests_to_downed_client_as_dropped():
+    world = World(seed=5)
+    world.add_nodes(["r1", "r2", "cl"])
+    assignment = Assignment(app="a", ftm="pbr", nodes=("r1", "r2"),
+                            client="cl")
+
+    def scenario():
+        yield from deploy_ftm_pair(world, "pbr", ["r1", "r2"],
+                                   composite_name="ftm-a")
+        world.cluster.node("cl").crash()
+        population = Population(world, [assignment], rate_per_s=5.0,
+                                duration_ms=2_000.0)
+        population.start()
+        yield from population.drain()
+        return population.totals()
+
+    totals = world.run_process(scenario(), name="drop")
+    assert totals["sent"] == 0
+    assert totals["dropped"] > 0
+
+
+def test_population_rejects_nonpositive_rate():
+    world = World(seed=1)
+    with pytest.raises(ValueError):
+        Population(world, [], rate_per_s=0.0)

@@ -1,0 +1,102 @@
+"""Topology: generators, routing, and materialisation onto a world."""
+
+import pytest
+
+from repro.fleet import (
+    FLEET_KINDS,
+    Topology,
+    TopologyError,
+    line_fleet,
+    make_fleet,
+    random_fleet,
+    star_fleet,
+    tree_fleet,
+)
+from repro.kernel import World
+
+
+def test_connect_validates_hosts_and_self_edges():
+    topo = Topology()
+    topo.add_host("a")
+    topo.add_host("b")
+    with pytest.raises(TopologyError):
+        topo.connect("a", "nope")
+    with pytest.raises(TopologyError):
+        topo.connect("a", "a")
+    topo.connect("a", "b")
+    assert topo.edge("b", "a") is topo.edge("a", "b")  # canonical key
+
+
+def test_line_route_is_the_chain_and_latency_sums():
+    topo = line_fleet(4)
+    assert topo.host_names() == ["h000", "h001", "h002", "h003"]
+    assert topo.route("h000", "h003") == ["h000", "h001", "h002", "h003"]
+    assert topo.route_edges("h000", "h002") == [
+        ("h000", "h001"), ("h001", "h002"),
+    ]
+    assert topo.route_latency("h000", "h003") == pytest.approx(
+        sum(topo.edge(a, b).latency
+            for a, b in zip(topo.route("h000", "h003"),
+                            topo.route("h000", "h003")[1:]))
+    )
+
+
+def test_star_routes_through_the_hub():
+    topo = star_fleet(5)
+    assert topo.route("h001", "h004") == ["h001", "h000", "h004"]
+
+
+def test_tree_is_connected():
+    topo = tree_fleet(9, fanout=3)
+    for name in topo.host_names()[1:]:
+        assert topo.route("h000", name)[0] == "h000"
+
+
+def test_route_raises_on_disconnected_hosts():
+    topo = Topology()
+    topo.add_host("a")
+    topo.add_host("b")
+    with pytest.raises(TopologyError):
+        topo.route("a", "b")
+
+
+def test_random_fleet_is_seed_deterministic():
+    first = random_fleet(12, seed=5)
+    again = random_fleet(12, seed=5)
+    other = random_fleet(12, seed=6)
+    assert list(first.hosts.values()) == list(again.hosts.values())
+    assert list(first.edges.values()) == list(again.edges.values())
+    assert list(first.edges.values()) != list(other.edges.values())
+    # always connected: every pair has a route
+    names = first.host_names()
+    for name in names[1:]:
+        assert first.route(names[0], name)
+
+
+@pytest.mark.parametrize("kind", FLEET_KINDS)
+def test_make_fleet_every_kind(kind):
+    topo = make_fleet(kind, 6, seed=1)
+    assert len(topo.hosts) == 6
+    assert topo.route("h000", "h005")
+
+
+def test_materialise_builds_nodes_and_routed_links():
+    topo = Topology()
+    topo.add_host("a", cpu_speed=2.0, energy_budget=500.0)
+    topo.add_host("b")
+    topo.add_host("c")
+    topo.connect("a", "b", latency=0.5, bandwidth=10_000.0)
+    topo.connect("b", "c", latency=0.7, bandwidth=6_000.0)
+    world = World(seed=3)
+    topo.materialise(world)
+
+    assert world.cluster.node("a").cpu_speed == 2.0
+    assert world.cluster.node("a").energy_budget == 500.0
+    assert world.cluster.node("b").energy_budget is None
+
+    direct = world.network.link("a", "b")
+    assert direct.latency == pytest.approx(0.5)
+    routed = world.network.link("a", "c")
+    assert routed.latency == pytest.approx(1.2)  # sum along the route
+    assert routed.bandwidth == pytest.approx(6_000.0)  # min along route
+    assert world.trace.count("network", "links_configured") == 1

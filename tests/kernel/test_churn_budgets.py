@@ -1,0 +1,95 @@
+"""Kernel additions for fleets: per-node overrides, links, churn events."""
+
+import pytest
+
+from repro.kernel import Link, World
+
+
+# -- per-node cpu_speed / energy_budget ----------------------------------
+
+
+def test_add_nodes_scalar_cpu_speed_still_works():
+    world = World(seed=1)
+    world.add_nodes(["a", "b"], cpu_speed=2.0)
+    assert world.cluster.node("a").cpu_speed == 2.0
+    assert world.cluster.node("b").cpu_speed == 2.0
+
+
+def test_add_nodes_sequence_and_mapping_overrides():
+    world = World(seed=1)
+    world.add_nodes(["a", "b"], cpu_speed=[1.0, 2.0])
+    assert world.cluster.node("b").cpu_speed == 2.0
+    world.add_nodes(["c", "d"], cpu_speed={"d": 3.0},
+                    energy_budget={"c": 100.0})
+    assert world.cluster.node("c").cpu_speed == 1.0  # default preserved
+    assert world.cluster.node("d").cpu_speed == 3.0
+    assert world.cluster.node("c").energy_budget == 100.0
+    assert world.cluster.node("d").energy_budget is None
+
+
+def test_add_nodes_rejects_bad_overrides():
+    world = World(seed=1)
+    with pytest.raises(ValueError):
+        world.add_nodes(["a", "b"], cpu_speed=[1.0])  # wrong length
+    with pytest.raises(ValueError):
+        world.add_nodes(["c"], cpu_speed={"zz": 2.0})  # unknown node
+
+
+def test_energy_budget_accounting():
+    world = World(seed=1)
+    world.add_nodes(["a"], energy_budget=10.0)
+    node = world.cluster.node("a")
+    assert node.energy_remaining == 10.0
+    assert not node.energy_exhausted
+    node.energy = 10.5  # spent past the budget
+    assert node.energy_remaining == 0.0
+    assert node.energy_exhausted
+    with pytest.raises(ValueError):
+        world.add_node("bad", energy_budget=0.0)
+
+
+# -- per-link characteristics -------------------------------------------
+
+
+def test_configure_links_sets_characteristics_in_one_trace_record():
+    world = World(seed=2)
+    world.add_nodes(["a", "b", "c"])
+    world.network.configure_links({
+        ("a", "b"): Link(latency=2.0, bandwidth=100.0),
+        ("b", "c"): Link(latency=0.1, bandwidth=9_000.0, loss=0.5),
+    })
+    assert world.network.link("a", "b").latency == 2.0
+    assert world.network.link("b", "c").loss == 0.5
+    assert world.trace.count("network", "links_configured") == 1
+
+
+# -- deterministic churn events -----------------------------------------
+
+
+def test_scheduled_churn_fires_and_counts():
+    world = World(seed=3)
+    world.add_nodes(["a"])
+    node = world.cluster.node("a")
+    world.faults.schedule_node_down(node, at=100.0)
+    world.faults.schedule_node_up(node, at=250.0)
+    world.sim.run(until=99.0)
+    assert node.is_up
+    world.sim.run(until=101.0)
+    assert not node.is_up
+    world.sim.run(until=251.0)
+    assert node.is_up
+    assert world.faults.churn_events == {"node_down": 1, "node_up": 1}
+
+
+def test_churn_is_idempotent_on_already_transitioned_nodes():
+    world = World(seed=3)
+    world.add_nodes(["a"])
+    node = world.cluster.node("a")
+    world.faults.schedule_node_up(node, at=10.0)  # already up: no-op
+    world.faults.schedule_node_down(node, at=20.0)
+    world.faults.schedule_node_down(node, at=30.0)  # already down: no-op
+    world.sim.run(until=50.0)
+    assert not node.is_up
+    assert world.faults.churn_events == {"node_down": 1, "node_up": 0}
+    assert world.trace.count("fault", "node_down") == 1
+    assert world.trace.count("fault", "node_up") == 0

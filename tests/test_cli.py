@@ -154,3 +154,53 @@ def test_cli_reproduce_seed_changes_results(capsys, tmp_path):
     assert [a["hash"] for a in base["artifacts"]] != [
         a["hash"] for a in shifted["artifacts"]
     ]
+
+
+def test_cli_fleet_campaign_smoke(capsys, tmp_path):
+    argv = [
+        "fleet-campaign", "--hosts", "8", "--apps", "2", "--missions", "1",
+        "--duration-ms", "4000", "--jobs", "1",
+        "--store", str(tmp_path), "--json",
+    ]
+    assert main(argv) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["problems"] == []
+    assert report["fleet"]["missions"] == 6  # 3 placements x 2 churn rates
+    assert report["fleet"]["sent"] > 0
+    assert report["fleet"]["ok"] > 0
+    # a second invocation streams every cell from the store
+    assert main(argv) == 0
+    cached = json.loads(capsys.readouterr().out)
+    assert cached["trials_executed"] == 0
+    assert cached["fleet"] == report["fleet"]
+
+
+def test_cli_fleet_campaign_coschedule_matches_sequential(capsys):
+    base = [
+        "fleet-campaign", "--hosts", "8", "--apps", "2", "--missions", "1",
+        "--placements", "round-robin", "--churn", "2",
+        "--duration-ms", "4000", "--jobs", "1", "--no-store", "--json",
+    ]
+    assert main(base) == 0
+    sequential = json.loads(capsys.readouterr().out)
+    assert main(base + ["--coschedule", "2"]) == 0
+    coscheduled = json.loads(capsys.readouterr().out)
+    assert coscheduled["fleet"] == sequential["fleet"]
+
+
+def test_cli_bench_report_warns_instead_of_failing(capsys, tmp_path):
+    # missing directory: warn and exit clean
+    assert main(["bench", "--report", "--dir", str(tmp_path / "gone")]) == 0
+    assert "does not exist" in capsys.readouterr().err
+    # empty directory: warn and exit clean
+    assert main(["bench", "--report", "--dir", str(tmp_path)]) == 0
+    assert "no BENCH_*.json" in capsys.readouterr().err
+    # unreadable file: warn on that row, keep going
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    (tmp_path / "BENCH_ok.json").write_text(json.dumps(
+        {"rows": [{"scenario": "s", "missions_per_sec": 2.0}]}
+    ))
+    assert main(["bench", "--report", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "warning: unreadable" in out
+    assert "BENCH_ok.json" in out
