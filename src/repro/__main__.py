@@ -45,6 +45,15 @@ Commands
     transitions contention forces.  One cell per (placement policy ×
     churn rate); same store/backends/co-scheduling knobs as
     ``campaign``, with the same byte-identical guarantee.
+``gray-matrix [--missions N] [--factors F1,F2] [--json] [...]``
+    The gray-failure matrix: every (FTM × slow resource × slowdown
+    factor) cell runs missions whose primary starts *limping* mid-run
+    (slow, not dead).  The latency-percentile probe must detect the
+    limp (never the crash detector), PBR cells must answer with a
+    proactive PBR→LFR transition, and every request must still succeed.
+    Reports detection/masking rates with Wilson CIs and the mean
+    detection latency; same store/backends/co-scheduling knobs as
+    ``campaign``.  Exits non-zero if any gray-failure claim fails.
 ``worker --listen HOST:PORT [--coschedule K] [--max-batches N]``
     Serve trial batches to a remote-backend coordinator: accepts framed
     TCP batches, drains each through the co-scheduling ``WorldPool``,
@@ -314,7 +323,7 @@ def _cmd_fleet_campaign(args) -> int:
         missions=args.missions, base_seed=9000 + args.seed,
         hosts=args.hosts, apps=args.apps, kind=args.kind,
         placements=placements, churn_rates=churn_rates,
-        duration_ms=args.duration_ms,
+        duration_ms=args.duration_ms, limp_fraction=args.limp,
     )
     workers = ([w.strip() for w in args.workers.split(",") if w.strip()]
                if args.workers else None)
@@ -346,6 +355,52 @@ def _cmd_fleet_campaign(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_gray_matrix(args) -> int:
+    import json
+
+    from repro import exp
+    from repro.eval import gray
+
+    jobs = exp.default_jobs() if args.jobs is None else max(1, args.jobs)
+    store = None if args.no_store else exp.ResultStore(args.store)
+    out = sys.stderr if args.json else sys.stdout
+
+    resources = [r.strip() for r in args.resources.split(",") if r.strip()]
+    factors = [float(f) for f in args.factors.split(",") if f.strip()]
+    ftms = [f.strip() for f in args.ftms.split(",") if f.strip()]
+    spec = gray.spec(
+        missions=args.missions, base_seed=41_000 + args.seed,
+        ftms=ftms, resources=resources, factors=factors,
+        requests=args.requests, slo_ms=args.slo_ms,
+    )
+    workers = ([w.strip() for w in args.workers.split(",") if w.strip()]
+               if args.workers else None)
+    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
+                     coschedule=args.coschedule, backend=args.backend,
+                     workers=workers)
+    data = gray.from_results(result.results)
+    print(gray.render(data), file=out)
+    problems = gray.shape_checks(data)
+    status = "clean" if not problems else f"FAILS: {problems}"
+    print(f"  -> Gray matrix: {status} "
+          f"[{result.cells_cached}/{len(spec.trials)} cells from store, "
+          f"{result.executed} missions simulated, {result.elapsed_s:.2f}s, "
+          f"backend={result.backend}]",
+          file=out)
+    if args.json:
+        summary = result.summary()
+        summary["problems"] = problems
+        summary["gray"] = {
+            key: data[key]
+            for key in (
+                "missions", "sent", "ok", "detected", "transitioned",
+                "peer_suspected", "slo_misses",
+            )
+        }
+        print(json.dumps(summary, indent=2))
+    return 1 if problems else 0
+
+
 #: Specs the ``profile`` command can build, name -> builder(args).  Each
 #: builder applies the profile command's size knobs to the real spec
 #: factory, so the profile measures exactly what the experiments run.
@@ -363,6 +418,9 @@ _PROFILE_SPECS = {
     ),
     "fleet-campaign": lambda args: _eval_module("fleet_campaign").spec(
         missions=args.missions, base_seed=9000 + args.seed,
+    ),
+    "gray-matrix": lambda args: _eval_module("gray").spec(
+        missions=args.missions, base_seed=41_000 + args.seed,
     ),
     "table3": lambda args: _eval_module("table3").spec(
         runs=args.runs, base_seed=1000 + args.seed,
@@ -434,7 +492,9 @@ def _bench_rows(data) -> list:
     """Extract (scenario, value, unit) rows from one BENCH_*.json blob.
 
     Understands three shapes: the structured ``rows`` list written by
-    ``benchmarks/test_bench_distributed.py``, the nested rate dicts of
+    ``benchmarks/test_bench_distributed.py`` (throughput rows keyed by
+    ``missions_per_sec``, or generic rows carrying explicit ``value`` +
+    ``unit`` keys as ``BENCH_gray.json`` does), the nested rate dicts of
     ``BENCH_kernel.json`` (any numeric leaf named ``*_per_sec`` or
     ``speedup*``), and raw pytest-benchmark exports (``benchmarks``
     list; the mean is inverted to a rate).
@@ -442,6 +502,10 @@ def _bench_rows(data) -> list:
     rows = []
     if isinstance(data.get("rows"), list):
         for row in data["rows"]:
+            if "value" in row:
+                rows.append((str(row.get("scenario", "-")),
+                             row.get("value"), str(row.get("unit", "-"))))
+                continue
             unit = "missions/s"
             if row.get("speedup") is not None:
                 unit = f"missions/s ({row['speedup']:.2f}x)"
@@ -653,6 +717,9 @@ def main(argv=None) -> int:
     fleet.add_argument("--duration-ms", type=float, default=8_000.0,
                        help="open-loop workload window per mission "
                             "(default: 8000)")
+    fleet.add_argument("--limp", type=float, default=0.0, metavar="FRACTION",
+                       help="fraction of churn events that limp (gray) "
+                            "instead of dying (default: 0.0)")
     fleet.add_argument("--jobs", type=_positive_int, default=None,
                        help="worker processes (default: all CPUs)")
     fleet.add_argument("--seed", type=int, default=0,
@@ -677,6 +744,50 @@ def main(argv=None) -> int:
     fleet.add_argument("--workers", default=None, metavar="HOST:PORT,...",
                        help="comma-separated repro worker addresses for the "
                             "remote backend")
+    gray = sub.add_parser(
+        "gray-matrix",
+        help="gray-failure matrix (FTM x slow resource x slowdown factor)",
+    )
+    gray.add_argument("--missions", type=_positive_int, default=3,
+                      help="seeded missions per matrix cell (default: 3)")
+    gray.add_argument("--ftms", default="pbr,lfr", metavar="F1,F2,...",
+                      help="FTMs to grid over (default: pbr,lfr)")
+    gray.add_argument("--resources", default="cpu,link,disk",
+                      metavar="R1,R2,...",
+                      help="limping resources to grid over "
+                           "(default: cpu,link,disk)")
+    gray.add_argument("--factors", default="4,8", metavar="F1,F2,...",
+                      help="slowdown factors to grid over (default: 4,8)")
+    gray.add_argument("--requests", type=_positive_int, default=200,
+                      help="client requests per mission (default: 200 — "
+                           "a mission must outlive its own repair: a limped "
+                           "disk slows the PBR→LFR transition to ~5 s)")
+    gray.add_argument("--slo-ms", type=float, default=30.0,
+                      help="per-request latency SLO in ms (default: 30)")
+    gray.add_argument("--jobs", type=_positive_int, default=None,
+                      help="worker processes (default: all CPUs)")
+    gray.add_argument("--seed", type=int, default=0,
+                      help="offset added to the matrix base seed")
+    gray.add_argument("--json", action="store_true",
+                      help="machine-readable summary on stdout")
+    gray.add_argument("--store", default=None, metavar="DIR",
+                      help="result-store directory (default: .repro-results)")
+    gray.add_argument("--no-store", action="store_true",
+                      help="disable the result store")
+    gray.add_argument("--fresh", action="store_true",
+                      help="recompute even when stored cells exist")
+    gray.add_argument("--coschedule", type=_positive_int, default=1,
+                      metavar="K",
+                      help="mission worlds interleaved per event loop "
+                           "(default: 1 = off; results are byte-identical "
+                           "either way)")
+    gray.add_argument("--backend", choices=("serial", "local", "remote"),
+                      default=None,
+                      help="execution backend (default: local, or remote "
+                           "when --workers is given; byte-identical results)")
+    gray.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                      help="comma-separated repro worker addresses for the "
+                           "remote backend")
     worker = sub.add_parser(
         "worker",
         help="serve trial batches to a remote-backend coordinator",
@@ -739,6 +850,7 @@ def main(argv=None) -> int:
         "transition-matrix": _cmd_transition_matrix,
         "campaign": _cmd_campaign,
         "fleet-campaign": _cmd_fleet_campaign,
+        "gray-matrix": _cmd_gray_matrix,
         "profile": _cmd_profile,
         "store": _cmd_store,
         "worker": _cmd_worker,

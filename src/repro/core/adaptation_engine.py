@@ -498,23 +498,43 @@ class AdaptationEngine:
         ) is not None:
             node.crash()
             return None
+        restores = []
+        slow = faults.take_transition_fault(phase, node.name, kind="slow")
+        if slow is not None:
+            # gray failure scoped to the phase: the node's resource limps
+            # while the phase runs, then recovers at _leave_phase
+            restores.append(faults.apply_slow(node, slow.resource, slow.factor))
         omission = faults.take_transition_fault(phase, node.name, kind="omission")
-        if omission is None:
+        if omission is not None:
+            network = self.world.network
+            if self._networked():
+                link = network.link(node.name, self.repository.host)
+                previous = link.loss
+                network.set_link_loss(
+                    node.name, self.repository.host,
+                    max(previous, omission.probability),
+                )
+                restores.append(lambda: network.set_link_loss(
+                    node.name, self.repository.host, previous
+                ))
+            else:
+                previous = network.loss_probability
+                network.set_loss_probability(
+                    max(previous, omission.probability)
+                )
+                restores.append(
+                    lambda: network.set_loss_probability(previous)
+                )
+        if not restores:
             return None
-        network = self.world.network
-        if self._networked():
-            link = network.link(node.name, self.repository.host)
-            previous = link.loss
-            network.set_link_loss(
-                node.name, self.repository.host,
-                max(previous, omission.probability),
-            )
-            return lambda: network.set_link_loss(
-                node.name, self.repository.host, previous
-            )
-        previous = network.loss_probability
-        network.set_loss_probability(max(previous, omission.probability))
-        return lambda: network.set_loss_probability(previous)
+        if len(restores) == 1:
+            return restores[0]
+
+        def restore_all() -> None:
+            for restore in restores:
+                restore()
+
+        return restore_all
 
     @staticmethod
     def _leave_phase(restore) -> None:
@@ -543,7 +563,7 @@ class AdaptationEngine:
         node = replica.node
         costs = self.world.costs
         if not self._networked():
-            yield from node.compute(costs.package_fetch)
+            yield from node.compute(costs.package_fetch / node.disk_speed)
             report.fetch_attempts = 1
             return
 
@@ -584,7 +604,9 @@ class AdaptationEngine:
                         chunks=total_chunks,
                         attempts=report.fetch_attempts,
                     )
-                    yield from node.compute(costs.package_checksum)
+                    yield from node.compute(
+                        costs.package_checksum / node.disk_speed
+                    )
                     return
                 report.corrupt_fetches += 1
                 self.world.trace.record(
@@ -673,8 +695,9 @@ class AdaptationEngine:
                 restore = self._enter_phase("deploy", node)
                 try:
                     yield from node.compute(
-                        costs.package_unpack_base
-                        + costs.package_unpack_component * package.component_count
+                        (costs.package_unpack_base
+                         + costs.package_unpack_component
+                         * package.component_count) / node.disk_speed
                     )
                     if faults.take_transition_fault(
                         "deploy", node.name, kind="corrupt"
@@ -730,8 +753,9 @@ class AdaptationEngine:
             restore = self._enter_phase("remove", node)
             try:
                 yield from node.compute(
-                    costs.package_remove_base
-                    + costs.package_remove_component * package.component_count
+                    (costs.package_remove_base
+                     + costs.package_remove_component
+                     * package.component_count) / node.disk_speed
                 )
                 if faults.take_transition_fault(
                     "remove", node.name, kind="corrupt"

@@ -47,11 +47,17 @@ def evaluate_ftm(ftm: str, context: SystemContext) -> ValidityReport:
     reasons: List[str] = []
 
     # -- FT: required fault classes must be covered -------------------------------
+    # "limp" is handled apart from FAULT_MODELS: gray failures are a
+    # degradation, not a Table 1 fault class, and tolerance is declared
+    # via TOLERATES_LIMP so over-coverage penalties and the Table 1
+    # characteristics stay untouched.
     covered = set(pattern.FAULT_MODELS)
     required = context.ft.names()
-    missing = sorted(required - covered)
+    missing = sorted(required - covered - {"limp"})
     if missing:
         reasons.append(f"fault classes not covered: {', '.join(missing)}")
+    if "limp" in required and not getattr(pattern, "TOLERATES_LIMP", False):
+        reasons.append("cannot serve acceptably from a limping replica")
 
     # -- A: determinism and state access assumptions -------------------------------
     if not context.a.deterministic and not pattern.HANDLES_NON_DETERMINISM:

@@ -25,6 +25,7 @@ class FaultClass(enum.Enum):
     TRANSIENT_VALUE = "transient_value"
     PERMANENT_VALUE = "permanent_value"
     SOFTWARE = "software"  # used by the RB/NVP extensions
+    LIMP = "limp"  # gray failure: a resource degrades without dying
 
 
 @dataclass(frozen=True)

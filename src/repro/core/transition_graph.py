@@ -82,10 +82,15 @@ class ParameterEvent:
     name: str
     dimension: str  # "FT" | "A" | "R"
     apply: Callable[[SystemContext], SystemContext]
+    #: Gray-failure exception to the detection rule below: limping is an
+    #: FT event the latency-percentile *probes* observe directly.
+    probe_detected: bool = False
 
     @property
     def detection(self) -> str:
         """Probes catch R variations; A and FT need manager/developer input."""
+        if self.probe_detected:
+            return "probe"
         return "probe" if self.dimension == "R" else "manager"
 
     @property
@@ -147,9 +152,26 @@ EVENTS: Tuple[ParameterEvent, ...] = (
 )
 
 
+#: Gray-failure events: FT-dimension (hence *proactive* — the paper's
+#: reactive-vs-proactive split) but probe-detected, because the
+#: Monitoring Engine's latency percentiles see limping directly.  Kept
+#: out of :data:`EVENTS` so Figure 8's scenario graph and its inverse
+#: bookkeeping stay exactly the paper's.
+GRAY_EVENTS: Tuple[ParameterEvent, ...] = (
+    ParameterEvent(
+        "node-limping", "FT", _ft(add=(FaultClass.LIMP,)),
+        probe_detected=True,
+    ),
+    ParameterEvent(
+        "node-recovered", "FT", _ft(remove=(FaultClass.LIMP,)),
+        probe_detected=True,
+    ),
+)
+
+
 def event(name: str) -> ParameterEvent:
     """Look a parameter event up by name."""
-    for candidate in EVENTS:
+    for candidate in EVENTS + GRAY_EVENTS:
         if candidate.name == name:
             return candidate
     raise KeyError(f"unknown parameter event {name!r}")

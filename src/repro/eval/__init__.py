@@ -26,6 +26,7 @@ module             paper artifact
 ``consistency_eval``  Sec. 5.3 — distributed consistency claims
 ``transition_matrix``  transition-survival matrix (fault × phase)
 ``fleet_campaign``  fleet-scale placement × churn campaigns
+``gray``           gray-failure matrix (limplock × FTM sweeps)
 =================  =============================================
 """
 
@@ -39,6 +40,7 @@ from repro.eval import (
     figure8,
     figure9,
     fleet_campaign,
+    gray,
     table1,
     table2,
     table3,
@@ -58,6 +60,7 @@ __all__ = [
     "figure8",
     "figure9",
     "fleet_campaign",
+    "gray",
     "table1",
     "table2",
     "table3",

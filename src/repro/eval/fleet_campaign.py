@@ -48,6 +48,8 @@ class FleetOutcome:
     churn_events: int = 0
     node_downs: int = 0
     node_ups: int = 0
+    node_limps: int = 0
+    limp_decisions: int = 0
     sent: int = 0
     ok: int = 0
     errors: int = 0
@@ -94,6 +96,7 @@ def fleet_task(
     kind: str = "random",
     rate_per_s: float = 2.0,
     duration_ms: float = 8_000.0,
+    limp_fraction: float = 0.0,
 ) -> WorldTask:
     """One fleet mission as a co-schedulable :class:`WorldTask`."""
     topology = make_fleet(kind, hosts, seed=seed)
@@ -129,6 +132,7 @@ def fleet_task(
                 replica_hosts, seed, events=churn,
                 window=(world.now + 500.0, world.now + duration_ms),
                 rng=world.sim.random.substream("churn"),
+                limp_fraction=limp_fraction,
             )
             apply_churn(world, events)
 
@@ -140,6 +144,8 @@ def fleet_task(
         summary = manager.summary()
         outcome.node_downs = world.faults.churn_events["node_down"]
         outcome.node_ups = world.faults.churn_events["node_up"]
+        outcome.node_limps = world.faults.churn_events.get("node_limp", 0)
+        outcome.limp_decisions = summary.get("limp_decisions", 0)
         outcome.sent = totals["sent"]
         outcome.ok = totals["ok"]
         outcome.errors = totals["errors"]
@@ -186,6 +192,8 @@ def _reduce_cell(values: List[Dict]) -> Dict:
         "dropped": sum(o.dropped for o in outcomes),
         "node_downs": sum(o.node_downs for o in outcomes),
         "node_ups": sum(o.node_ups for o in outcomes),
+        "node_limps": sum(o.node_limps for o in outcomes),
+        "limp_decisions": sum(o.limp_decisions for o in outcomes),
         "transitions": sum(o.transitions for o in outcomes),
         "failed_transitions": sum(o.failed_transitions for o in outcomes),
         "contention_decisions": sum(
@@ -206,6 +214,7 @@ def spec(
     churn_rates=(0, 2),
     rate_per_s: float = 2.0,
     duration_ms: float = 8_000.0,
+    limp_fraction: float = 0.0,
 ) -> ExperimentSpec:
     """The fleet campaign: one cell per (placement × churn rate).
 
@@ -220,7 +229,7 @@ def spec(
             params={
                 "hosts": hosts, "apps": apps, "placement": placement,
                 "churn": churn, "kind": kind, "rate_per_s": rate_per_s,
-                "duration_ms": duration_ms,
+                "duration_ms": duration_ms, "limp_fraction": limp_fraction,
             },
             seeds=seeds,
         )
@@ -246,7 +255,11 @@ def from_results(results: Dict) -> Dict:
         "contention_decisions": sum(
             c["contention_decisions"] for c in cells.values()
         ),
+        "limp_decisions": sum(
+            c.get("limp_decisions", 0) for c in cells.values()
+        ),
         "node_downs": sum(c["node_downs"] for c in cells.values()),
+        "node_limps": sum(c.get("node_limps", 0) for c in cells.values()),
         "reintegrations": sum(c["reintegrations"] for c in cells.values()),
     }
 
@@ -257,13 +270,13 @@ def render(data: Dict) -> str:
         [
             key, cell["missions"], cell["sent"], cell["ok"],
             cell["errors"] + cell["dropped"], cell["node_downs"],
-            cell["transitions"], cell["contention_decisions"],
-            cell["reintegrations"],
+            cell.get("node_limps", 0), cell["transitions"],
+            cell["contention_decisions"], cell["reintegrations"],
         ]
         for key, cell in sorted(data["cells"].items())
     ]
     table = render_table(
-        ["Cell", "Missions", "Sent", "OK", "Err+Drop", "Downs",
+        ["Cell", "Missions", "Sent", "OK", "Err+Drop", "Downs", "Limps",
          "Transitions", "Contention", "Reintegr."],
         rows,
         title="Fleet campaign (placement × churn grid)",
@@ -272,8 +285,10 @@ def render(data: Dict) -> str:
         f"\nfleet-wide: {data['missions']} missions, "
         f"{data['ok']}/{data['sent']} requests ok, "
         f"{data['node_downs']} churn outages, "
+        f"{data['node_limps']} gray limps, "
         f"{data['transitions']} transitions "
-        f"({data['contention_decisions']} contention-triggered), "
+        f"({data['contention_decisions']} contention-triggered, "
+        f"{data['limp_decisions']} limp-steered), "
         f"{data['reintegrations']} reintegrations"
     )
     return table + summary
@@ -294,7 +309,9 @@ def shape_checks(data: Dict) -> List[str]:
             f"({data['ok']}/{data['sent']})"
         )
     for key, cell in sorted(data["cells"].items()):
-        if "churn0" not in key and cell["node_downs"] == 0:
+        if "churn0" not in key and (
+            cell["node_downs"] + cell.get("node_limps", 0) == 0
+        ):
             problems.append(f"cell {key}: churn armed but no host went down")
     return problems
 

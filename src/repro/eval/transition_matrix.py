@@ -19,8 +19,11 @@ remove     while residual package files are cleaned up
 
 crossed with the fault kinds of Table 1: ``crash`` (fail-stop the
 replica's node), ``corrupt`` (value fault on the package payload or the
-script), ``omission`` (message loss while the phase runs) — plus a
-fault-free ``none`` baseline column.
+script), ``omission`` (message loss while the phase runs), ``slow``
+(gray failure: the phase's dominant resource limps — link while
+fetching, disk while unpacking/removing, CPU while the script runs —
+and recovers when the phase ends) — plus a fault-free ``none`` baseline
+column.
 
 Each cell classifies the mission:
 
@@ -62,6 +65,14 @@ FAULTED_NODE = "beta"
 #: Omission rate applied to the network while the faulted phase runs.
 OMISSION_RATE = 0.5
 
+#: Slowdown factor for ``slow`` cells (power of two: exact float revert).
+SLOW_FACTOR = 8.0
+
+#: The resource that limps per phase: whatever the phase leans on most.
+SLOW_RESOURCE_BY_PHASE = {
+    "fetch": "link", "deploy": "disk", "script": "cpu", "remove": "disk",
+}
+
 #: Fault columns: the fault-free baseline plus every phase × kind pair.
 FAULT_LABELS = ("none",) + tuple(
     f"{phase}/{kind}"
@@ -71,7 +82,9 @@ FAULT_LABELS = ("none",) + tuple(
 
 #: The cells the CI smoke run exercises: the baseline plus one cell per
 #: fault kind (cheap, still crosses every code path of the fault hooks).
-SMOKE_LABELS = ("none", "fetch/omission", "fetch/corrupt", "script/crash")
+SMOKE_LABELS = (
+    "none", "fetch/omission", "fetch/corrupt", "script/crash", "script/slow",
+)
 
 
 @dataclass
@@ -102,6 +115,11 @@ def _arm(world: World, phase: str, kind: str) -> None:
     if kind == "omission":
         world.faults.arm_transition_fault(
             phase, kind, node=FAULTED_NODE, probability=OMISSION_RATE
+        )
+    elif kind == "slow":
+        world.faults.arm_transition_fault(
+            phase, kind, node=FAULTED_NODE,
+            resource=SLOW_RESOURCE_BY_PHASE[phase], factor=SLOW_FACTOR,
         )
     elif phase == "script" and kind == "crash":
         # crashes on the script path land at a statement boundary: the
@@ -251,7 +269,7 @@ def spec(runs: int = 1, base_seed: int = 7000, requests: int = 20,
                     "fault": fault, "requests": requests,
                 },
                 seeds=tuple(
-                    base_seed + 97 * run + 7 * hash_label(key) % 1000
+                    base_seed + 97 * run + 7 * hash_label(key) % 10_000
                     for run in range(runs)
                 ),
             ))
@@ -336,6 +354,12 @@ def shape_checks(data: Dict) -> List[str]:
                 ) and o.corrupt_detected == 0 and o.faults_injected > 0:
                     problems.append(
                         f"{label}: corruption injected but never detected"
+                    )
+                if fault.endswith("/slow") and o.status not in ("S", "R"):
+                    # a gray failure slows the phase down — it must never
+                    # abort the transition or kill the replica
+                    problems.append(
+                        f"{label}: slow cell must survive ({o.status})"
                     )
     return problems
 

@@ -59,6 +59,7 @@ class PlacedPair:
     route_edges: Tuple[Tuple[str, str], ...]
     in_transition: bool = False
     last_flags: Tuple[bool, bool, bool] = (True, True, True)
+    last_limping: bool = False
     transitions: int = 0
     failed_transitions: int = 0
 
@@ -87,7 +88,19 @@ class FleetResilienceManager:
         self.energy_floor = energy_floor
         self.placed: List[PlacedPair] = []
         self.decisions: List[dict] = []
+        #: hosts currently limping (gray churn / armed slowdowns); fed by
+        #: the trace observer so steering needs no extra probe traffic
+        self.limping_hosts: set = set()
         self._process = None
+        world.trace.subscribe(self._observe_gray)
+
+    def _observe_gray(self, record) -> None:
+        if record.category != "fault":
+            return
+        if record.event == "slow_applied":
+            self.limping_hosts.add(record.detail("node"))
+        elif record.event == "slow_reverted":
+            self.limping_hosts.discard(record.detail("node"))
 
     # -- registration -------------------------------------------------------
 
@@ -236,18 +249,47 @@ class FleetResilienceManager:
                 continue  # churned/crashed replica: recovery's problem
             new_r = self._resource_state(placed, host_cpu, edge_bw)
             placed.context = placed.context.with_r(new_r)
+            limping = any(
+                host in self.limping_hosts
+                for host in placed.assignment.nodes
+            )
+            if limping != placed.last_limping:
+                self._steer_limp(placed, limping)
             flags = (new_r.bandwidth_ok, new_r.cpu_ok, new_r.energy_ok)
-            if flags == placed.last_flags:
+            if flags == placed.last_flags and limping == placed.last_limping:
                 continue
+            changed_limp = limping != placed.last_limping
             placed.last_flags = flags
+            placed.last_limping = limping
             self.world.trace.record(
                 "fleet", "r_change", app=placed.app,
                 bandwidth_ok=new_r.bandwidth_ok, cpu_ok=new_r.cpu_ok,
                 energy_ok=new_r.energy_ok,
             )
-            self._decide(placed, edge_bw)
+            self._decide(placed, edge_bw, limp=changed_limp and limping)
 
-    def _decide(self, placed: PlacedPair, edge_bw) -> None:
+    def _steer_limp(self, placed: PlacedPair, limping: bool) -> None:
+        """Steer a pair's FT requirement around gray replica hosts.
+
+        A limping replica adds :attr:`FaultClass.LIMP` to the pair's FT
+        dimension, invalidating FTMs that cannot serve acceptably from a
+        slow host (PBR's checkpoint shipping) — the following
+        :meth:`_decide` sweep then executes the *proactive* move into the
+        limp-tolerant family.  Recovery removes the requirement again.
+        """
+        classes = set(placed.context.ft.fault_classes)
+        if limping:
+            classes.add(FaultClass.LIMP)
+        else:
+            classes.discard(FaultClass.LIMP)
+        placed.context = placed.context.with_ft(
+            FaultToleranceRequirements(frozenset(classes))
+        )
+        self.world.trace.record(
+            "fleet", "limp_steer", app=placed.app, limping=limping,
+        )
+
+    def _decide(self, placed: PlacedPair, edge_bw, limp: bool = False) -> None:
         context = placed.context
         current_ftm = placed.pair.ftm
         current = evaluate_ftm(current_ftm, context)
@@ -257,7 +299,7 @@ class FleetResilienceManager:
             "current": current_ftm,
             "target": current_ftm,
             "kind": "none",
-            "cause": "resources",
+            "cause": "limp" if limp else "resources",
             "culprits": [],
             "executed": False,
         }
@@ -277,7 +319,10 @@ class FleetResilienceManager:
             culprits = self._culprits(placed, edge_bw)
             decision.update(
                 kind="mandatory", target=target, culprits=culprits,
-                cause="contention" if culprits else "resources",
+                cause=(
+                    "contention" if culprits
+                    else ("limp" if limp else "resources")
+                ),
             )
             if culprits:
                 self.world.trace.record(
@@ -345,6 +390,9 @@ class FleetResilienceManager:
             ),
             "contention_decisions": sum(
                 1 for d in self.decisions if d["cause"] == "contention"
+            ),
+            "limp_decisions": sum(
+                1 for d in self.decisions if d["cause"] == "limp"
             ),
             "pending_proposals": len(self.system_manager.pending),
             "final_ftms": {p.app: p.pair.ftm for p in self.placed},

@@ -44,11 +44,20 @@ class AppLoad:
 
 @dataclass
 class ChurnEvent:
-    """One host outage: down at ``at``, back ``downtime_ms`` later."""
+    """One churn event: the host leaves (or limps) at ``at``.
+
+    ``kind="outage"`` is the classic fail-stop: down at ``at``, back
+    ``downtime_ms`` later.  ``kind="limp"`` is *gray* churn: the host
+    stays up but its ``resource`` (cpu / link / disk) runs ``factor``×
+    slower for ``downtime_ms`` — only latency probes can see it.
+    """
 
     at: float
     host: str
     downtime_ms: float
+    kind: str = "outage"
+    resource: str = "cpu"  # limp events only
+    factor: float = 4.0  # limp events only
 
 
 class Population:
@@ -146,6 +155,9 @@ def churn_schedule(
     window: tuple,
     downtime_ms: tuple = (800.0, 2_500.0),
     rng: Optional[DeterministicRandom] = None,
+    limp_fraction: float = 0.0,
+    limp_resources: Sequence[str] = ("cpu", "link", "disk"),
+    limp_factors: Sequence[float] = (2.0, 4.0, 8.0),
 ) -> List[ChurnEvent]:
     """Draw a deterministic churn schedule over candidate hosts.
 
@@ -154,21 +166,34 @@ def churn_schedule(
     ``hosts`` and downtimes from ``downtime_ms``.  A fixed ``seed`` (or a
     caller-provided ``rng`` substream) always yields the same schedule;
     the returned list is sorted by instant.
+
+    ``limp_fraction`` turns that share of events (in expectation) into
+    gray churn: the host limps (resource × factor drawn from the given
+    menus) instead of dying.  At 0.0 no extra random draws happen, so
+    schedules are byte-identical to the pre-gray ones.
     """
     if not hosts and events:
         raise ValueError("churn needs at least one candidate host")
     start, end = window
     if end < start:
         raise ValueError(f"churn window ends before it starts: {window}")
+    if not 0.0 <= limp_fraction <= 1.0:
+        raise ValueError(
+            f"limp_fraction must be in [0, 1], got {limp_fraction!r}"
+        )
     stream = rng if rng is not None else DeterministicRandom(seed, "fleet.churn")
-    drawn = [
-        ChurnEvent(
+    drawn = []
+    for _ in range(events):
+        event = ChurnEvent(
             at=round(stream.uniform(start, end), 3),
             host=stream.choice(list(hosts)),
             downtime_ms=round(stream.uniform(*downtime_ms), 3),
         )
-        for _ in range(events)
-    ]
+        if limp_fraction > 0.0 and stream.chance(limp_fraction):
+            event.kind = "limp"
+            event.resource = stream.choice(list(limp_resources))
+            event.factor = stream.choice(list(limp_factors))
+        drawn.append(event)
     return sorted(drawn, key=lambda e: (e.at, e.host))
 
 
@@ -176,5 +201,13 @@ def apply_churn(world, events: Sequence[ChurnEvent]) -> None:
     """Arm a churn schedule through the world's fault injector."""
     for event in events:
         node = world.cluster.node(event.host)
-        world.faults.schedule_node_down(node, at=event.at)
-        world.faults.schedule_node_up(node, at=event.at + event.downtime_ms)
+        if event.kind == "limp":
+            world.faults.schedule_node_limp(
+                node, event.resource, event.factor,
+                at=event.at, duration=event.downtime_ms,
+            )
+        else:
+            world.faults.schedule_node_down(node, at=event.at)
+            world.faults.schedule_node_up(
+                node, at=event.at + event.downtime_ms
+            )

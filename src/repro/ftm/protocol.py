@@ -115,8 +115,15 @@ class FTProtocol(ComponentImpl):
         )
         yield from log.invoke("record", request.client, request.request_id, reply)
         self._reply(request, reply)
+        # end-to-end serving latency (transit + queueing + redundant
+        # execution): the Monitoring Engine's limping probe feeds on it
+        sent_at = getattr(message, "sent_at", None)
+        latency_ms = (
+            round(self.ctx.sim.now - sent_at, 6) if sent_at is not None else None
+        )
         self.ctx.trace.record(
-            "ftm", "request_served", node=info["node"], request_id=request.request_id
+            "ftm", "request_served", node=info["node"],
+            request_id=request.request_id, latency_ms=latency_ms,
         )
         return None
 

@@ -45,7 +45,10 @@ class AppServer(ComponentImpl):
             raise FTMError(
                 f"application {self.info.name!r} does not provide state access"
             )
-        yield from self.ctx.compute(self.ctx.costs.checkpoint_capture)
+        # checkpointing is storage-bound: a limping disk stretches it
+        yield from self.ctx.compute(
+            self.ctx.costs.checkpoint_capture / self.ctx.node.disk_speed
+        )
         return self.application.capture_state()
 
     def restore(self, snapshot: Any) -> Any:
@@ -54,7 +57,9 @@ class AppServer(ComponentImpl):
             raise FTMError(
                 f"application {self.info.name!r} does not provide state access"
             )
-        yield from self.ctx.compute(self.ctx.costs.checkpoint_apply)
+        yield from self.ctx.compute(
+            self.ctx.costs.checkpoint_apply / self.ctx.node.disk_speed
+        )
         self.application.restore_state(snapshot)
 
     def describe(self) -> dict:

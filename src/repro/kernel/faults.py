@@ -9,7 +9,13 @@ Avizienis et al. taxonomy the paper cites):
   once (e.g. radiation-induced SEUs, electromagnetic interference);
 * **permanent value faults** — a host that systematically corrupts
   computations from some instant on (hardware aging);
-* **omission faults** — message loss on the network.
+* **omission faults** — message loss on the network;
+* **slow (gray) faults** — a resource that *limps* instead of dying: a
+  CPU running at a fraction of its speed, a NIC whose links inflate
+  latency and deflate bandwidth, a disk multiplying storage costs.  The
+  host stays up, heartbeats keep flowing, and only latency-percentile
+  probes can tell it apart from a healthy one (the HDFS "limplock"
+  failure mode).
 
 Value faults are injected at the *computation* boundary: application
 servers pass every computed result through
@@ -36,6 +42,11 @@ class FaultKind(enum.Enum):
     TRANSIENT_VALUE = "transient_value"
     PERMANENT_VALUE = "permanent_value"
     OMISSION = "omission"
+    SLOW = "slow"
+
+
+#: The resources :meth:`FaultInjector.arm_slow` can degrade.
+SLOW_RESOURCES = ("cpu", "link", "disk")
 
 
 @dataclass
@@ -116,7 +127,7 @@ class Corrupted:
 #: The four phases of the resilient transition path that accept faults.
 TRANSITION_PHASES = ("fetch", "deploy", "script", "remove")
 #: The fault kinds a transition phase can be hit with.
-TRANSITION_FAULT_KINDS = ("crash", "corrupt", "omission")
+TRANSITION_FAULT_KINDS = ("crash", "corrupt", "omission", "slow")
 
 
 @dataclass
@@ -135,6 +146,8 @@ class _TransitionFault:
     probability: float = 1.0
     budget: int = 1
     fired: int = 0
+    resource: str = "cpu"  # slow faults only: which resource limps
+    factor: float = 8.0  # slow faults only: the slowdown multiplier
 
     def matches(self, phase: str, node: str, kind: Optional[str],
                 statement: Optional[int]) -> bool:
@@ -157,6 +170,7 @@ class FaultInjector:
     def __init__(self, sim: Simulator, trace: Trace):
         self.sim = sim
         self.trace = trace
+        self.network = None  # wired by World; needed for link slowdowns
         self._campaigns: List[_ValueCampaign] = []
         self._transition_faults: List[_TransitionFault] = []
         self._rand = sim.random.substream("faults")
@@ -211,6 +225,145 @@ class FaultInjector:
 
         self.sim.schedule(max(0.0, at - self.sim.now), fire)
 
+    # -- slow (gray) faults ---------------------------------------------------------
+    #
+    # A limping resource, not a dead one.  Slowdowns are multiplicative so
+    # they compose: two armed campaigns on the same resource stack, and
+    # reverts restore the exact original speed in any order (use power-of-
+    # two factors for bit-exact float round-trips).
+
+    def apply_slow(self, node, resource: str, factor: float):
+        """Degrade one of ``node``'s resources *now* by ``factor``.
+
+        Returns a revert callback restoring the original speed.  ``cpu``
+        divides :attr:`Node.cpu_speed`, ``disk`` divides
+        :attr:`Node.disk_speed` (storage-heavy costs scale by it), and
+        ``link`` multiplies latency / divides bandwidth on every link
+        touching the node (both directions).
+        """
+        if resource not in SLOW_RESOURCES:
+            raise ValueError(
+                f"unknown slow resource {resource!r} (one of {SLOW_RESOURCES})"
+            )
+        if not factor >= 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor!r}")
+        if resource == "cpu":
+            node.cpu_speed /= factor
+
+            def undo() -> None:
+                node.cpu_speed *= factor
+
+        elif resource == "disk":
+            node.disk_speed /= factor
+
+            def undo() -> None:
+                node.disk_speed *= factor
+
+        else:  # link
+            if self.network is None:
+                raise RuntimeError("link slowdowns need faults.network wired")
+            links = self.network.links_touching(node.name)
+            for link in links:
+                link.latency *= factor
+                link.bandwidth /= factor
+
+            def undo() -> None:
+                for link in links:
+                    link.latency /= factor
+                    link.bandwidth *= factor
+
+        self.injected_counts[FaultKind.SLOW] += 1
+        self.trace.record(
+            "fault", "slow_applied",
+            node=node.name, resource=resource, factor=factor,
+        )
+        reverted = [False]
+
+        def revert() -> None:
+            if reverted[0]:
+                return
+            reverted[0] = True
+            undo()
+            self.trace.record(
+                "fault", "slow_reverted",
+                node=node.name, resource=resource, factor=factor,
+            )
+
+        return revert
+
+    def arm_slow(
+        self,
+        node,
+        resource: str,
+        factor: float,
+        start: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Arm a gray failure: ``node``'s ``resource`` limps by ``factor``.
+
+        The slowdown applies at absolute time ``start`` and reverts after
+        ``duration`` ms (``None`` = the resource limps forever).  The host
+        never goes down — heartbeats keep flowing — so only the Monitoring
+        Engine's latency-percentile probes can see it.  Composable with
+        crash/value/omission campaigns and with other slowdowns.
+        """
+        if resource not in SLOW_RESOURCES:
+            raise ValueError(
+                f"unknown slow resource {resource!r} (one of {SLOW_RESOURCES})"
+            )
+        if not factor >= 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor!r}")
+        if duration is not None and duration < 0:
+            raise ValueError(f"slow duration must be >= 0, got {duration!r}")
+        state = {"revert": None}
+
+        def fire_apply() -> None:
+            state["revert"] = self.apply_slow(node, resource, factor)
+
+        self.sim.schedule(max(0.0, start - self.sim.now), fire_apply)
+        if duration is not None:
+
+            def fire_revert() -> None:
+                if state["revert"] is not None:
+                    state["revert"]()
+                    state["revert"] = None
+
+            self.sim.schedule(
+                max(0.0, start + duration - self.sim.now), fire_revert
+            )
+        self.trace.record(
+            "fault", "arm_slow",
+            node=node.name, resource=resource, factor=factor,
+        )
+
+    def schedule_node_limp(
+        self,
+        node,
+        resource: str,
+        factor: float,
+        at: float,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Churn-vocabulary gray failure: the host limps, then recovers.
+
+        The fleet analogue of :meth:`schedule_node_down` /
+        :meth:`schedule_node_up` — counted under ``churn_events`` (the
+        ``node_limp`` key appears lazily on first use) because a limping
+        host is *expected* platform dynamics, not an injected fault.
+        """
+
+        def fire() -> None:
+            self.churn_events["node_limp"] = (
+                self.churn_events.get("node_limp", 0) + 1
+            )
+            self.trace.record(
+                "fault", "node_limp",
+                node=node.name, resource=resource, factor=factor,
+            )
+
+        self.sim.schedule(max(0.0, at - self.sim.now), fire)
+        self.arm_slow(node, resource, factor, start=at, duration=duration)
+
     # -- value faults -----------------------------------------------------------------
 
     def arm_transient(
@@ -222,6 +375,16 @@ class FaultInjector:
         budget: Optional[int] = None,
     ) -> None:
         """Arm a window of transient value faults on a node's computations."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"transient fault probability must be in [0, 1], "
+                f"got {probability!r}"
+            )
+        if end is not None and end < start:
+            raise ValueError(
+                f"transient window has negative duration: "
+                f"start={start!r}, end={end!r}"
+            )
         self._campaigns.append(
             _ValueCampaign(
                 kind=FaultKind.TRANSIENT_VALUE,
@@ -290,6 +453,10 @@ class FaultInjector:
 
     def set_omission_rate(self, network, probability: float) -> None:
         """Inject omission faults: network-wide message loss."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"omission probability must be in [0, 1], got {probability!r}"
+            )
         network.set_loss_probability(probability)
         self.trace.record("fault", "omission_rate", probability=probability)
 
@@ -297,6 +464,10 @@ class FaultInjector:
         self, network, source: str, destination: str, probability: float
     ) -> None:
         """Inject omission faults on one link only (e.g. the repository link)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"omission probability must be in [0, 1], got {probability!r}"
+            )
         network.set_link_loss(source, destination, probability)
         self.trace.record(
             "fault", "link_omission_rate",
@@ -313,6 +484,8 @@ class FaultInjector:
         at_statement: Optional[int] = None,
         probability: float = 1.0,
         budget: int = 1,
+        resource: str = "cpu",
+        factor: float = 8.0,
     ) -> None:
         """Arm a fault against one phase of the transition path.
 
@@ -331,12 +504,19 @@ class FaultInjector:
           (deploy), tamper the script so it must roll back (script), or
           fail the residual cleanup (remove);
         * ``omission`` — message loss at ``probability`` while the phase
-          runs.
+          runs;
+        * ``slow`` — the transitioning node's ``resource`` (one of
+          :data:`SLOW_RESOURCES`) limps by ``factor`` while the phase
+          runs (gray failure: degraded, never dead).
         """
         if phase not in TRANSITION_PHASES:
             raise ValueError(f"unknown transition phase {phase!r}")
         if kind not in TRANSITION_FAULT_KINDS:
             raise ValueError(f"unknown transition fault kind {kind!r}")
+        if kind == "slow" and resource not in SLOW_RESOURCES:
+            raise ValueError(
+                f"unknown slow resource {resource!r} (one of {SLOW_RESOURCES})"
+            )
         self._transition_faults.append(
             _TransitionFault(
                 phase=phase,
@@ -345,6 +525,8 @@ class FaultInjector:
                 at_statement=at_statement,
                 probability=probability,
                 budget=budget,
+                resource=resource,
+                factor=factor,
             )
         )
         self.trace.record(

@@ -121,6 +121,14 @@ class Network:
         except KeyError:
             raise NetworkUnreachable(source, destination) from None
 
+    def links_touching(self, name: str) -> List[Link]:
+        """Every directed link into or out of one node (a limping NIC
+        degrades both directions), in deterministic insertion order."""
+        return [
+            link for (source, destination), link in self._links.items()
+            if name in (source, destination)
+        ]
+
     def set_link(
         self,
         source: str,

@@ -84,6 +84,11 @@ class Node:
         self.trace = trace
         self.costs = costs
         self.cpu_speed = cpu_speed
+        #: Relative storage speed: disk-heavy costs (checkpoint capture /
+        #: apply, package unpack / remove / checksum) divide by it.  A
+        #: limping disk (gray failure) drops it below 1.0 via
+        #: :meth:`FaultInjector.apply_slow`; the node itself stays up.
+        self.disk_speed = 1.0
         #: Total energy this host may spend over its mission (None =
         #: unconstrained, e.g. a mains-powered machine).  Accounting only:
         #: an exhausted budget flips the fleet layer's R dimension rather

@@ -47,6 +47,7 @@ class World:
         self.cluster = Cluster(self.sim, self.trace, costs)
         self.network = Network(self.sim, self.trace, costs)
         self.faults = FaultInjector(self.sim, self.trace)
+        self.faults.network = self.network  # link slowdowns need the links
         self.storage = StableStorage(self.trace, clock=lambda: self.sim.now)
 
     @property

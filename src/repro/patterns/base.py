@@ -35,6 +35,12 @@ class FaultToleranceProtocol(abc.ABC):
     HANDLES_NON_DETERMINISM: ClassVar[bool] = True
     #: Needs the application to expose state capture/restore.
     REQUIRES_STATE_ACCESS: ClassVar[bool] = False
+    #: Keeps serving acceptably while a replica host *limps* (gray
+    #: failure).  LFR's small forwarded requests shrug off a degraded
+    #: link; PBR's per-request checkpoint shipping does not.  Kept out
+    #: of FAULT_MODELS (and Table 1) — limping is a degradation the
+    #: paper's fault-model vocabulary does not enumerate.
+    TOLERATES_LIMP: ClassVar[bool] = False
     #: Qualitative bandwidth demand: "high" / "low" / "n/a".
     BANDWIDTH: ClassVar[str] = "n/a"
     #: Qualitative CPU demand: "low" / "high".

@@ -57,6 +57,7 @@ class LFR_TR(TimeRedundancy, LFR):
     FAULT_MODELS = frozenset({"crash", "transient_value"})
     HANDLES_NON_DETERMINISM = False
     REQUIRES_STATE_ACCESS = True  # TR restores state between executions
+    TOLERATES_LIMP = True
     BANDWIDTH = "low"
     CPU = "high"
     HOSTS = 2
@@ -162,6 +163,7 @@ class LFR_A(_DuplexAssertion, LFR):
     FAULT_MODELS = frozenset({"crash", "transient_value", "permanent_value"})
     HANDLES_NON_DETERMINISM = False
     REQUIRES_STATE_ACCESS = False
+    TOLERATES_LIMP = True
     BANDWIDTH = "low"
     CPU = "high"
     HOSTS = 2

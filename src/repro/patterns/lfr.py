@@ -24,6 +24,7 @@ class LFR(DuplexProtocol):
     FAULT_MODELS = frozenset({"crash"})
     HANDLES_NON_DETERMINISM = False
     REQUIRES_STATE_ACCESS = False
+    TOLERATES_LIMP = True
     BANDWIDTH = "low"
     CPU = "high"
     SCHEME = {

@@ -34,6 +34,59 @@ def test_churn_schedule_validates_inputs():
         churn_schedule([], seed=1, events=2, window=(0.0, 10.0))
     with pytest.raises(ValueError):
         churn_schedule(["h"], seed=1, events=2, window=(10.0, 0.0))
+    with pytest.raises(ValueError, match="limp_fraction"):
+        churn_schedule(["h"], seed=1, events=2, window=(0.0, 10.0),
+                       limp_fraction=1.5)
+
+
+def test_zero_limp_fraction_matches_the_default_schedule():
+    hosts = ["h000", "h001"]
+    kwargs = dict(seed=21, events=6, window=(500.0, 4_000.0))
+    assert (churn_schedule(hosts, limp_fraction=0.0, **kwargs)
+            == churn_schedule(hosts, **kwargs))
+
+
+def test_full_limp_fraction_makes_every_event_gray():
+    events = churn_schedule(["h000", "h001"], seed=21, events=8,
+                            window=(500.0, 4_000.0), limp_fraction=1.0)
+    assert events
+    for event in events:
+        assert event.kind == "limp"
+        assert event.resource in ("cpu", "link", "disk")
+        assert event.factor in (2.0, 4.0, 8.0)
+    # gray churn is still seed-deterministic
+    assert events == churn_schedule(["h000", "h001"], seed=21, events=8,
+                                    window=(500.0, 4_000.0),
+                                    limp_fraction=1.0)
+
+
+def test_apply_churn_limp_keeps_the_host_up():
+    world = World(seed=4)
+    world.add_nodes(["a", "b"])
+    events = churn_schedule(["a"], seed=3, events=1,
+                            window=(100.0, 200.0), downtime_ms=(50.0, 60.0),
+                            limp_fraction=1.0)
+    assert events[0].kind == "limp"
+    apply_churn(world, events)
+
+    seen = []
+
+    def probe():
+        yield Timeout(events[0].at + 1.0)
+        node = world.cluster.node("a")
+        seen.append((node.is_up, node.cpu_speed, node.disk_speed))
+        yield Timeout(events[0].downtime_ms + 1.0)
+        seen.append((node.is_up, node.cpu_speed, node.disk_speed))
+
+    world.run_process(probe(), name="probe")
+    up_during, cpu_during, disk_during = seen[0]
+    assert up_during  # limping, never down
+    assert min(cpu_during, disk_during) < 1.0 or events[0].resource == "link"
+    assert seen[1] == (True, 1.0, 1.0)  # window closed: byte-exact revert
+    assert world.faults.churn_events.get("node_limp") == 1
+    assert world.faults.churn_events.get("node_down", 0) == 0
+    assert world.trace.count("fault", "node_limp") == 1
+    assert world.trace.count("fault", "node_down") == 0
 
 
 def test_apply_churn_downs_then_restores_hosts():
