@@ -442,11 +442,13 @@ def _cmd_profile(args) -> int:
     from repro import exp
 
     spec = _PROFILE_SPECS[args.spec](args)
+    lane = (f"coschedule={args.coschedule}" if args.coschedule > 1
+            else "solo lane")
     print(f"profiling spec {spec.name!r}: {spec.unit_count} unit(s), "
-          f"jobs=1, store off ...", file=sys.stderr)
+          f"jobs=1, {lane}, store off ...", file=sys.stderr)
     profiler = cProfile.Profile()
     profiler.enable()
-    result = exp.run(spec, jobs=1, store=None)
+    result = exp.run(spec, jobs=1, store=None, coschedule=args.coschedule)
     profiler.disable()
     print(f"[{result.executed} trial(s) in {result.elapsed_s:.2f}s — "
           f"{result.executed / max(result.elapsed_s, 1e-9):.1f} units/s]",
@@ -821,6 +823,9 @@ def main(argv=None) -> int:
                          help="missions (campaign specs; default: 50)")
     profile.add_argument("--requests", type=_positive_int, default=30,
                          help="client requests per mission (default: 30)")
+    profile.add_argument("--coschedule", type=_positive_int, default=1,
+                         help="co-schedule K worlds per event loop, matching "
+                              "the campaign hot path (default: 1 = solo)")
     profile.add_argument("--seed", type=int, default=0,
                          help="offset added to the experiment base seed")
     profile.add_argument("--top", type=_positive_int, default=20,

@@ -24,7 +24,7 @@ from repro.eval.stats import format_interval, wilson_interval
 from repro.exp import ExperimentSpec, ResultStore, Trial
 from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
-from repro.kernel import Timeout, World, WorldTask, run_solo
+from repro.kernel import Timeout, World, WorldTask, lease_world, run_solo
 
 
 @dataclass
@@ -50,6 +50,13 @@ class MissionOutcome:
         return self.all_ok and self.exactly_once
 
 
+def _build_world(seed: int) -> World:
+    """The campaign platform: three hosts, default links (pre-snapshot)."""
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta", "client"])
+    return world
+
+
 def mission_task(seed: int, requests: int = 30) -> WorldTask:
     """One randomised mission as a co-schedulable :class:`WorldTask`.
 
@@ -57,7 +64,7 @@ def mission_task(seed: int, requests: int = 30) -> WorldTask:
     for the result store); :func:`run_mission` is the solo-execution
     wrapper that returns the typed :class:`MissionOutcome`.
     """
-    world = World(seed=seed)
+    world = lease_world("eval.campaign", seed, _build_world)
     rng = world.sim.random.substream("campaign")
     outcome = MissionOutcome(seed=seed, requests=requests, expected_value=requests)
 
@@ -120,8 +127,7 @@ def mission_task(seed: int, requests: int = 30) -> WorldTask:
         outcome.transitioned_to = pair.ftm
         return asdict(outcome)
 
-    return WorldTask(world, scenario(), nodes=("alpha", "beta", "client"),
-                     name="mission")
+    return WorldTask(world, scenario(), name="mission")
 
 
 def run_mission(seed: int, requests: int = 30) -> MissionOutcome:

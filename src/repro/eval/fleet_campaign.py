@@ -30,7 +30,7 @@ from repro.fleet.placement import AppSpec, policy as placement_policy
 from repro.fleet.population import Population, apply_churn, churn_schedule
 from repro.fleet.topology import make_fleet
 from repro.ftm import deploy_ftm_pair
-from repro.kernel import Timeout, World, WorldTask, run_solo
+from repro.kernel import Timeout, World, WorldTask, lease_world, run_solo
 
 #: FTMs assigned to apps round-robin: half the fleet needs TR coverage,
 #: so resource-driven transitions exercise both families.
@@ -87,6 +87,13 @@ def trace_digest(world) -> str:
     return digest.hexdigest()
 
 
+def _build_world(seed: int) -> World:
+    """The fleet platform starts *empty*: hosts and links are added by
+    ``topology.materialise`` inside the mission (they depend on the
+    seed), so the snapshot captures zero nodes and reset removes them."""
+    return World(seed=seed)
+
+
 def fleet_task(
     seed: int,
     hosts: int = 10,
@@ -100,7 +107,7 @@ def fleet_task(
 ) -> WorldTask:
     """One fleet mission as a co-schedulable :class:`WorldTask`."""
     topology = make_fleet(kind, hosts, seed=seed)
-    world = World(seed=seed)
+    world = lease_world("eval.fleet", seed, _build_world)
     outcome = FleetOutcome(seed=seed, hosts=hosts, apps=apps,
                            placement=placement, churn_events=churn)
 

@@ -47,7 +47,7 @@ from repro.eval.stats import format_interval, wilson_interval
 from repro.exp import ExperimentSpec, ResultStore, Trial
 from repro.exp import run as run_experiment
 from repro.ftm import Client, deploy_ftm_pair
-from repro.kernel import Timeout, World, WorldTask, run_solo
+from repro.kernel import Timeout, World, WorldTask, lease_world, run_solo
 from repro.kernel.faults import SLOW_RESOURCES
 
 #: FTMs the matrix sweeps: PBR must *transition away* under a limp
@@ -127,6 +127,13 @@ class GrayOutcome:
         return self.slo_misses / self.post_requests
 
 
+def _build_world(seed: int) -> World:
+    """The gray-matrix platform: three hosts, default links (pre-snapshot)."""
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta", "client"])
+    return world
+
+
 def gray_task(
     seed: int,
     ftm: str = "pbr",
@@ -165,8 +172,7 @@ def gray_task(
         raise ValueError(
             f"unknown slow resource {resource!r}; pick from {SLOW_RESOURCES}"
         )
-    world = World(seed=seed)
-    world.add_nodes(["alpha", "beta", "client"])
+    world = lease_world("eval.gray", seed, _build_world)
     outcome = GrayOutcome(seed=seed, ftm=ftm, resource=resource,
                           factor=factor, proactive=proactive)
 

@@ -55,7 +55,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from repro.exp.errors import ExperimentError, ResultTypeError, SpecError
 from repro.exp.spec import ExperimentSpec, spec_hash
 from repro.exp.store import ResultStore
-from repro.kernel.coschedule import WorldPool
+from repro.kernel.coschedule import WorldPool, dissolve_tasks
 
 #: Legacy process-wide mirror of trials executed (cache hits do not
 #: count).  Kept for the CLI/store tests that predate
@@ -220,6 +220,9 @@ def _run_units_coscheduled(
             ]
             for unit, value in zip(group, WorldPool(tasks).run()):
                 out.append((unit[0], value))
+            # results are out: worlds go back to the arena, task shells
+            # onto the free list, ready for the next group's lease
+            dissolve_tasks(tasks)
         finally:
             if was_enabled:
                 gc.enable()

@@ -69,7 +69,15 @@ class Topology:
     def __init__(self) -> None:
         self.hosts: Dict[str, Host] = {}
         self.edges: Dict[Tuple[str, str], Edge] = {}
-        self._routes: Optional[Dict[Tuple[str, str], List[str]]] = None
+        # per-source shortest-path trees: source -> (dest -> path tuple,
+        # canonical edge keys the tree uses).  Filled lazily by route(),
+        # invalidated incrementally by connect() — see _source_routes.
+        self._route_cache: Dict[
+            str, Tuple[Dict[str, Tuple[str, ...]], frozenset]
+        ] = {}
+        self._adjacency_cache: Optional[
+            Dict[str, List[Tuple[str, float]]]
+        ] = None
 
     # -- construction ------------------------------------------------------
 
@@ -80,7 +88,9 @@ class Topology:
             raise TopologyError(f"duplicate host {name!r}")
         host = Host(name, cpu_speed, energy_budget)
         self.hosts[name] = host
-        self._routes = None
+        # an isolated new host cannot change any existing shortest path;
+        # cached trees stay valid (they just don't reach it yet)
+        self._adjacency_cache = None
         return host
 
     def connect(self, a: str, b: str, latency: float = DEFAULT_LATENCY,
@@ -92,8 +102,22 @@ class Topology:
         if a == b:
             raise TopologyError(f"self-edge on host {a!r}")
         edge = Edge(a, b, latency, bandwidth)
+        previous = self.edges.get(edge.key)
         self.edges[edge.key] = edge
-        self._routes = None
+        self._adjacency_cache = None
+        if previous is None or latency < previous.latency:
+            # a new or improved edge can shorten any path: start over
+            self._route_cache.clear()
+        elif latency > previous.latency:
+            # a degraded edge only affects trees that actually use it
+            stale = [
+                source for source, (_paths, used) in self._route_cache.items()
+                if edge.key in used
+            ]
+            for source in stale:
+                del self._route_cache[source]
+        # unchanged latency (bandwidth-only re-characterisation) leaves
+        # every shortest path intact: keep all cached trees
         return edge
 
     # -- queries -----------------------------------------------------------
@@ -129,41 +153,79 @@ class Topology:
 
     # -- routing -----------------------------------------------------------
 
+    def _adjacency(self) -> Dict[str, List[Tuple[str, float]]]:
+        """Sorted adjacency lists, cached until the graph changes."""
+        adjacency = self._adjacency_cache
+        if adjacency is None:
+            adjacency = {name: [] for name in self.hosts}
+            for edge in self.edges.values():
+                adjacency[edge.a].append((edge.b, edge.latency))
+                adjacency[edge.b].append((edge.a, edge.latency))
+            for neighbours in adjacency.values():
+                neighbours.sort()
+            self._adjacency_cache = adjacency
+        return adjacency
+
+    def _source_routes(
+        self, a: str
+    ) -> Tuple[Dict[str, Tuple[str, ...]], frozenset]:
+        """The cached shortest-path tree rooted at ``a``.
+
+        One run-to-exhaustion Dijkstra with the same ``(cost, path)``
+        heap and lexicographic tie-breaking as the historical per-pair
+        query: the first pop of each destination fixes its path, so the
+        cached route to every ``b`` is exactly what the per-pair early
+        return produced.  The tree's used-edge set drives incremental
+        invalidation when an edge degrades.
+        """
+        cached = self._route_cache.get(a)
+        if cached is not None:
+            return cached
+        adjacency = self._adjacency()
+        # (cost, path) heap: comparing the path tuple breaks cost ties by
+        # host name, which makes the chosen route order-independent
+        frontier: List[Tuple[float, Tuple[str, ...]]] = [(0.0, (a,))]
+        best: Dict[str, float] = {}
+        paths: Dict[str, Tuple[str, ...]] = {}
+        while frontier:
+            cost, path = heapq.heappop(frontier)
+            node = path[-1]
+            if best.get(node, float("inf")) <= cost:
+                continue
+            best[node] = cost
+            paths[node] = path
+            for neighbour, latency in adjacency[node]:
+                if neighbour in best:
+                    continue
+                heapq.heappush(frontier, (cost + latency, path + (neighbour,)))
+        used = frozenset(
+            (path[i], path[i + 1]) if path[i] <= path[i + 1]
+            else (path[i + 1], path[i])
+            for path in paths.values()
+            for i in range(len(path) - 1)
+        )
+        entry = (paths, used)
+        self._route_cache[a] = entry
+        return entry
+
     def route(self, a: str, b: str) -> List[str]:
         """The shortest host path from ``a`` to ``b`` (inclusive).
 
         Dijkstra over edge latency with lexicographic host-name
         tie-breaking, so routes are deterministic whatever the insertion
-        order.  Raises :class:`TopologyError` when the hosts are
-        disconnected.
+        order.  Served from the per-source route cache (built on first
+        query, invalidated incrementally on edge changes).  Raises
+        :class:`TopologyError` when the hosts are disconnected.
         """
         if a == b:
             return [a]
         for name in (a, b):
             self.host(name)
-        adjacency: Dict[str, List[Tuple[str, float]]] = {
-            name: [] for name in self.hosts
-        }
-        for edge in self.edges.values():
-            adjacency[edge.a].append((edge.b, edge.latency))
-            adjacency[edge.b].append((edge.a, edge.latency))
-        # (cost, path) heap: comparing the path tuple breaks cost ties by
-        # host name, which makes the chosen route order-independent
-        frontier: List[Tuple[float, Tuple[str, ...]]] = [(0.0, (a,))]
-        best: Dict[str, float] = {}
-        while frontier:
-            cost, path = heapq.heappop(frontier)
-            node = path[-1]
-            if node == b:
-                return list(path)
-            if best.get(node, float("inf")) <= cost:
-                continue
-            best[node] = cost
-            for neighbour, latency in sorted(adjacency[node]):
-                if neighbour in best:
-                    continue
-                heapq.heappush(frontier, (cost + latency, path + (neighbour,)))
-        raise TopologyError(f"hosts {a!r} and {b!r} are disconnected")
+        paths, _used = self._source_routes(a)
+        path = paths.get(b)
+        if path is None:
+            raise TopologyError(f"hosts {a!r} and {b!r} are disconnected")
+        return list(path)
 
     def route_edges(self, a: str, b: str) -> List[Tuple[str, str]]:
         """The canonical edge keys along the route from ``a`` to ``b``."""

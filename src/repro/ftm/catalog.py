@@ -22,6 +22,7 @@ Figure 9 measure.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Tuple, Type
 
 from repro.components.impl import ComponentImpl
@@ -124,6 +125,7 @@ def check_ftm_name(name: str) -> str:
     return name
 
 
+@lru_cache(maxsize=None)
 def ftm_assembly(
     ftm: str,
     role: str,
@@ -138,6 +140,10 @@ def ftm_assembly(
 
     ``role`` is ``"master"`` or ``"slave"``; ``peer`` is the other
     replica's node name.  ``app`` / ``assertion`` are registry names.
+
+    Memoized: specs are deeply frozen (tuples of frozen dataclasses),
+    so repeated deployments of the same configuration — thousands per
+    campaign — share one blueprint instead of rebuilding it.
     """
     check_ftm_name(ftm)
     features = VARIABLE_FEATURES[ftm]

@@ -13,7 +13,7 @@ from typing import Generator, Optional
 
 from repro.components.composite import Composite
 from repro.components.errors import ComponentError
-from repro.components.runtime import ComponentRuntime, make_runtime
+from repro.components.runtime import ComponentRuntime
 from repro.components.spec import AssemblySpec
 from repro.kernel.node import Node
 
@@ -25,7 +25,9 @@ class Replica:
         self.world = world
         self.node = node
         self.composite_name = composite_name
-        self.runtime: ComponentRuntime = make_runtime(world, node)
+        # the world caches one runtime per node and re-initialises it
+        # across World.reset cycles, so redeploys reuse the middleware
+        self.runtime: ComponentRuntime = world.runtime_for(node)
         self.composite: Optional[Composite] = None
         self.deployed_ftm: Optional[str] = None
         self._pumps = []

@@ -32,7 +32,20 @@ from repro.kernel.faults import (
     FaultKind,
     bit_flip,
 )
-from repro.kernel.coschedule import WorldPool, WorldTask, run_cotasks, run_solo
+from repro.kernel.coschedule import (
+    WorldArena,
+    WorldPool,
+    WorldTask,
+    clear_world_arena,
+    dissolve_tasks,
+    lease_world,
+    release_world,
+    run_cotasks,
+    run_solo,
+    set_world_reuse,
+    world_arena_stats,
+    world_reuse_enabled,
+)
 from repro.kernel.network import Link, Message, Network
 from repro.kernel.node import Cluster, Node, NodeState
 from repro.kernel.rand import DeterministicRandom
@@ -47,7 +60,7 @@ from repro.kernel.sim import (
 )
 from repro.kernel.storage import LogEntry, StableStorage
 from repro.kernel.trace import Trace, TraceRecord
-from repro.kernel.world import World
+from repro.kernel.world import World, WorldSnapshot
 
 __all__ = [
     "CostModel",
@@ -84,8 +97,17 @@ __all__ = [
     "Trace",
     "TraceRecord",
     "World",
+    "WorldSnapshot",
+    "WorldArena",
     "WorldPool",
     "WorldTask",
+    "clear_world_arena",
+    "dissolve_tasks",
+    "lease_world",
+    "release_world",
     "run_cotasks",
     "run_solo",
+    "set_world_reuse",
+    "world_arena_stats",
+    "world_reuse_enabled",
 ]

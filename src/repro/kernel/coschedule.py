@@ -32,14 +32,133 @@ Invariants the pool guarantees:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Sequence, Union
+import os
+from typing import (
+    Any, Callable, Dict, Generator, List, Sequence, Tuple, Union,
+)
 
 from repro.kernel.errors import SimulationError
-from repro.kernel.world import World
+from repro.kernel.world import World, WorldSnapshot
 
 #: A scenario is either a ready generator or a callable ``world -> gen``
 #: (the same convention as :meth:`World.run_scenario`).
 Scenario = Union[Generator, Callable[[World], Generator]]
+
+
+# ---------------------------------------------------------------------------
+# World arena: build once, snapshot, reset, rerun
+# ---------------------------------------------------------------------------
+
+
+class WorldArena:
+    """A per-process cache of reusable worlds keyed by builder identity.
+
+    A mission builder *leases* a world instead of constructing one: on a
+    miss the arena builds it (``build(seed)``), snapshots the wired
+    platform, and hands it out; on a hit it pops a previously released
+    world and :meth:`~repro.kernel.world.World.reset`\\ s it to the
+    snapshot under the mission's seed.  Because reset is behaviourally
+    byte-identical to fresh construction, leased worlds produce the same
+    stores as fresh ones — the reuse is invisible except in wall time.
+
+    The ``key`` must capture everything ``build`` depends on besides the
+    seed (one key per world shape); every executor backend drains
+    through the same path because the arena lives in the worker process
+    that runs the builder.
+    """
+
+    def __init__(self, max_per_key: int = 32):
+        self.max_per_key = max_per_key
+        self._free: Dict[str, List[Tuple[World, WorldSnapshot]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lease(self, key: str, seed: int,
+              build: Callable[[int], World]) -> World:
+        """A world wired as ``build(seed)`` would wire it, possibly reused."""
+        free = self._free.get(key)
+        if free:
+            world, snapshot = free.pop()
+            world.reset(snapshot, seed)
+            self.hits += 1
+        else:
+            world = build(seed)
+            snapshot = world.snapshot()
+            self.misses += 1
+        world._arena_lease = (self, key, snapshot)
+        return world
+
+    def release(self, world: World, key: str,
+                snapshot: WorldSnapshot) -> None:
+        """Return a leased world to the free list (reset happens on lease).
+
+        Parked worlds are trimmed first so they pin only their wiring —
+        not the last mission's traces, storage and event-graph garbage.
+        """
+        free = self._free.setdefault(key, [])
+        if len(free) < self.max_per_key:
+            world.trim()
+            free.append((world, snapshot))
+
+    def pooled(self) -> int:
+        """How many worlds are parked across all keys."""
+        return sum(len(free) for free in self._free.values())
+
+    def clear(self) -> None:
+        """Drop every parked world and zero the hit/miss counters."""
+        self._free.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-wide arena every lease goes through (one per worker).
+_ARENA = WorldArena()
+
+#: Reuse toggle — ``REPRO_WORLD_REUSE=0`` (or :func:`set_world_reuse`)
+#: forces fresh construction everywhere, the reference the byte-identity
+#: tests compare against.
+_REUSE_ENABLED = os.environ.get("REPRO_WORLD_REUSE", "1") != "0"
+
+
+def set_world_reuse(enabled: bool) -> None:
+    """Enable or disable the world arena process-wide (tests, benches)."""
+    global _REUSE_ENABLED
+    _REUSE_ENABLED = bool(enabled)
+
+
+def world_reuse_enabled() -> bool:
+    """Is the lease path currently reusing worlds?"""
+    return _REUSE_ENABLED
+
+
+def lease_world(key: str, seed: int,
+                build: Callable[[int], World]) -> World:
+    """Lease from the process arena, or build fresh when reuse is off."""
+    if not _REUSE_ENABLED:
+        return build(seed)
+    return _ARENA.lease(key, seed, build)
+
+
+def release_world(world: World) -> None:
+    """Hand a leased world back to its arena (no-op otherwise; idempotent)."""
+    lease = world.__dict__.pop("_arena_lease", None)
+    if lease is not None and _REUSE_ENABLED:
+        arena, key, snapshot = lease
+        arena.release(world, key, snapshot)
+
+
+def world_arena_stats() -> Dict[str, int]:
+    """Lease counters of the process arena (for benches and leak tests)."""
+    return {
+        "hits": _ARENA.hits,
+        "misses": _ARENA.misses,
+        "pooled": _ARENA.pooled(),
+    }
+
+
+def clear_world_arena() -> None:
+    """Empty the process arena (tests isolate themselves with this)."""
+    _ARENA.clear()
 
 
 class WorldTask:
@@ -51,6 +170,15 @@ class WorldTask:
     """
 
     __slots__ = ("world", "process", "name")
+
+    #: Dissolved task shells awaiting reuse (see :func:`dissolve_tasks`).
+    _free: List["WorldTask"] = []
+    _FREE_MAX = 64
+
+    def __new__(cls, *args, **kwargs):
+        if cls is WorldTask and cls._free:
+            return cls._free.pop()
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -79,15 +207,41 @@ class WorldTask:
             raise self.process.exception
         return self.process.result
 
+    def _dissolve(self) -> None:
+        """Release the world and park this shell for reuse.
+
+        Only safe when the caller is the last reference holder (the
+        co-scheduled drain paths are); the shell's slots are cleared so
+        the world can be garbage-collected or re-leased meanwhile.
+        """
+        release_world(self.world)
+        self.world = None
+        self.process = None
+        free = WorldTask._free
+        if len(free) < WorldTask._FREE_MAX:
+            free.append(self)
+
+
+def dissolve_tasks(tasks: Sequence[WorldTask]) -> None:
+    """Recycle finished, result-drained tasks: worlds back to the arena,
+    task shells onto the free list.  Call only when no other reference
+    to the tasks (or their results-in-progress) remains."""
+    for task in tasks:
+        task._dissolve()
+
 
 def run_solo(task: WorldTask) -> Any:
     """Drive one task to completion alone and return its result.
 
     Structurally identical to ``World.run_scenario`` — the reference
     execution the pool's results are byte-compared against in tests.
+    A leased world is returned to its arena once the result is out; the
+    task object itself stays valid for the caller.
     """
     task.world.sim.advance(task.process.terminated)
-    return _finish(task)
+    result = _finish(task)
+    release_world(task.world)
+    return result
 
 
 def _finish(task: WorldTask) -> Any:
@@ -165,4 +319,5 @@ def run_cotasks(
     for start in range(0, len(builders), coschedule):
         group = [build() for build in builders[start:start + coschedule]]
         results.extend(WorldPool(group, limit=limit).run())
+        dissolve_tasks(group)
     return results

@@ -106,6 +106,11 @@ class Handle:
 #: (compacting a tiny heap costs more than carrying the garbage).
 _COMPACT_MIN_DEAD = 64
 
+#: Upper bound on recycled :class:`Process` shells kept by a simulator.
+#: A mission spawns a few dozen processes; the cap only guards against a
+#: pathological workload flooding the free list.
+_PROCESS_ARENA_MAX = 512
+
 
 class Simulator:
     """The event loop: a ready deque plus a priority queue of timed events."""
@@ -126,6 +131,7 @@ class Simulator:
             self.DEFAULT_FAST_PATH if fast_path is None else fast_path
         )
         self.processes: List["Process"] = []
+        self._process_arena: List["Process"] = []
 
     # -- scheduling --------------------------------------------------------
 
@@ -176,11 +182,54 @@ class Simulator:
             )
 
     def spawn(self, gen: Generator, name: str = "proc") -> "Process":
-        """Wrap a generator into a Process and start it at the current time."""
-        process = Process(self, gen, name)
+        """Wrap a generator into a Process and start it at the current time.
+
+        Shells recycled by :meth:`reset` are reused instead of allocating:
+        a re-initialised shell is indistinguishable from a fresh Process
+        (same fields, same already-bound resume callback).
+        """
+        arena = self._process_arena
+        if arena:
+            process = arena.pop()
+            process._reinit(gen, name)
+        else:
+            process = Process(self, gen, name)
         self.processes.append(process)
         self.post(process._resume_cb, None, None)
         return process
+
+    def drain(self) -> None:
+        """Kill every process and drop both event lanes (idempotent).
+
+        Live generators close (``finally`` blocks run), then the
+        terminated shells are parked on the free list for :meth:`spawn`
+        to reuse — the Process arena.  Draining releases every object
+        graph the finished run still pinned (scheduled tickers, channel
+        getters, component closures), so a parked world costs its wiring,
+        not its last mission.
+        """
+        for process in self.processes:
+            process.kill()
+        self._ready.clear()
+        self._queue.clear()
+        self._dead = 0
+        arena = self._process_arena
+        for process in self.processes:
+            process.gen = None  # drop the exhausted generator frame
+            if len(arena) < _PROCESS_ARENA_MAX:
+                arena.append(process)
+        self.processes.clear()
+
+    def reset(self, seed: int) -> None:
+        """Return the loop to its freshly-constructed state.
+
+        :meth:`drain` plus rewinding the clock and sequence counter and
+        reseeding the root random stream in place.
+        """
+        self.drain()
+        self._seq = 0
+        self.now = 0.0
+        self.random.reseed(seed)
 
     # -- lazy-cancel bookkeeping -------------------------------------------
 
@@ -537,6 +586,16 @@ class Channel:
         self._items.clear()
         return items
 
+    def reset(self) -> None:
+        """Empty the channel back to its freshly-constructed state.
+
+        Used by the channel arena: a reset mailbox re-bound under the
+        same name behaves exactly like a brand-new channel.
+        """
+        self._items.clear()
+        self._getters.clear()
+        self._sink = None
+
     def _subscribe_get(self, process: "Process", timeout: Optional[float]) -> Any:
         if self._items:
             item = self._items.popleft()
@@ -601,6 +660,31 @@ class Process:
         # bound once: every wait site passes this into schedule()/post(),
         # so rebinding the method per event would dominate allocations
         self._resume_cb = self._resume
+
+    def _reinit(self, gen: Generator, name: str) -> None:
+        """Reuse this terminated shell for a new process (arena path).
+
+        Restores every field :meth:`__init__` sets, re-arming the
+        existing :attr:`terminated` event in place so the already-bound
+        ``_resume_cb`` and the shell identity carry over.
+        """
+        if not isinstance(gen, Iterator):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}: "
+                "did you forget to call the generator function?"
+            )
+        self.gen = gen
+        self.name = name
+        self.result = None
+        self.exception = None
+        terminated = self.terminated
+        terminated.name = f"{name}.terminated"
+        terminated.triggered = False
+        terminated.value = None
+        terminated.exception = None
+        terminated._waiters.clear()
+        self._cancel_wait = None
+        self._killed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.terminated.triggered else "alive"

@@ -7,7 +7,8 @@ examples, tests and benchmarks start from ``World(seed=...)``.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.kernel.costs import CostModel, DEFAULT_COSTS
 from repro.kernel.faults import FaultInjector
@@ -37,6 +38,29 @@ def _per_node(value, names: Sequence[str], default, parameter: str) -> List:
     return [value] * len(names)
 
 
+@dataclass(frozen=True)
+class WorldSnapshot:
+    """What :meth:`World.snapshot` captured — the platform as wired.
+
+    Holds the post-construction (typically post-``add_nodes``, pre-run)
+    state every subsystem needs to rewind to: node configurations, the
+    network topology, trace subscribers and storage contents.  Simulated
+    dynamic state (event queues, processes, RNG positions, counters) is
+    deliberately *not* captured: reset rebuilds it empty/reseeded, which
+    is exactly what fresh construction produces.
+    """
+
+    node_states: Tuple[Tuple[str, tuple], ...]
+    network_state: tuple
+    storage_state: tuple
+    trace_subscribers: tuple
+    #: Records already traced when the snapshot was taken (wiring-time
+    #: events like ``link_change``) — a fresh build would re-emit them,
+    #: so reset restores them verbatim.  TraceRecords are immutable, so
+    #: sharing the instances is safe.
+    trace_records: tuple = ()
+
+
 class World:
     """A simulated distributed platform."""
 
@@ -49,10 +73,100 @@ class World:
         self.faults = FaultInjector(self.sim, self.trace)
         self.faults.network = self.network  # link slowdowns need the links
         self.storage = StableStorage(self.trace, clock=lambda: self.sim.now)
+        self.seed = seed
+        #: Per-node component runtimes, reused across missions (see
+        #: :meth:`runtime_for`).  Keyed by node name.
+        self._runtimes: Dict[str, object] = {}
 
     @property
     def now(self) -> float:
         return self.sim.now
+
+    # -- snapshot / reset ---------------------------------------------------
+
+    def snapshot(self) -> WorldSnapshot:
+        """Capture the wired platform so :meth:`reset` can rewind to it.
+
+        Take the snapshot right after construction and ``add_nodes`` —
+        before any scenario runs — and :meth:`reset` becomes equivalent
+        to building the same world from scratch, in O(state) instead of
+        O(construction).
+        """
+        return WorldSnapshot(
+            node_states=tuple(
+                (name, node.snapshot_state())
+                for name, node in self.cluster.nodes.items()
+            ),
+            network_state=self.network.snapshot_state(),
+            storage_state=self.storage.snapshot_state(),
+            trace_subscribers=tuple(self.trace._subscribers),
+            trace_records=tuple(self.trace.records),
+        )
+
+    def reset(self, snapshot: WorldSnapshot, seed: Optional[int] = None) -> None:
+        """Rewind to ``snapshot``, optionally under a new ``seed``.
+
+        The invariant the whole reuse layer rests on: after
+        ``world.reset(snapshot, seed)`` the world is *behaviourally
+        byte-identical* to a freshly built ``World(seed=seed)`` with the
+        same nodes added — same RNG draws, same event ordering, same
+        traces — so stores produced by reused worlds match fresh-build
+        stores bit for bit.  Nodes created after the snapshot (fleet
+        topologies materialise inside the mission) are removed.
+        """
+        if seed is None:
+            seed = self.seed
+        self.seed = seed
+        self.sim.reset(seed)
+        keep = {name for name, _state in snapshot.node_states}
+        for name in list(self.cluster.nodes):
+            if name not in keep:
+                del self.cluster.nodes[name]
+        for name, state in snapshot.node_states:
+            self.cluster.nodes[name].reset(state)
+        self.network.reset(snapshot.network_state)
+        self.faults.reset()
+        self.storage.reset(snapshot.storage_state)
+        self.trace.reset(list(snapshot.trace_subscribers))
+        self.trace.records.extend(snapshot.trace_records)
+        for name in list(self._runtimes):
+            if name not in keep:
+                del self._runtimes[name]
+        for runtime in self._runtimes.values():
+            runtime.reset()
+
+    def trim(self) -> None:
+        """Drop the finished mission's dynamic state without re-wiring.
+
+        Called when a world is parked in an arena: :meth:`reset` would
+        rebuild this state on the next lease anyway, but trimming at
+        release time means a parked world pins only its wiring — not the
+        trace records, storage contents and scheduled-event object
+        graphs of whatever mission it last ran.  Keeping parked worlds
+        skinny matters for co-scheduled throughput: stale mission state
+        is exactly the kind of long-lived garbage that inflates every
+        cyclic-GC pass.
+        """
+        self.sim.drain()
+        self.trace.records.clear()
+        self.storage._data.clear()
+        self.storage._logs.clear()
+
+    def runtime_for(self, node):
+        """The (cached) component runtime hosting assemblies on ``node``.
+
+        One :class:`~repro.components.runtime.ComponentRuntime` per node
+        per world, surviving :meth:`reset` — the runtime re-initialises
+        instead of being reconstructed, which is what makes re-deploying
+        the same assembly cheap across missions.
+        """
+        runtime = self._runtimes.get(node.name)
+        if runtime is None:
+            from repro.components.runtime import make_runtime
+
+            runtime = make_runtime(self, node)
+            self._runtimes[node.name] = runtime
+        return runtime
 
     def add_node(self, name: str, cpu_speed: float = 1.0,
                  energy_budget: Optional[float] = None) -> Node:

@@ -100,3 +100,62 @@ def test_materialise_builds_nodes_and_routed_links():
     assert routed.latency == pytest.approx(1.2)  # sum along the route
     assert routed.bandwidth == pytest.approx(6_000.0)  # min along route
     assert world.trace.count("network", "links_configured") == 1
+
+
+def test_route_cache_serves_repeat_queries():
+    topo = line_fleet(6)
+    first = topo.route("h000", "h005")
+    assert "h000" in topo._route_cache
+    assert topo.route("h000", "h005") == first
+    # the whole tree came from one Dijkstra: other destinations too
+    assert topo.route("h000", "h003") == ["h000", "h001", "h002", "h003"]
+
+
+def test_route_cache_invalidated_by_degraded_edge():
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_host(name)
+    topo.connect("a", "b", latency=1.0)
+    topo.connect("b", "c", latency=1.0)
+    topo.connect("a", "c", latency=3.0)
+    assert topo.route("a", "c") == ["a", "b", "c"]
+    # degrading an edge the cached tree uses must re-route
+    topo.connect("a", "b", latency=10.0)
+    assert topo.route("a", "c") == ["a", "c"]
+
+
+def test_route_cache_invalidated_by_improved_edge():
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_host(name)
+    topo.connect("a", "b", latency=1.0)
+    topo.connect("b", "c", latency=1.0)
+    topo.connect("a", "c", latency=5.0)
+    assert topo.route("a", "c") == ["a", "b", "c"]
+    topo.connect("a", "c", latency=0.5)
+    assert topo.route("a", "c") == ["a", "c"]
+
+
+def test_route_cache_survives_bandwidth_only_change():
+    topo = line_fleet(4)
+    before = topo.route("h000", "h003")
+    topo.connect("h001", "h002", latency=topo.edge("h001", "h002").latency,
+                 bandwidth=1.0)
+    assert "h000" in topo._route_cache  # kept: latencies unchanged
+    assert topo.route("h000", "h003") == before
+
+
+def test_route_cache_matches_uncached_recompute():
+    """Cached trees must equal a from-scratch Dijkstra for every pair."""
+    topo = random_fleet(12, seed=77)
+    names = topo.host_names()
+    cached = {
+        (a, b): topo.route(a, b) for a in names for b in names if a != b
+    }
+    fresh = Topology()
+    for host in topo.hosts.values():
+        fresh.add_host(host.name, host.cpu_speed, host.energy_budget)
+    for edge in topo.edges.values():
+        fresh.connect(edge.a, edge.b, edge.latency, edge.bandwidth)
+    for pair, path in cached.items():
+        assert fresh.route(*pair) == path

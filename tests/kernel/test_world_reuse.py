@@ -1,0 +1,249 @@
+"""World snapshot/reset and the arena: reuse must be invisible.
+
+The whole mission-lifecycle refactor rests on one invariant: after
+``world.reset(snapshot, seed)`` the world is *behaviourally
+byte-identical* to a freshly built ``World(seed=seed)`` with the same
+nodes — same RNG draws, same event ordering, same traces.  These tests
+pin that invariant at the kernel level (the eval-layer store comparisons
+live in ``tests/eval/test_world_reuse_identity.py``), plus the resource
+regressions reuse must not introduce: N reset cycles leave every queue,
+arena and trace flat.
+"""
+
+import pytest
+
+from repro.kernel import (
+    Timeout,
+    World,
+    WorldArena,
+    WorldTask,
+    clear_world_arena,
+    lease_world,
+    release_world,
+    run_solo,
+    set_world_reuse,
+    world_arena_stats,
+    world_reuse_enabled,
+)
+
+NODES = ["alpha", "beta", "client"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_arena():
+    """Each test starts with reuse on and an empty process arena."""
+    set_world_reuse(True)
+    clear_world_arena()
+    yield
+    set_world_reuse(True)
+    clear_world_arena()
+
+
+def _mission(world, requests=4):
+    """A small but representative mission: timers, RNG, traffic, storage."""
+
+    def scenario():
+        rng = world.sim.random.substream("mission")
+        box = world.network.bind("beta", "svc")
+        seen = []
+        log = []
+
+        def on_message(message):
+            seen.append(message)
+
+        box.set_sink(on_message)
+        for i in range(requests):
+            yield Timeout(1.0 + rng.random())
+            world.network.send("alpha", "beta", "svc", ("req", i), 64)
+            log.append(rng.randint(0, 10_000))
+        yield Timeout(50.0)
+        world.storage.write("alpha", "log", list(log))
+        world.storage.append("missions", {"seen": len(seen)})
+        return {
+            "draws": log,
+            "seen": len(seen),
+            "now": world.sim.now,
+            "trace": [
+                (r.time, r.category, r.event) for r in world.trace.records
+            ],
+        }
+
+    return world.run_process(scenario(), name="mission")
+
+
+def _fresh_result(seed):
+    world = World(seed=seed)
+    world.add_nodes(list(NODES))
+    return _mission(world)
+
+
+def test_reset_replays_fresh_behaviour_exactly():
+    """reset(snapshot, seed) == fresh World(seed): draws, traces, clock."""
+    world = World(seed=1)
+    world.add_nodes(list(NODES))
+    snapshot = world.snapshot()
+    for seed in (1, 7, 99, 7):  # includes a revisited seed
+        world.reset(snapshot, seed)
+        assert _mission(world) == _fresh_result(seed)
+
+
+def test_reset_restores_node_and_network_config():
+    world = World(seed=3)
+    world.add_nodes(list(NODES), cpu_speed={"beta": 0.5})
+    world.network.set_link("alpha", "beta", latency=12.5, bandwidth=100.0)
+    snapshot = world.snapshot()
+    reference = _mission(world)
+
+    # scribble over everything the snapshot should protect
+    world.cluster.nodes["beta"].cpu_speed = 4.0
+    world.network.set_link("alpha", "beta", latency=0.1)
+    world.add_node("intruder")
+    world.storage.write("alpha", "junk", 1)
+
+    world.reset(snapshot, 3)
+    assert "intruder" not in world.cluster.nodes
+    assert world.cluster.nodes["beta"].cpu_speed == 0.5
+    assert not world.storage.exists("alpha", "junk")
+    assert _mission(world) == reference
+
+
+def test_reset_drops_mailboxes_created_after_snapshot():
+    """A mailbox bound mid-mission must vanish on reset — a surviving
+    mailbox would buffer sends a fresh world drops as ``no_mailbox``."""
+    world = World(seed=5)
+    world.add_nodes(list(NODES))
+    snapshot = world.snapshot()
+    world.network.bind("client", "late")
+    world.reset(snapshot, 5)
+
+    world.network.send("alpha", "client", "late", "hello", 16)
+    world.sim.run()
+    drops = [
+        r for r in world.trace.records
+        if r.category == "network" and r.event == "drop"
+    ]
+    assert drops and drops[0].detail("reason") == "no_mailbox"
+
+
+def test_reset_cycles_leave_resources_flat():
+    """The leak regression: N missions over one world grow nothing."""
+    world = World(seed=11)
+    world.add_nodes(list(NODES))
+    snapshot = world.snapshot()
+
+    def sizes():
+        sim = world.sim
+        return {
+            "heap": len(sim._queue),
+            "ready": len(sim._ready),
+            "processes": len(sim.processes),
+            "arena": len(sim._process_arena),
+            "trace": len(world.trace.records),
+            "mailboxes": len(world.network._mailboxes),
+            "channel_arena": len(world.network._channel_arena),
+            "storage": len(world.storage._data),
+            "logs": len(world.storage._logs),
+        }
+
+    world.reset(snapshot, 0)
+    _mission(world)
+    world.reset(snapshot, 0)
+    _mission(world)
+    steady = sizes()
+    for cycle in range(20):
+        world.reset(snapshot, cycle)
+        _mission(world)
+    assert sizes() == steady
+
+
+def test_trim_empties_dynamic_state_without_breaking_reset():
+    world = World(seed=13)
+    world.add_nodes(list(NODES))
+    snapshot = world.snapshot()
+    reference = _mission(world)
+
+    world.trim()
+    assert len(world.trace.records) == 0
+    assert len(world.storage._data) == 0
+    assert len(world.sim.processes) == 0
+    assert len(world.sim._queue) == 0
+
+    world.reset(snapshot, 13)
+    assert _mission(world) == reference
+
+
+def test_process_arena_recycles_shells():
+    world = World(seed=17)
+    world.add_nodes(list(NODES))
+    snapshot = world.snapshot()
+    _mission(world)
+    world.reset(snapshot, 17)
+    parked = len(world.sim._process_arena)
+    assert parked > 0
+    _mission(world)
+    # the second mission spawned from the arena instead of allocating
+    assert len(world.sim._process_arena) < parked or parked == 0
+
+
+def test_arena_lease_hits_after_release():
+    arena = WorldArena()
+
+    def build(seed):
+        world = World(seed=seed)
+        world.add_nodes(list(NODES))
+        return world
+
+    first = arena.lease("k", 1, build)
+    assert arena.misses == 1
+    release_world(first)
+    second = arena.lease("k", 2, build)
+    assert second is first
+    assert arena.hits == 1
+    assert _mission(second) == _fresh_result(2)
+
+
+def test_release_world_is_idempotent():
+    arena = WorldArena()
+    world = arena.lease("k", 1, lambda seed: World(seed=seed))
+    release_world(world)
+    release_world(world)  # second call must not double-park
+    assert arena.pooled() == 1
+
+
+def test_reuse_toggle_bypasses_arena():
+    set_world_reuse(False)
+    assert not world_reuse_enabled()
+    a = lease_world("toggle", 1, lambda seed: World(seed=seed))
+    release_world(a)
+    b = lease_world("toggle", 1, lambda seed: World(seed=seed))
+    assert b is not a
+    assert world_arena_stats()["pooled"] == 0
+
+    set_world_reuse(True)
+    c = lease_world("toggle", 1, lambda seed: World(seed=seed))
+    release_world(c)
+    d = lease_world("toggle", 1, lambda seed: World(seed=seed))
+    assert d is c
+
+
+def test_run_solo_returns_leased_world_to_arena():
+    def build(seed):
+        world = World(seed=seed)
+        world.add_nodes(list(NODES))
+        return world
+
+    def task(seed):
+        world = lease_world("solo", seed, build)
+
+        def scenario():
+            yield Timeout(1.0)
+            return world.sim.random.randint(0, 100)
+
+        return WorldTask(world, scenario(), name="t")
+
+    first = run_solo(task(1))
+    stats = world_arena_stats()
+    assert stats["pooled"] == 1
+    second = run_solo(task(1))
+    assert first == second
+    assert world_arena_stats()["hits"] == 1

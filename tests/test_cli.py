@@ -127,6 +127,17 @@ def test_cli_profile_prints_hot_spots(capsys):
     assert "units/s" in captured.err
 
 
+def test_cli_profile_coschedule_lane(capsys):
+    assert main([
+        "profile", "campaign-sharded", "--missions", "4",
+        "--requests", "3", "--coschedule", "2", "--top", "3",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "coschedule=2" in captured.err
+    assert "units/s" in captured.err
+    assert "function calls" in captured.out
+
+
 def test_cli_profile_rejects_unknown_spec(capsys):
     with pytest.raises(SystemExit):
         main(["profile", "nonsense"])
