@@ -130,9 +130,13 @@ def _solo_missions_per_sec():
 
 
 def _coscheduled_run(coschedule=COSCHEDULE):
+    # coschedule_min_units=0: this grid measures the co-schedule lane
+    # itself, so the small-campaign auto-clamp must not reroute it to
+    # serial at bench sizes below the threshold.
     spec = _campaign_spec()
     started = time.perf_counter()
-    result = exp.run(spec, jobs=1, coschedule=coschedule)
+    result = exp.run(spec, jobs=1, coschedule=coschedule,
+                     coschedule_min_units=0)
     return result, MISSIONS / max(time.perf_counter() - started, 1e-9)
 
 

@@ -35,7 +35,11 @@ Commands
     (results stay byte-identical — it is pure execution strategy).
     ``--backend serial|local|remote`` picks where shards execute;
     ``--workers host:port,...`` fans them over ``repro worker``
-    processes (implies the remote backend).
+    processes (implies the remote backend, digest-only returns by
+    default — ``--wire full`` streams every value back instead).
+    ``--coordinators N`` splits the shards over N coordinator
+    processes, each with its own worker subset and store partition,
+    merged post-hoc byte-identical to a single coordinator.
 ``fleet-campaign [--hosts N] [--apps N] [--missions N] [...]``
     The fleet-scale campaign: generate a multi-host topology, place
     many FTM-protected app pairs under each placement policy, drive
@@ -54,11 +58,16 @@ Commands
     Reports detection/masking rates with Wilson CIs and the mean
     detection latency; same store/backends/co-scheduling knobs as
     ``campaign``.  Exits non-zero if any gray-failure claim fails.
-``worker --listen HOST:PORT [--coschedule K] [--max-batches N]``
+``worker --listen HOST:PORT [--coschedule K] [--shadow DIR] [...]``
     Serve trial batches to a remote-backend coordinator: accepts framed
     TCP batches, drains each through the co-scheduling ``WorldPool``,
-    streams results back.  Start one per host, then point
-    ``campaign --workers`` (or ``exp.run(..., workers=[...])``) at them.
+    and — in digest mode — persists completed cells into its own
+    content-addressed shadow store (``--shadow``, default
+    ``.repro-shadow``), acking only ``(slug, hash, digest)`` tuples.
+    Start one per host, then point ``campaign --workers`` (or
+    ``exp.run(..., workers=[...])``) at them.  ``--max-batches N`` and
+    ``--crash-after-persist N`` are deterministic crash hooks for the
+    failover tests.
 ``bench --report [--dir DIR]``
     Read every recorded ``BENCH_*.json`` benchmark report and print one
     throughput-trajectory table (PR 3 baseline → PR 4 kernel → the
@@ -280,21 +289,51 @@ def _cmd_campaign(args) -> int:
     )
     workers = ([w.strip() for w in args.workers.split(",") if w.strip()]
                if args.workers else None)
-    result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
-                     coschedule=args.coschedule, backend=args.backend,
-                     workers=workers)
+    wire_mode = "units" if args.wire == "full" else "digest"
+    if args.coordinators > 1:
+        if not workers:
+            print("error: --coordinators needs --workers HOST:PORT,...",
+                  file=sys.stderr)
+            return 2
+        if store is None:
+            print("error: --coordinators needs a result store "
+                  "(drop --no-store)", file=sys.stderr)
+            return 2
+        result, info = exp.run_multi_coordinator(
+            spec, workers, store_root=str(store.root),
+            coordinators=args.coordinators, jobs=jobs,
+            coschedule=args.coschedule, mode=wire_mode,
+            keep_partitions=args.keep_partitions,
+        )
+    else:
+        backend = args.backend
+        if workers:
+            from repro.exp.distributed import RemoteBackend
+
+            backend = RemoteBackend(workers, mode=wire_mode)
+        result = exp.run(spec, jobs=jobs, store=store, fresh=args.fresh,
+                         coschedule=args.coschedule, backend=backend,
+                         workers=workers)
+        info = None
     data = campaign.from_shard_results(result.results)
     print(campaign.render_sharded(data), file=out)
     problems = campaign.shard_shape_checks(data)
     status = "clean" if not problems else f"FAILS: {problems}"
+    coordinators = (f", coordinators={info['coordinators']}"
+                    if info is not None else "")
     print(f"  -> Campaign: {status} "
           f"[{result.cells_cached}/{len(spec.trials)} shards from store, "
           f"{result.executed} missions simulated, {result.elapsed_s:.2f}s, "
-          f"backend={result.backend}]",
+          f"backend={result.backend}{coordinators}, "
+          f"digest_acked={result.cells_acked_digest}, "
+          f"shipped_full={result.cells_shipped_full}]",
           file=out)
     if args.json:
         summary = result.summary()
         summary["problems"] = problems
+        if info is not None:
+            summary["coordinators"] = info["coordinators"]
+            summary["merge"] = info["merge"]
         summary["campaign"] = {
             key: data[key]
             for key in (
@@ -448,7 +487,10 @@ def _cmd_profile(args) -> int:
           f"jobs=1, {lane}, store off ...", file=sys.stderr)
     profiler = cProfile.Profile()
     profiler.enable()
-    result = exp.run(spec, jobs=1, store=None, coschedule=args.coschedule)
+    # the profile measures the requested lane itself, so the small-run
+    # co-schedule clamp must not silently reroute it to the solo lane
+    result = exp.run(spec, jobs=1, store=None, coschedule=args.coschedule,
+                     coschedule_min_units=0)
     profiler.disable()
     print(f"[{result.executed} trial(s) in {result.elapsed_s:.2f}s — "
           f"{result.executed / max(result.elapsed_s, 1e-9):.1f} units/s]",
@@ -486,7 +528,9 @@ def _cmd_worker(args) -> int:
 
     host, port = distributed.parse_address(args.listen)
     distributed.serve(host, port, coschedule=args.coschedule,
-                      max_batches=args.max_batches)
+                      max_batches=args.max_batches,
+                      shadow=args.shadow,
+                      crash_after_persist=args.crash_after_persist)
     return 0
 
 
@@ -696,6 +740,21 @@ def main(argv=None) -> int:
     camp.add_argument("--workers", default=None, metavar="HOST:PORT,...",
                       help="comma-separated repro worker addresses for the "
                            "remote backend")
+    camp.add_argument("--coordinators", type=_positive_int, default=1,
+                      metavar="N",
+                      help="split the campaign's shards over N coordinator "
+                           "processes, each driving its own worker subset "
+                           "and store partition; partitions are merged "
+                           "post-hoc, byte-identical to a single "
+                           "coordinator (default: 1; needs --workers)")
+    camp.add_argument("--wire", choices=("digest", "full"), default="digest",
+                      help="remote return path: 'digest' shadow-persists "
+                           "cells on the workers and acks ~100 B/cell, "
+                           "'full' streams every value back (default: "
+                           "digest; store bytes identical either way)")
+    camp.add_argument("--keep-partitions", action="store_true",
+                      help="keep the per-coordinator store partitions "
+                           "(<store>.partN) after the merge")
     fleet = sub.add_parser(
         "fleet-campaign",
         help="fleet-scale placement x churn campaign (shared-R transitions)",
@@ -803,6 +862,14 @@ def main(argv=None) -> int:
     worker.add_argument("--max-batches", type=_positive_int, default=None,
                         metavar="N",
                         help="hard-exit after N batches (crash testing)")
+    worker.add_argument("--shadow", default=None, metavar="DIR",
+                        help="shadow-store directory for digest-mode cells "
+                             "(default: .repro-shadow)")
+    worker.add_argument("--crash-after-persist", type=_positive_int,
+                        default=None, metavar="N",
+                        help="hard-exit after the Nth freshly executed cell "
+                             "is shadow-persisted but before its digest ack "
+                             "(crash-window testing)")
     bench = sub.add_parser(
         "bench",
         help="report recorded benchmark results (BENCH_*.json)",

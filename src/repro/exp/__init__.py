@@ -37,8 +37,18 @@ from repro.exp.errors import (
     SpecError,
     StoreError,
 )
+from repro.exp.distributed import RemoteBackend
+from repro.exp.merge import (
+    MergeConflict,
+    merge_stores,
+    partition_roots,
+    run_multi_coordinator,
+    split_spec,
+)
 from repro.exp.runner import (
     BACKENDS,
+    COSCHEDULE_MIN_UNITS,
+    CompletedCell,
     ExecutionPlan,
     ExecutionStats,
     ExecutorBackend,
@@ -69,6 +79,8 @@ from repro.exp.store import DEFAULT_ROOT, ResultStore
 
 __all__ = [
     "BACKENDS",
+    "COSCHEDULE_MIN_UNITS",
+    "CompletedCell",
     "DEFAULT_ROOT",
     "DistributedError",
     "ExecutionPlan",
@@ -78,6 +90,8 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "LocalPoolBackend",
+    "MergeConflict",
+    "RemoteBackend",
     "SerialBackend",
     "ReduceFn",
     "ResultStore",
@@ -94,9 +108,13 @@ __all__ = [
     "derive_seed",
     "derive_seeds",
     "fingerprint",
+    "merge_stores",
+    "partition_roots",
     "reset_executed_counter",
     "run",
+    "run_multi_coordinator",
     "shutdown_local_pool",
     "spec_hash",
+    "split_spec",
     "trials_executed",
 ]

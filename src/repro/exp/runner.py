@@ -50,7 +50,18 @@ import os
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.exp.errors import ExperimentError, ResultTypeError, SpecError
 from repro.exp.spec import ExperimentSpec, spec_hash
@@ -81,12 +92,26 @@ class ExecutionStats:
 
     Pass one object through several runs to aggregate (the CLI does this
     per ``reproduce`` invocation); every counter only ever increases.
+
+    ``cells_shipped_full`` counts cells whose complete value list
+    crossed the coordinator wire (units-mode remote runs, or the
+    digest-mode ``fetch`` fallback); ``cells_acked_digest`` counts cells
+    completed by a digest-only acknowledgement — the worker persisted
+    the cell into its shadow store and only ``(slug, hash, digest)``
+    came back.  A remote cell lands in exactly one of the two;
+    in-process backends (serial/local) leave both at zero.
+    ``wire_bytes_in`` / ``wire_bytes_out`` accumulate coordinator
+    socket traffic (remote backend only; zero elsewhere).
     """
 
     executed: int = 0
     cells_executed: int = 0
     cells_cached: int = 0
     batches: int = 0
+    cells_shipped_full: int = 0
+    cells_acked_digest: int = 0
+    wire_bytes_in: int = 0
+    wire_bytes_out: int = 0
 
     def record_cached_cells(self, count: int) -> None:
         """Count ``count`` cells served verbatim from the result store."""
@@ -100,6 +125,26 @@ class ExecutionStats:
     def record_batches(self, count: int) -> None:
         """Count ``count`` batch tasks handed to a worker pool."""
         self.batches += count
+
+    def record_full_cell(self) -> None:
+        """Count one cell whose full values crossed to the coordinator."""
+        self.cells_shipped_full += 1
+
+    def record_digest_cell(self, fetched: bool = False) -> None:
+        """Count one cell completed via a digest-only ack.
+
+        ``fetched`` marks the reconciliation fallback where the full
+        body still had to cross the wire (the coordinator's store was
+        missing the cell and the worker's shadow store was unreachable).
+        """
+        self.cells_acked_digest += 1
+        if fetched:
+            self.cells_shipped_full += 1
+
+    def record_wire(self, bytes_in: int, bytes_out: int) -> None:
+        """Accumulate coordinator socket traffic (remote backend)."""
+        self.wire_bytes_in += bytes_in
+        self.wire_bytes_out += bytes_out
 
 
 @dataclass
@@ -128,6 +173,11 @@ class ExperimentResult:
     coschedule: int = 1
     backend: str = "serial"
     cache_state: str = "disabled"
+    coschedule_effective: int = 1
+    cells_shipped_full: int = 0
+    cells_acked_digest: int = 0
+    wire_bytes_in: int = 0
+    wire_bytes_out: int = 0
 
     def cell(self, key: str) -> Any:
         """Per-run results (or reduced summary) of one cell."""
@@ -141,18 +191,61 @@ class ExperimentResult:
             "cells": len(self.results),
             "cells_cached": self.cells_cached,
             "cells_executed": self.cells_executed,
+            "cells_shipped_full": self.cells_shipped_full,
+            "cells_acked_digest": self.cells_acked_digest,
             "trials_executed": self.executed,
             "cached": self.cached,
             "cache_state": self.cache_state,
             "jobs": self.jobs,
             "coschedule": self.coschedule,
+            "coschedule_effective": self.coschedule_effective,
             "backend": self.backend,
+            "wire_bytes_in": self.wire_bytes_in,
+            "wire_bytes_out": self.wire_bytes_out,
             "elapsed_s": round(self.elapsed_s, 6),
         }
 
 
 #: One executable unit: (global unit index, seed, params).
 _Unit = Tuple[int, int, Dict[str, Any]]
+
+
+class CompletedCell(NamedTuple):
+    """A whole cell completed by the backend itself (digest-mode remote).
+
+    Backends that assemble, reduce and persist cells at the edge (worker
+    store shadowing) yield these instead of per-unit ``(index, value)``
+    pairs.  ``values`` is the cell's final value list (or reduced
+    summary) after a JSON round-trip; ``fetched`` records whether the
+    full body had to cross the wire during reconciliation.
+    """
+
+    key: str
+    values: Any
+    fetched: bool = False
+
+
+#: Units a run must dispatch before a requested co-schedule width > 1 is
+#: honoured.  Below this, per-pool bookkeeping costs more than world
+#: interleaving saves (BENCH_distributed recorded 0.84x at 48 missions),
+#: so the runner auto-selects width 1 — pure execution strategy, so the
+#: bytes cannot change.  Override per call with ``coschedule_min_units``
+#: (0 disables the clamp) or process-wide with the
+#: ``REPRO_COSCHEDULE_MIN_UNITS`` environment variable.
+COSCHEDULE_MIN_UNITS = 192
+
+
+def _coschedule_threshold(override: Optional[int]) -> int:
+    """The effective co-schedule clamp threshold for one run."""
+    if override is not None:
+        return max(0, int(override))
+    env = os.environ.get("REPRO_COSCHEDULE_MIN_UNITS")
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return COSCHEDULE_MIN_UNITS
 
 #: One local-pool task: (context key, units).  The context key is the
 #: compact import-reference form of the spec's execution context — see
@@ -312,6 +405,15 @@ class ExecutionPlan:
     width: int = 1
     batch_size: int = 1
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: The missing cells behind ``units``: (trial, that cell's units), in
+    #: spec order.  Cell-granular backends (digest-mode remote) dispatch
+    #: these instead of flat unit batches, so a worker can assemble,
+    #: reduce and persist whole cells at the edge.
+    cells: List[Tuple[Any, List[_Unit]]] = field(default_factory=list)
+    #: The caller's result store, if any.  Reconciliation-capable
+    #: backends consult it to resolve digest acks without wire traffic;
+    #: they never write to it (persistence stays on the caller's thread).
+    store: Optional[ResultStore] = None
 
     def batches(self) -> List[List[_Unit]]:
         """The units grouped into dispatch batches, in unit order."""
@@ -341,6 +443,12 @@ class ExecutorBackend:
     """
 
     name = "abstract"
+
+    #: True while the backend ships complete cell value lists over a
+    #: coordinator wire (units-mode remote execution) — the runner then
+    #: counts each assembled cell in ``stats.cells_shipped_full``.
+    #: In-process backends leave this False: nothing crosses a wire.
+    wire_full_cells = False
 
     def execute(self, plan: ExecutionPlan) -> Iterator[Tuple[int, Any]]:
         """Yield ``(unit_index, value)`` for every unit in the plan.
@@ -512,10 +620,12 @@ class _CellAssembler:
     """
 
     def __init__(self, spec: ExperimentSpec, store: Optional[ResultStore],
-                 stats: ExecutionStats):
+                 stats: ExecutionStats,
+                 executor: Optional[ExecutorBackend] = None):
         self.spec = spec
         self.store = store
         self.stats = stats
+        self.executor = executor
         self.completed: Dict[str, Any] = {}
         self._slots: Dict[str, List[Any]] = {}
         self._pending: Dict[str, int] = {}
@@ -541,6 +651,26 @@ class _CellAssembler:
         if self._pending[key] == 0:
             self._finish(key)
 
+    def complete_cell(self, key: str, values: Any,
+                      fetched: bool = False) -> None:
+        """Accept one cell the backend assembled (and reduced) itself.
+
+        The digest-mode remote backend completes whole cells: the worker
+        already ran, reduced and shadow-persisted them, and ``values`` is
+        what reconciliation recovered (local store hit, shadow read, or
+        wire fetch).  Persisting here re-serialises through exactly the
+        :meth:`_finish` path, so the coordinator's cell file is
+        byte-identical to a serial run's whatever route the values took.
+        """
+        self._slots.pop(key, None)
+        self._pending.pop(key, None)
+        values = _normalise(values, self.spec.name)
+        self.completed[key] = values
+        self.stats.record_cell(self._trial_by_key[key].runs)
+        self.stats.record_digest_cell(fetched=fetched)
+        if self.store is not None:
+            self.store.save_cell(self.spec, self._trial_by_key[key], values)
+
     def _finish(self, key: str) -> None:
         values = self._slots.pop(key)
         del self._pending[key]
@@ -548,6 +678,10 @@ class _CellAssembler:
             values = _normalise(self.spec.reduce(values), self.spec.name)
         self.completed[key] = values
         self.stats.record_cell(self._trial_by_key[key].runs)
+        # read at completion time: the remote backend decides units vs
+        # digest mode per plan, inside execute()
+        if getattr(self.executor, "wire_full_cells", False):
+            self.stats.record_full_cell()
         if self.store is not None:
             # cell files carry no execution-strategy metadata: their
             # bytes are a pure function of the cell identity and its
@@ -566,6 +700,7 @@ def run(
     coschedule: Optional[int] = None,
     backend: Union[str, ExecutorBackend, None] = None,
     workers: Optional[Sequence[str]] = None,
+    coschedule_min_units: Optional[int] = None,
 ) -> ExperimentResult:
     """Execute ``spec`` and return its merged, normalised results.
 
@@ -580,7 +715,13 @@ def run(
     counters across calls.
 
     ``coschedule=K`` (with a spec that defines a ``cotrial``) interleaves
-    K units' worlds inside one event loop per executor.
+    K units' worlds inside one event loop per executor.  Runs dispatching
+    fewer than :data:`COSCHEDULE_MIN_UNITS` units auto-select width 1 —
+    below that, pool bookkeeping costs more than interleaving saves —
+    and ``coschedule_min_units`` overrides the threshold (0 disables the
+    clamp).  The requested width is reported as ``result.coschedule``,
+    the width actually used as ``result.coschedule_effective``; results
+    are byte-identical either way.
 
     ``backend`` picks the execution strategy: ``"serial"``, ``"local"``
     (the default — a persistent in-host process pool), ``"remote"``
@@ -606,28 +747,44 @@ def run(
         cached_cells = store.load_cells(spec)
     stats.record_cached_cells(len(cached_cells))
 
-    assembler = _CellAssembler(spec, store, stats)
-    assembler.completed.update(cached_cells)
-    units: List[_Unit] = []
-    for trial in spec.trials:
-        if trial.key not in cached_cells:
-            units.extend(assembler.add_cell(trial))
-
     executor = _resolve_backend(backend, workers)
     owned = not isinstance(backend, ExecutorBackend)
+    assembler = _CellAssembler(spec, store, stats, executor=executor)
+    assembler.completed.update(cached_cells)
+    units: List[_Unit] = []
+    plan_cells: List[Tuple[Any, List[_Unit]]] = []
+    for trial in spec.trials:
+        if trial.key not in cached_cells:
+            cell_units = assembler.add_cell(trial)
+            units.extend(cell_units)
+            plan_cells.append((trial, cell_units))
+
+    effective_width = width
+    if width > 1 and len(units) < _coschedule_threshold(coschedule_min_units):
+        effective_width = 1
+
+    shipped_before = stats.cells_shipped_full
+    digest_before = stats.cells_acked_digest
+    wire_in_before, wire_out_before = stats.wire_bytes_in, stats.wire_bytes_out
     started = time.perf_counter()
     if units:
         size = (default_batch(len(units), worker_count)
                 if batch is None else max(1, int(batch)))
-        if width > size:
-            size = width  # a batch holds at least one full pool
+        if effective_width > size:
+            size = effective_width  # a batch holds at least one full pool
         plan = ExecutionPlan(
             spec=spec, units=units, worker_count=worker_count,
-            width=width, batch_size=size, stats=stats,
+            width=effective_width, batch_size=size, stats=stats,
+            cells=plan_cells, store=store,
         )
         try:
-            for index, value in executor.execute(plan):
-                assembler.feed(index, value)
+            for item in executor.execute(plan):
+                if isinstance(item, CompletedCell):
+                    assembler.complete_cell(item.key, item.values,
+                                            fetched=item.fetched)
+                else:
+                    index, value = item
+                    assembler.feed(index, value)
         finally:
             if owned:
                 executor.close()
@@ -669,4 +826,9 @@ def run(
         coschedule=width,
         backend=executor.name,
         cache_state=cache_state,
+        coschedule_effective=effective_width,
+        cells_shipped_full=stats.cells_shipped_full - shipped_before,
+        cells_acked_digest=stats.cells_acked_digest - digest_before,
+        wire_bytes_in=stats.wire_bytes_in - wire_in_before,
+        wire_bytes_out=stats.wire_bytes_out - wire_out_before,
     )

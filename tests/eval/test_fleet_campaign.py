@@ -72,6 +72,7 @@ def test_campaign_is_byte_identical_across_backends(tmp_path):
     local = exp.run(spec, jobs=2, backend="local",
                     store=exp.ResultStore(tmp_path / "local"))
     cosched = exp.run(spec, jobs=1, backend="serial", coschedule=3,
+                      coschedule_min_units=0,
                       store=exp.ResultStore(tmp_path / "cosched"))
     try:
         assert _dump(serial) == _dump(local) == _dump(cosched)

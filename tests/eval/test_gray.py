@@ -71,7 +71,7 @@ def test_small_matrix_is_byte_identical_serial_vs_coscheduled():
     serial = exp.run(gray.spec(missions=1, **grid), jobs=1,
                      backend="serial")
     cosched = exp.run(gray.spec(missions=1, **grid), jobs=1,
-                      backend="serial", coschedule=4)
+                      backend="serial", coschedule=4, coschedule_min_units=0)
     assert serial.results == cosched.results
 
 

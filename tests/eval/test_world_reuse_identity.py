@@ -48,7 +48,8 @@ def _assert_reuse_identical(make_spec, coschedule=4):
     stats = world_arena_stats()
     assert stats["hits"] > 0, "the arena never re-leased a world"
     reuse_again = _store_json(make_spec(), jobs=1)  # every lease a hit
-    reuse_cosched = _store_json(make_spec(), jobs=1, coschedule=coschedule)
+    reuse_cosched = _store_json(make_spec(), jobs=1, coschedule=coschedule,
+                                coschedule_min_units=0)
 
     assert reuse_serial == fresh
     assert reuse_again == fresh
@@ -100,7 +101,8 @@ def test_campaign_reuse_identical_across_backends():
     try:
         local = _store_json(make_spec(), jobs=2, backend="local", batch=2)
         local_cosched = _store_json(
-            make_spec(), jobs=2, backend="local", coschedule=4
+            make_spec(), jobs=2, backend="local", coschedule=4,
+            coschedule_min_units=0,
         )
     finally:
         exp.shutdown_local_pool()

@@ -72,7 +72,8 @@ def test_local_backend_coschedule_matches_serial():
     spec = campaign.sharded_spec(missions=8, base_seed=21, requests=6,
                                  cell_size=4)
     serial = exp.run(spec, jobs=1, backend="serial")
-    cos = exp.run(spec, jobs=2, backend="local", coschedule=4)
+    cos = exp.run(spec, jobs=2, backend="local", coschedule=4,
+                  coschedule_min_units=0)  # exercise the lane, not the clamp
     assert _dump(serial) == _dump(cos)
 
 

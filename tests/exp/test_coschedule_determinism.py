@@ -36,9 +36,11 @@ def test_campaign_execution_matrix_is_byte_identical():
         missions=12, base_seed=5100, requests=6, cell_size=4
     )
     sequential = exp.run(spec, jobs=1)
-    coscheduled = exp.run(spec, jobs=1, coschedule=4)
+    # coschedule_min_units=0 disables the small-run clamp: these tests
+    # must exercise the co-scheduled lane itself, not its serial fallback
+    coscheduled = exp.run(spec, jobs=1, coschedule=4, coschedule_min_units=0)
     parallel = exp.run(spec, jobs=2)
-    both = exp.run(spec, jobs=2, coschedule=3)
+    both = exp.run(spec, jobs=2, coschedule=3, coschedule_min_units=0)
     assert (
         _payload(sequential)
         == _payload(coscheduled)
@@ -50,7 +52,8 @@ def test_campaign_execution_matrix_is_byte_identical():
 def test_transition_matrix_coscheduled_is_byte_identical():
     spec = transition_matrix.spec(runs=1, base_seed=7100, smoke=True)
     sequential = exp.run(spec, jobs=1)
-    coscheduled = exp.run(spec, jobs=1, coschedule=3)
+    coscheduled = exp.run(spec, jobs=1, coschedule=3, coschedule_min_units=0)
+    assert coscheduled.coschedule_effective == 3
     assert _payload(sequential) == _payload(coscheduled)
 
 
@@ -61,7 +64,7 @@ def test_store_files_are_byte_identical_sequential_vs_coscheduled(tmp_path):
         missions=8, base_seed=5200, requests=6, cell_size=4
     )
     exp.run(spec, jobs=1, store=exp.ResultStore(tmp_path / "seq"))
-    exp.run(spec, jobs=1, coschedule=4,
+    exp.run(spec, jobs=1, coschedule=4, coschedule_min_units=0,
             store=exp.ResultStore(tmp_path / "cosched"))
 
     seq_files = sorted(p for p in (tmp_path / "seq").rglob("*") if p.is_file())
@@ -124,3 +127,48 @@ def test_result_records_coschedule_width():
     assert result.summary()["coschedule"] == 3
     default = exp.run(spec, jobs=1)
     assert default.coschedule == 1
+
+
+# -- the small-run co-schedule clamp ----------------------------------------
+
+
+def test_small_run_clamps_coschedule_to_serial_lane():
+    # 12 missions is far below COSCHEDULE_MIN_UNITS: the requested width
+    # is recorded, but the run executes on the serial lane (0.84x at 48
+    # missions was the BENCH_distributed regression this clamp fixes)
+    spec = campaign.sharded_spec(
+        missions=12, base_seed=5400, requests=6, cell_size=4
+    )
+    assert spec.unit_count < exp.COSCHEDULE_MIN_UNITS
+    clamped = exp.run(spec, jobs=1, coschedule=8)
+    assert clamped.coschedule == 8
+    assert clamped.coschedule_effective == 1
+    assert clamped.summary()["coschedule_effective"] == 1
+
+
+def test_clamp_override_per_call_and_via_environment(monkeypatch):
+    spec = campaign.sharded_spec(
+        missions=12, base_seed=5400, requests=6, cell_size=4
+    )
+    forced = exp.run(spec, jobs=1, coschedule=4, coschedule_min_units=0)
+    assert forced.coschedule_effective == 4
+    monkeypatch.setenv("REPRO_COSCHEDULE_MIN_UNITS", "4")
+    env_forced = exp.run(spec, jobs=1, coschedule=4)
+    assert env_forced.coschedule_effective == 4
+    monkeypatch.setenv("REPRO_COSCHEDULE_MIN_UNITS", "100000")
+    env_clamped = exp.run(spec, jobs=1, coschedule=4)
+    assert env_clamped.coschedule_effective == 1
+    # explicit override beats the environment
+    both = exp.run(spec, jobs=1, coschedule=4, coschedule_min_units=0)
+    assert both.coschedule_effective == 4
+
+
+def test_clamped_run_is_byte_identical_to_forced_lane():
+    spec = campaign.sharded_spec(
+        missions=12, base_seed=5500, requests=6, cell_size=4
+    )
+    clamped = exp.run(spec, jobs=1, coschedule=8)
+    forced = exp.run(spec, jobs=1, coschedule=8, coschedule_min_units=0)
+    assert clamped.coschedule_effective == 1
+    assert forced.coschedule_effective == 8
+    assert _payload(clamped) == _payload(forced)

@@ -10,11 +10,14 @@ import hashlib
 import json
 import os
 import re
+import shutil
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -143,6 +146,34 @@ def test_scheduler_rebatches_orphans_in_dispatch_order():
     assert scheduler.unfinished() == 0
 
 
+def test_scheduler_acquire_nowait_never_blocks():
+    scheduler = distributed._BatchScheduler([["b0"], ["b1"]])
+    assert scheduler.acquire_nowait("w1") == (0, ["b0"])
+    assert scheduler.acquire_nowait("w1") == (1, ["b1"])
+    # nothing pending (both outstanding on w1): returns None immediately
+    # instead of blocking for an abandon that may never come
+    assert scheduler.acquire_nowait("w2") is None
+    scheduler.complete(0)
+    scheduler.complete(1)
+    assert scheduler.acquire_nowait("w1") is None
+    assert scheduler.unfinished() == 0
+
+
+def test_digest_frame_uses_rxd1_magic():
+    client, peer = _socket_pair()
+    try:
+        message = {"type": "digest", "id": 0,
+                   "cells": [["c0", "ab" * 6, "cd" * 16, 2]]}
+        distributed.send_msg(client, message,
+                             magic=distributed.DIGEST_MAGIC)
+        magic, received = distributed.recv_frame(peer)
+        assert magic == distributed.DIGEST_MAGIC
+        assert received == message
+    finally:
+        client.close()
+        peer.close()
+
+
 def test_scheduler_fail_wakes_blocked_acquirers():
     scheduler = distributed._BatchScheduler([["b0"]])
     assert scheduler.acquire("w1") == (0, ["b0"])
@@ -164,17 +195,28 @@ def test_scheduler_fail_wakes_blocked_acquirers():
 
 
 def _start_worker(*extra):
+    # every worker gets its own throwaway shadow store so tests never
+    # litter the repository root (or share state through the default)
+    shadow_dir = tempfile.mkdtemp(prefix="repro-shadow-")
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "worker",
-         "--listen", "127.0.0.1:0", *extra],
+         "--listen", "127.0.0.1:0", "--shadow", shadow_dir, *extra],
         env=env, stdout=subprocess.PIPE, text=True,
     )
+    process.shadow_dir = shadow_dir
     line = process.stdout.readline()
     match = re.search(r"listening on (\S+)", line)
     assert match, f"worker did not announce its address: {line!r}"
     return process, match.group(1)
+
+
+def _stop_worker(process):
+    if process.poll() is None:
+        process.terminate()
+    process.wait(timeout=10)
+    shutil.rmtree(process.shadow_dir, ignore_errors=True)
 
 
 @pytest.fixture
@@ -182,8 +224,7 @@ def two_workers():
     workers = [_start_worker() for _ in range(2)]
     yield [address for _proc, address in workers]
     for process, _address in workers:
-        process.terminate()
-        process.wait(timeout=10)
+        _stop_worker(process)
 
 
 def test_remote_campaign_matches_serial_including_store(tmp_path,
@@ -196,12 +237,75 @@ def test_remote_campaign_matches_serial_including_store(tmp_path,
     remote_store = exp.ResultStore(tmp_path / "remote")
     serial = exp.run(spec, jobs=1, backend="serial", store=serial_store)
     remote = exp.run(spec, batch=1, workers=two_workers, store=remote_store,
-                     coschedule=4)
+                     coschedule=4, coschedule_min_units=0)
     assert _dump(serial) == _dump(remote)
     assert remote.backend == "remote"
     serial_bytes = _store_bytes(tmp_path / "serial")
     assert serial_bytes == _store_bytes(tmp_path / "remote")
     assert serial_bytes
+    # digest-only return path: every cell acked by digest, and on the
+    # same host the shadow read spares even the reconciliation fetch
+    assert remote.cells_acked_digest == len(spec.trials)
+    assert remote.cells_shipped_full == 0
+    assert remote.wire_bytes_in > 0 and remote.wire_bytes_out > 0
+
+
+def test_units_wire_mode_is_byte_identical_too(tmp_path, two_workers):
+    from repro.eval import campaign
+
+    spec = campaign.sharded_spec(missions=8, base_seed=5010, requests=8,
+                                 cell_size=4)
+    serial_store = exp.ResultStore(tmp_path / "serial")
+    remote_store = exp.ResultStore(tmp_path / "remote")
+    serial = exp.run(spec, jobs=1, backend="serial", store=serial_store)
+    backend = distributed.RemoteBackend(two_workers, mode="units")
+    remote = exp.run(spec, batch=1, backend=backend, store=remote_store)
+    assert _dump(serial) == _dump(remote)
+    assert _store_bytes(tmp_path / "serial") == _store_bytes(
+        tmp_path / "remote")
+    # full values crossed the wire: no digest acks in units mode
+    assert remote.cells_shipped_full == len(spec.trials)
+    assert remote.cells_acked_digest == 0
+
+
+def test_digest_mode_fetch_fallback_without_shadow_reads(tmp_path,
+                                                         two_workers):
+    """With shadow reads disabled every missing cell's body must be
+    wire-fetched — and the store bytes still match serial exactly."""
+    from repro.eval import campaign
+
+    spec = campaign.sharded_spec(missions=8, base_seed=5020, requests=8,
+                                 cell_size=4)
+    serial_store = exp.ResultStore(tmp_path / "serial")
+    remote_store = exp.ResultStore(tmp_path / "remote")
+    serial = exp.run(spec, jobs=1, backend="serial", store=serial_store)
+    backend = distributed.RemoteBackend(two_workers, use_shadow=False)
+    remote = exp.run(spec, batch=1, backend=backend, store=remote_store)
+    assert _dump(serial) == _dump(remote)
+    assert _store_bytes(tmp_path / "serial") == _store_bytes(
+        tmp_path / "remote")
+    assert remote.cells_acked_digest == len(spec.trials)
+    assert remote.cells_shipped_full == len(spec.trials)  # all fetched
+
+
+def test_coordinator_store_hit_resolves_digest_without_fetch(tmp_path,
+                                                             two_workers):
+    """A cell the coordinator's store already holds never crosses the
+    wire twice: ``fresh=True`` re-dispatches every cell, but the digest
+    acks reconcile against the existing local bytes — even with shadow
+    reads disabled there is nothing to fetch."""
+    from repro.eval import campaign
+
+    spec = campaign.sharded_spec(missions=8, base_seed=5030, requests=8,
+                                 cell_size=4)
+    store = exp.ResultStore(tmp_path / "store")
+    exp.run(spec, jobs=1, backend="serial", store=store)
+    before = _store_bytes(tmp_path / "store")
+    backend = distributed.RemoteBackend(two_workers, use_shadow=False)
+    remote = exp.run(spec, batch=1, backend=backend, store=store, fresh=True)
+    assert _store_bytes(tmp_path / "store") == before
+    assert remote.cells_acked_digest == len(spec.trials)
+    assert remote.cells_shipped_full == 0  # every ack was a local hit
 
 
 def slow_echo_trial(seed, params):
@@ -236,9 +340,45 @@ def test_worker_crash_mid_campaign_rebatches_onto_survivor(tmp_path):
         assert remote.executed == spec.unit_count
     finally:
         for process in (mortal, survivor):
-            if process.poll() is None:
-                process.terminate()
-                process.wait(timeout=10)
+            _stop_worker(process)
+
+
+def test_worker_crash_after_persist_before_ack_does_not_duplicate(tmp_path):
+    """The shadow-store crash window: the mortal worker persists its
+    first fresh cell and dies *before* the digest ack leaves.  The
+    orphaned batch must be re-dispatched (the cell re-runs from the same
+    pure inputs, re-persisting identical bytes under the same
+    content-addressed name) and the final store must match serial
+    exactly — the cell appears once, never doubled."""
+    mortal, mortal_address = _start_worker("--crash-after-persist", "1")
+    survivor, survivor_address = _start_worker()
+    try:
+        spec = _echo_spec(cells=8, runs=2, name="echo-persist-crash",
+                          trial=slow_echo_trial)
+        serial_store = exp.ResultStore(tmp_path / "serial")
+        remote_store = exp.ResultStore(tmp_path / "remote")
+        serial = exp.run(spec, jobs=1, backend="serial", store=serial_store)
+        backend = distributed.RemoteBackend(
+            [mortal_address, survivor_address], batch_timeout=30.0
+        )
+        remote = exp.run(spec, batch=1, backend=backend, store=remote_store)
+        assert _dump(serial) == _dump(remote)
+        assert _store_bytes(tmp_path / "serial") == _store_bytes(
+            tmp_path / "remote"
+        )
+        # the mortal worker persisted its cell, then exited deliberately
+        assert mortal.wait(timeout=10) == 0
+        shadow_cells = [
+            p for p in Path(mortal.shadow_dir).rglob("*.json")
+            if p.name != "manifest.json"
+        ]
+        assert shadow_cells, "the crash hook fired before any persist"
+        # the coordinator saw every cell exactly once
+        assert remote.cells_acked_digest == len(spec.trials)
+        assert remote.executed == spec.unit_count
+    finally:
+        for process in (mortal, survivor):
+            _stop_worker(process)
 
 
 def test_all_workers_dead_raises_distributed_error():

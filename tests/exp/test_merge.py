@@ -1,0 +1,188 @@
+"""Multi-coordinator sharding: split, merge, and byte-identity.
+
+The load-bearing property: ``cell_hash`` covers the spec identity plus
+*that cell's* key/params/seeds — never its siblings — so sub-specs
+holding disjoint trial subsets write byte-identical cell files under the
+same content-addressed names, and the post-hoc partition merge is a
+conflict-free union whose result matches a single-coordinator serial
+run byte for byte.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import exp
+from repro.eval import campaign
+
+from tests.exp.test_distributed import _start_worker, _stop_worker
+
+
+def _store_bytes(root):
+    digests = {}
+    for path in sorted(Path(root).rglob("*.json")):
+        if path.name in ("manifest.json", "coordinator.json"):
+            continue
+        digests[str(path.relative_to(root))] = hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+    return digests
+
+
+def _campaign_spec(missions=16, seed=6000):
+    return campaign.sharded_spec(missions=missions, base_seed=seed,
+                                 requests=8, cell_size=4)
+
+
+# -- split_spec --------------------------------------------------------------
+
+
+def test_split_spec_preserves_cell_identity_and_covers_all_cells():
+    spec = _campaign_spec()
+    subs = exp.split_spec(spec, 3)
+    assert len(subs) == 3
+    seen = []
+    for sub in subs:
+        for trial in sub.trials:
+            # the whole trick: the sub-spec cell hash equals the parent's
+            assert exp.cell_hash(sub, trial) == exp.cell_hash(spec, trial)
+            seen.append(trial.key)
+    assert sorted(seen) == sorted(t.key for t in spec.trials)
+    assert len(seen) == len(set(seen))  # disjoint partitions
+
+
+def test_split_spec_clamps_to_cell_count():
+    spec = _campaign_spec(missions=8)  # 2 cells
+    subs = exp.split_spec(spec, 5)
+    assert len(subs) == 2
+    with pytest.raises(exp.ExperimentError):
+        exp.split_spec(spec, 0)
+
+
+def test_partition_roots_are_siblings_of_the_store_root(tmp_path):
+    roots = exp.partition_roots(str(tmp_path / "store"), 2)
+    assert [r.name for r in roots] == ["store.part0", "store.part1"]
+    assert all(r.parent == tmp_path for r in roots)
+
+
+# -- merge_stores ------------------------------------------------------------
+
+
+def test_merge_stores_unions_disjoint_partitions_byte_identically(tmp_path):
+    spec = _campaign_spec()
+    reference = exp.ResultStore(tmp_path / "reference")
+    exp.run(spec, jobs=1, backend="serial", store=reference)
+
+    subs = exp.split_spec(spec, 2)
+    parts = [exp.ResultStore(tmp_path / f"part{i}") for i in range(2)]
+    for sub, part in zip(subs, parts):
+        exp.run(sub, jobs=1, backend="serial", store=part)
+
+    merged = exp.ResultStore(tmp_path / "merged")
+    summary = exp.merge_stores(parts, merged)
+    assert summary["files_copied"] == len(spec.trials)
+    assert summary["files_identical"] == 0
+    assert summary["specs"] == [spec.name]
+    assert _store_bytes(tmp_path / "merged") == _store_bytes(
+        tmp_path / "reference")
+
+
+def test_merge_stores_tolerates_identical_overlap_and_rejects_conflicts(
+        tmp_path):
+    spec = _campaign_spec(missions=8)
+    part_a = exp.ResultStore(tmp_path / "a")
+    part_b = exp.ResultStore(tmp_path / "b")
+    exp.run(spec, jobs=1, backend="serial", store=part_a)
+    exp.run(spec, jobs=1, backend="serial", store=part_b)  # full overlap
+
+    merged = exp.ResultStore(tmp_path / "merged")
+    first = exp.merge_stores([part_a], merged)
+    again = exp.merge_stores([part_b], merged)
+    assert first["files_copied"] == len(spec.trials)
+    assert again["files_copied"] == 0
+    assert again["files_identical"] == len(spec.trials)
+
+    # corrupt one partition cell: the merge must refuse, not pick a side
+    victim = next(p for p in sorted((tmp_path / "b").rglob("*.json"))
+                  if p.name != "manifest.json")
+    victim.write_text(victim.read_text().replace("values", "valuez"))
+    with pytest.raises(exp.MergeConflict):
+        exp.merge_stores([part_b], merged)
+
+
+def test_merged_store_replay_is_a_pure_cache_hit(tmp_path):
+    spec = _campaign_spec(missions=8)
+    subs = exp.split_spec(spec, 2)
+    parts = [exp.ResultStore(tmp_path / f"part{i}") for i in range(2)]
+    for sub, part in zip(subs, parts):
+        exp.run(sub, jobs=1, backend="serial", store=part)
+    merged = exp.ResultStore(tmp_path / "merged")
+    exp.merge_stores(parts, merged)
+    replay = exp.run(spec, jobs=1, backend="serial", store=merged)
+    assert replay.cache_state == "full"
+    assert replay.executed == 0
+
+
+# -- run_multi_coordinator (live workers) ------------------------------------
+
+
+def test_multi_coordinator_store_is_byte_identical_to_serial(tmp_path):
+    workers = [_start_worker() for _ in range(2)]
+    addresses = [address for _proc, address in workers]
+    try:
+        spec = _campaign_spec(missions=16, seed=6100)
+        reference = exp.ResultStore(tmp_path / "reference")
+        serial = exp.run(spec, jobs=1, backend="serial", store=reference)
+
+        result, info = exp.run_multi_coordinator(
+            spec, addresses, store_root=str(tmp_path / "merged"),
+            coordinators=2, jobs=1,
+        )
+        assert info["coordinators"] == 2
+        assert info["workers"] == [1, 1]
+        assert info["merge"]["files_copied"] == len(spec.trials)
+        assert json.dumps(serial.results, sort_keys=True) == json.dumps(
+            result.results, sort_keys=True)
+        assert _store_bytes(tmp_path / "merged") == _store_bytes(
+            tmp_path / "reference")
+        # digest-only returns end to end, partitions cleaned up
+        assert result.cells_acked_digest == len(spec.trials)
+        assert result.backend == "remote"
+        assert not (tmp_path / "merged.part0").exists()
+        assert not (tmp_path / "merged.part1").exists()
+    finally:
+        for process, _address in workers:
+            _stop_worker(process)
+
+
+def test_multi_coordinator_keep_partitions(tmp_path):
+    workers = [_start_worker() for _ in range(2)]
+    addresses = [address for _proc, address in workers]
+    try:
+        spec = _campaign_spec(missions=8, seed=6200)
+        result, info = exp.run_multi_coordinator(
+            spec, addresses, store_root=str(tmp_path / "merged"),
+            coordinators=2, jobs=1, keep_partitions=True,
+        )
+        parts = [tmp_path / "merged.part0", tmp_path / "merged.part1"]
+        assert all(p.is_dir() for p in parts)
+        # each partition holds its coordinator's disjoint share
+        part_cells = [
+            {p.name for p in part.rglob("*.json")
+             if p.name not in ("manifest.json", "coordinator.json")}
+            for part in parts
+        ]
+        assert not (part_cells[0] & part_cells[1])
+        assert len(part_cells[0] | part_cells[1]) == len(spec.trials)
+        assert result.cache_state == "full"
+    finally:
+        for process, _address in workers:
+            _stop_worker(process)
+
+
+def test_multi_coordinator_requires_workers():
+    spec = _campaign_spec(missions=8)
+    with pytest.raises(exp.DistributedError, match="workers"):
+        exp.run_multi_coordinator(spec, [], store_root="unused")
