@@ -3,9 +3,10 @@
 Two cases, both written into ``BENCH_kernel.json`` (uploaded as a CI
 artifact next to ``BENCH_runner.json``):
 
-* **micro** — a zero-delay resume chain and a timed-event chain driven
-  through ``Simulator`` with the fast path on and off, reporting
-  events/sec for each lane (the ready deque vs the legacy single heap);
+* **micro** — a zero-delay resume chain, a timed-event chain and a
+  mass-timer workload (20k concurrent periodic timers — the regime where
+  the timer wheel engages) driven through ``Simulator`` with the fast
+  path on and off, reporting events/sec for each lane;
 * **campaign** — seeded missions of the statistical fault-injection
   campaign, measured along two axes: legacy kernel vs fast kernel, and
   fresh-built worlds vs arena-reused worlds (``REPRO_WORLD_REUSE``),
@@ -13,7 +14,10 @@ artifact next to ``BENCH_runner.json``):
   in ``COSCHEDULE_GRID`` — the configuration ``repro campaign
   --coschedule`` ships.  Before any number is reported, every reuse and
   co-scheduled result is asserted byte-identical to the fresh serial
-  reference.  Co-scheduled throughput is compared against the serial
+  reference, and one seeded mission is asserted trace-digest-identical
+  across all four (fast|legacy kernel) x (express|plain heartbeat)
+  combinations — the heartbeat express lane and the timer wheel are
+  optimisations, never semantics changes.  Co-scheduled throughput is compared against the serial
   lane with *paired* back-to-back runs (the ratio of adjacent runs
   cancels shared-hardware drift that inverts phase-sequential
   comparisons): at every grid size the best pair must reach >= 1.0x and
@@ -52,6 +56,7 @@ from repro.kernel import (
     world_arena_stats,
     world_reuse_enabled,
 )
+from repro.kernel import network as netmod
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -61,11 +66,24 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 #: host — the denominator of the recorded speedup.
 PR3_BASELINE_MISSIONS_PER_SEC = 49.78
 
+#: Missions/sec of the immediately preceding checkout (PR 9, before the
+#: timer wheel + heartbeat express lane) on the reuse-coscheduled co=8
+#: lane, measured interleaved run-for-run against this tree on the same
+#: host (best-of-8; this tree measured 105.0 in the same session).  The
+#: paired per-round ratios ranged 0.84-1.22 with median 1.06 — the
+#: fast-lane win at mission scale is real but modest, and smaller than
+#: one round's shared-hardware noise; absolute numbers for *identical*
+#: code swing +-20% on this host, so only interleaved pairs are valid.
+PREV_TREE_MISSIONS_PER_SEC = 95.45
+PREV_TREE_PAIRED_MEDIAN_RATIO = 1.06
+
 #: Soft guard: warn when co-scheduled throughput drops below this
 #: fraction of the previously recorded number.
 SOFT_GUARD_FRACTION = 0.8
 
 MICRO_EVENTS = 50_000
+MASS_TIMERS = 20_000
+MASS_TIMER_EVENTS = 200_000
 MISSIONS = int(os.environ.get("BENCH_KERNEL_MISSIONS", "64"))
 REQUESTS = 30
 COSCHEDULE = 8
@@ -113,6 +131,62 @@ def _timed_chain(fast_path):
     started = time.perf_counter()
     sim.run()
     return MICRO_EVENTS / max(time.perf_counter() - started, 1e-9)
+
+
+def _mass_timer_chain(fast_path):
+    """Events/sec with 20k concurrent periodic timers (wheel regime).
+
+    Missions keep a handful of timers pending, far below the wheel's
+    engage threshold; this case measures the load it exists for — a
+    standing mass of long-period timers (fleet-scale tickers), where
+    far-horizon inserts park in O(1) buckets and keep the hot heap
+    shallow.  Fast and legacy execute the identical event sequence.
+    """
+    sim = Simulator(seed=42, fast_path=fast_path)
+    rng = sim.random.substream("bench")
+    remaining = [MASS_TIMER_EVENTS]
+
+    def make(period):
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.call_later(period, tick)
+        return tick
+
+    for _ in range(MASS_TIMERS):
+        period = 40.0 + rng.random() * 260.0
+        sim.call_later(rng.random() * period, make(period))
+    started = time.perf_counter()
+    sim.run()
+    return MASS_TIMER_EVENTS / max(time.perf_counter() - started, 1e-9)
+
+
+def _heartbeat_parity_digests():
+    """One seeded mission's trace digest per (fast, express) combination.
+
+    The byte-identity gate for the control-plane fast lane: the timer
+    wheel (fast kernel) and the heartbeat express path must replay the
+    legacy kernel bit for bit — same event order, same RNG draws, same
+    fault drops — so all four digests must be one digest.
+    """
+    digests = {}
+    shipped_fast = Simulator.DEFAULT_FAST_PATH
+    try:
+        for fast in (True, False):
+            for express in (True, False):
+                netmod.set_beat_express(express)
+                Simulator.DEFAULT_FAST_PATH = fast
+                task = campaign.mission_task(5003, requests=REQUESTS)
+                run_solo(task)
+                key = (
+                    f"{'fast' if fast else 'legacy'}_"
+                    f"{'express' if express else 'plain'}"
+                )
+                digests[key] = task.world.trace.digest()
+    finally:
+        netmod.set_beat_express(True)
+        Simulator.DEFAULT_FAST_PATH = shipped_fast
+    return digests
 
 
 def _campaign_spec():
@@ -177,7 +251,18 @@ def test_bench_kernel_fast_path_and_coschedule(benchmark):
             lambda: _zero_delay_chain(False)),
         "timed_fast_events_per_sec": _best(lambda: _timed_chain(True)),
         "timed_legacy_events_per_sec": _best(lambda: _timed_chain(False)),
+        "mass_timer_fast_events_per_sec": _best(
+            lambda: _mass_timer_chain(True)),
+        "mass_timer_legacy_events_per_sec": _best(
+            lambda: _mass_timer_chain(False)),
     }
+
+    # -- byte-identity: (fast|legacy) x (express|plain) --------------------
+    parity_digests = _heartbeat_parity_digests()
+    assert len(set(parity_digests.values())) == 1, (
+        f"trace digests diverge across kernel/heartbeat combos: "
+        f"{parity_digests}"
+    )
 
     # -- campaign: (legacy|fast) x (fresh|reuse) x coschedule grid ---------
     # Configurations are interleaved within each round (not phase-by-
@@ -200,6 +285,7 @@ def test_bench_kernel_fast_path_and_coschedule(benchmark):
     clear_world_arena()
     reference = exp.run(_campaign_spec(), jobs=1)
     ref_json = json.dumps(reference.results, sort_keys=True)
+    events_by_source = dict(reference.events_by_source)
 
     def _assert_identical(result, label):
         assert json.dumps(result.results, sort_keys=True) == ref_json, (
@@ -281,12 +367,27 @@ def test_bench_kernel_fast_path_and_coschedule(benchmark):
             "missions, single process; micro numbers are kernel events/sec"
         ),
         "micro": {k: round(v, 1) for k, v in micro.items()},
+        "parity": {
+            "byte_identical": True,
+            "combos": sorted(parity_digests),
+            "trace_digest": next(iter(parity_digests.values())),
+        },
+        "events_by_source": events_by_source,
         "campaign": {
             "missions": MISSIONS,
             "requests": REQUESTS,
             "coschedule": COSCHEDULE,
             "coschedule_grid": list(COSCHEDULE_GRID),
             "pr3_baseline_missions_per_sec": PR3_BASELINE_MISSIONS_PER_SEC,
+            "prev_tree": {
+                "missions_per_sec": PREV_TREE_MISSIONS_PER_SEC,
+                "paired_median_ratio": PREV_TREE_PAIRED_MEDIAN_RATIO,
+                "note": (
+                    "PR 9 checkout, co=8 reuse lane, interleaved "
+                    "run-for-run on the same host (best-of-8 each side); "
+                    "ratio is the median of 8 back-to-back pairs"
+                ),
+            },
             "legacy_solo_missions_per_sec": round(legacy_solo, 2),
             "fast_solo_missions_per_sec": round(fresh_solo, 2),
             "fast_coscheduled_missions_per_sec": round(cosched_mps, 2),
@@ -320,7 +421,11 @@ def test_bench_kernel_fast_path_and_coschedule(benchmark):
         f"\nkernel: zero-delay {micro['zero_delay_fast_events_per_sec']:,.0f}"
         f" ev/s fast vs {micro['zero_delay_legacy_events_per_sec']:,.0f}"
         f" legacy; timed {micro['timed_fast_events_per_sec']:,.0f} vs "
-        f"{micro['timed_legacy_events_per_sec']:,.0f}\n"
+        f"{micro['timed_legacy_events_per_sec']:,.0f}; mass-timer "
+        f"{micro['mass_timer_fast_events_per_sec']:,.0f} vs "
+        f"{micro['mass_timer_legacy_events_per_sec']:,.0f}\n"
+        f"parity: 4-combo trace digest "
+        f"{report['parity']['trace_digest']}\n"
         f"campaign ({MISSIONS} missions): legacy {legacy_solo:.1f}/s, "
         f"fresh {fresh_solo:.1f}/s, reuse {reuse_solo:.1f}/s solo; "
         f"reuse serial {reuse_serial:.1f}/s vs coscheduled "

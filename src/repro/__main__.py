@@ -216,6 +216,12 @@ def _cmd_reproduce(args) -> int:
         f"trials simulated {total_executed} ({served})",
         file=out,
     )
+    if stats.events_by_source:
+        breakdown = ", ".join(
+            f"{source} {count}"
+            for source, count in sorted(stats.events_by_source.items())
+        )
+        print(f"[events] by source: {breakdown}", file=out)
     if args.json:
         print(json.dumps(
             {
@@ -227,6 +233,7 @@ def _cmd_reproduce(args) -> int:
                 "total_executed": total_executed,
                 "cells_cached": stats.cells_cached,
                 "cells_executed": stats.cells_executed,
+                "events_by_source": dict(stats.events_by_source),
                 "failures": failures,
                 "artifacts": summaries,
             },
@@ -495,6 +502,13 @@ def _cmd_profile(args) -> int:
     print(f"[{result.executed} trial(s) in {result.elapsed_s:.2f}s — "
           f"{result.executed / max(result.elapsed_s, 1e-9):.1f} units/s]",
           file=sys.stderr)
+    if result.events_by_source:
+        total = sum(result.events_by_source.values()) or 1
+        breakdown = ", ".join(
+            f"{source} {count} ({100.0 * count / total:.0f}%)"
+            for source, count in sorted(result.events_by_source.items())
+        )
+        print(f"[events by source: {breakdown}]", file=sys.stderr)
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0

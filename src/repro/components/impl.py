@@ -62,6 +62,14 @@ class NodeContext:
         """Charge CPU time on the host (``yield from ctx.compute(...)``)."""
         return self.node.compute(duration_ms)
 
+    def compute_charge(self, duration_ms: float):
+        """Flat form of :meth:`compute` — ``yield ctx.compute_charge(...)``.
+
+        Same accounting and wait instants, no generator frame per
+        computation; the request hot path uses this.
+        """
+        return self.node.compute_charge(duration_ms)
+
 
 class ComponentImpl:
     """Base class for component implementations.

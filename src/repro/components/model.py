@@ -157,6 +157,10 @@ class Component:
         self._quiescent: Optional[Event] = None
         self._pending_start: List[Event] = []
         self.invocation_count = 0
+        # (service, operation) -> resolved operation callable.  Services
+        # are materialised once at deployment and a redeployment builds a
+        # fresh Component, so resolved targets never go stale.
+        self._dispatch: Dict[Any, Any] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Component {self.name} {self.state.value}>"
@@ -267,12 +271,17 @@ class Component:
             self._pending_start.append(gate)
             yield gate
 
+        key = (service, operation)
         try:
-            # inlined self.service(service).operation(operation): the
-            # invocation path runs once per service call in every mission
-            target = self.services[service].operations[operation]
+            target = self._dispatch[key]
         except KeyError:
-            target = self.service(service).operation(operation)  # precise error
+            try:
+                # inlined self.service(service).operation(operation): the
+                # invocation path runs once per service call in every mission
+                target = self.services[service].operations[operation]
+            except KeyError:
+                target = self.service(service).operation(operation)  # precise error
+            self._dispatch[key] = target
         self._in_flight += 1
         self.invocation_count += 1
         try:

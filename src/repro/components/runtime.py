@@ -67,7 +67,7 @@ class ComponentRuntime:
     # -- cost charging helper -------------------------------------------------
 
     def _charge(self, cost: float) -> Generator:
-        yield from self.node.compute(cost)
+        yield self.node.compute_charge(cost)
 
     def _on_node_crash(self) -> None:
         """Volatile middleware state is lost with the node."""

@@ -107,7 +107,7 @@ class Repository:
         while True:
             message = yield mailbox.get()
             request: PackageChunkRequest = message.payload
-            yield from node.compute(costs.package_serve_chunk)
+            yield node.compute_charge(costs.package_serve_chunk)
             try:
                 package = self.transition_package(*request.package_key)
             except Exception as exc:  # noqa: BLE001 - reported to the fetcher

@@ -67,6 +67,7 @@ from repro.exp.errors import ExperimentError, ResultTypeError, SpecError
 from repro.exp.spec import ExperimentSpec, spec_hash
 from repro.exp.store import ResultStore
 from repro.kernel.coschedule import WorldPool, dissolve_tasks
+from repro.kernel.sim import credit_event_attribution, take_event_attribution
 
 #: Legacy process-wide mirror of trials executed (cache hits do not
 #: count).  Kept for the CLI/store tests that predate
@@ -112,6 +113,20 @@ class ExecutionStats:
     cells_acked_digest: int = 0
     wire_bytes_in: int = 0
     wire_bytes_out: int = 0
+    events_by_source: Dict[str, int] = field(default_factory=dict)
+
+    def record_event_sources(self, sources: Dict[str, int]) -> None:
+        """Accumulate the kernel's per-subsystem event attribution.
+
+        Counters come from worlds released in this process plus the
+        per-batch deltas local pool workers ship back with their
+        results; the ``remote`` backend does not carry attribution over
+        the wire, so remote runs report zeros (a documented limitation,
+        like the wire counters being remote-only).
+        """
+        acc = self.events_by_source
+        for key, value in sources.items():
+            acc[key] = acc.get(key, 0) + value
 
     def record_cached_cells(self, count: int) -> None:
         """Count ``count`` cells served verbatim from the result store."""
@@ -178,6 +193,7 @@ class ExperimentResult:
     cells_acked_digest: int = 0
     wire_bytes_in: int = 0
     wire_bytes_out: int = 0
+    events_by_source: Dict[str, int] = field(default_factory=dict)
 
     def cell(self, key: str) -> Any:
         """Per-run results (or reduced summary) of one cell."""
@@ -202,6 +218,7 @@ class ExperimentResult:
             "backend": self.backend,
             "wire_bytes_in": self.wire_bytes_in,
             "wire_bytes_out": self.wire_bytes_out,
+            "events_by_source": dict(self.events_by_source),
             "elapsed_s": round(self.elapsed_s, 6),
         }
 
@@ -349,11 +366,21 @@ def run_unit_batch(
             gc.enable()
 
 
-def _execute_pool_task(task: _PoolTask) -> List[Tuple[int, Any]]:
-    """Run one batch in a pool worker, resolving the cached context."""
+def _execute_pool_task(
+    task: _PoolTask,
+) -> Tuple[List[Tuple[int, Any]], Dict[str, int]]:
+    """Run one batch in a pool worker, resolving the cached context.
+
+    Returns the labelled results plus the batch's event-source counters:
+    attribution accumulates per process, so the worker must ship its
+    delta back for the coordinating process to fold in — otherwise
+    ``jobs>1`` runs would report zero events by source.
+    """
     key, units = task
     trial_fn, cotrial_fn = _resolve_context(key)
-    return run_unit_batch(trial_fn, cotrial_fn, key[2], units)
+    take_event_attribution()  # scope the counters to this batch
+    results = run_unit_batch(trial_fn, cotrial_fn, key[2], units)
+    return results, take_event_attribution()
 
 
 def _normalise(value: Any, spec_name: str) -> Any:
@@ -568,7 +595,10 @@ class LocalPoolBackend(ExecutorBackend):
         plan.stats.record_batches(len(tasks))
         pool = local_pool(plan.worker_count, context_key=key)
         try:
-            for batch_results in pool.imap_unordered(_execute_pool_task, tasks):
+            for batch_results, sources in pool.imap_unordered(
+                _execute_pool_task, tasks
+            ):
+                credit_event_attribution(sources)
                 yield from batch_results
         except BaseException:
             # in-flight tasks of the abandoned iterator would keep
@@ -767,7 +797,9 @@ def run(
     digest_before = stats.cells_acked_digest
     wire_in_before, wire_out_before = stats.wire_bytes_in, stats.wire_bytes_out
     started = time.perf_counter()
+    event_sources: Dict[str, int] = {}
     if units:
+        take_event_attribution()  # scope the kernel counters to this run
         size = (default_batch(len(units), worker_count)
                 if batch is None else max(1, int(batch)))
         if effective_width > size:
@@ -788,6 +820,8 @@ def run(
         finally:
             if owned:
                 executor.close()
+            event_sources = take_event_attribution()
+            stats.record_event_sources(event_sources)
     elapsed = time.perf_counter() - started if units else 0.0
 
     missing = [trial.key for trial in spec.trials
@@ -831,4 +865,5 @@ def run(
         cells_acked_digest=stats.cells_acked_digest - digest_before,
         wire_bytes_in=stats.wire_bytes_in - wire_in_before,
         wire_bytes_out=stats.wire_bytes_out - wire_out_before,
+        events_by_source=event_sources,
     )

@@ -45,10 +45,10 @@ class RedundantProceed(ComponentImpl):
         snapshot = yield from server.invoke("capture")
 
         first = yield from server.invoke("execute", request.payload)
-        yield from self.ctx.compute(self.ctx.costs.result_compare)
+        yield self.ctx.compute_charge(self.ctx.costs.result_compare)
         yield from server.invoke("restore", snapshot)
         second = yield from server.invoke("execute", request.payload)
-        yield from self.ctx.compute(self.ctx.costs.result_compare)
+        yield self.ctx.compute_charge(self.ctx.costs.result_compare)
         if first == second:
             return first
 
@@ -60,7 +60,7 @@ class RedundantProceed(ComponentImpl):
         )
         yield from server.invoke("restore", snapshot)
         third = yield from server.invoke("execute", request.payload)
-        yield from self.ctx.compute(self.ctx.costs.result_compare)
+        yield self.ctx.compute_charge(self.ctx.costs.result_compare)
         if third == first or third == second:
             self.ctx.trace.record(
                 "ftm",

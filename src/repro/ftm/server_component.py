@@ -35,7 +35,7 @@ class AppServer(ComponentImpl):
 
     def execute(self, payload: Any) -> Any:
         """Process one request payload (charges CPU; may be fault-injected)."""
-        yield from self.ctx.compute(self.info.processing_cost_ms)
+        yield self.ctx.compute_charge(self.info.processing_cost_ms)
         result = self.application.process(payload)
         return self.ctx.faults.filter_value(self.ctx.node.name, result)
 
@@ -46,7 +46,7 @@ class AppServer(ComponentImpl):
                 f"application {self.info.name!r} does not provide state access"
             )
         # checkpointing is storage-bound: a limping disk stretches it
-        yield from self.ctx.compute(
+        yield self.ctx.compute_charge(
             self.ctx.costs.checkpoint_capture / self.ctx.node.disk_speed
         )
         return self.application.capture_state()
@@ -57,7 +57,7 @@ class AppServer(ComponentImpl):
             raise FTMError(
                 f"application {self.info.name!r} does not provide state access"
             )
-        yield from self.ctx.compute(
+        yield self.ctx.compute_charge(
             self.ctx.costs.checkpoint_apply / self.ctx.node.disk_speed
         )
         self.application.restore_state(snapshot)

@@ -174,7 +174,7 @@ class _AssertingMixin:
     def _assert_and_recover(
         self, request: ClientRequest, result: Any, info: dict
     ):
-        yield from self.ctx.compute(self.ctx.costs.assertion_check)
+        yield self.ctx.compute_charge(self.ctx.costs.assertion_check)
         if self._check(request, result):
             return result
 
@@ -200,7 +200,7 @@ class _AssertingMixin:
                 return recovered["result"]
         # master-alone (or the peer also failed): local re-execution
         retry = yield from self.ref("exec").invoke("execute", request, info)
-        yield from self.ctx.compute(self.ctx.costs.assertion_check)
+        yield self.ctx.compute_charge(self.ctx.costs.assertion_check)
         if self._check(request, retry):
             return retry
         raise UnmaskedFault(

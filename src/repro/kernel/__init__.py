@@ -46,7 +46,14 @@ from repro.kernel.coschedule import (
     world_arena_stats,
     world_reuse_enabled,
 )
-from repro.kernel.network import Link, Message, Network
+from repro.kernel.network import (
+    BeatLane,
+    Link,
+    Message,
+    Network,
+    beat_express_enabled,
+    set_beat_express,
+)
 from repro.kernel.node import Cluster, Node, NodeState
 from repro.kernel.rand import DeterministicRandom
 from repro.kernel.sim import (
@@ -57,6 +64,8 @@ from repro.kernel.sim import (
     Simulator,
     Timeout,
     all_of,
+    harvest_event_attribution,
+    take_event_attribution,
 )
 from repro.kernel.storage import LogEntry, StableStorage
 from repro.kernel.trace import Trace, TraceRecord
@@ -78,9 +87,12 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "bit_flip",
+    "BeatLane",
     "Link",
     "Message",
     "Network",
+    "beat_express_enabled",
+    "set_beat_express",
     "Cluster",
     "Node",
     "NodeState",
@@ -92,6 +104,8 @@ __all__ = [
     "Simulator",
     "Timeout",
     "all_of",
+    "harvest_event_attribution",
+    "take_event_attribution",
     "LogEntry",
     "StableStorage",
     "Trace",

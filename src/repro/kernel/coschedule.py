@@ -38,6 +38,7 @@ from typing import (
 )
 
 from repro.kernel.errors import SimulationError
+from repro.kernel.sim import harvest_event_attribution
 from repro.kernel.world import World, WorldSnapshot
 
 #: A scenario is either a ready generator or a callable ``world -> gen``
@@ -140,7 +141,14 @@ def lease_world(key: str, seed: int,
 
 
 def release_world(world: World) -> None:
-    """Hand a leased world back to its arena (no-op otherwise; idempotent)."""
+    """Hand a leased world back to its arena (no-op otherwise; idempotent).
+
+    This is also the chokepoint where the world's per-run event
+    attribution counters are folded into the process-wide accumulator —
+    every solo and co-scheduled mission drains through here, leased or
+    fresh.
+    """
+    harvest_event_attribution(world.sim)
     lease = world.__dict__.pop("_arena_lease", None)
     if lease is not None and _REUSE_ENABLED:
         arena, key, snapshot = lease

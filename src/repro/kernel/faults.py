@@ -197,6 +197,12 @@ class FaultInjector:
 
     # -- crash faults -------------------------------------------------------------
 
+    def _schedule_fault(self, delay: float, fire) -> None:
+        """Schedule an injector callback, attributed to the fault bucket
+        of ``Simulator.events_by_source``."""
+        self.sim._ev_fault += 1
+        self.sim.schedule(delay, fire)
+
     def schedule_crash(self, node, at: float, restart_after: Optional[float] = None):
         """Crash ``node`` at absolute time ``at`` (optionally restart later)."""
 
@@ -208,7 +214,7 @@ class FaultInjector:
                 node.schedule_restart(restart_after)
 
         delay = max(0.0, at - self.sim.now)
-        self.sim.schedule(delay, fire)
+        self._schedule_fault(delay, fire)
 
     # -- node churn ----------------------------------------------------------------
     #
@@ -228,7 +234,7 @@ class FaultInjector:
             self.trace.record("fault", "node_down", node=node.name)
             node.crash()
 
-        self.sim.schedule(max(0.0, at - self.sim.now), fire)
+        self._schedule_fault(max(0.0, at - self.sim.now), fire)
 
     def schedule_node_up(self, node, at: float) -> None:
         """Bring ``node`` back up at absolute time ``at`` (idempotent)."""
@@ -240,7 +246,7 @@ class FaultInjector:
             self.trace.record("fault", "node_up", node=node.name)
             node.restart()
 
-        self.sim.schedule(max(0.0, at - self.sim.now), fire)
+        self._schedule_fault(max(0.0, at - self.sim.now), fire)
 
     # -- slow (gray) faults ---------------------------------------------------------
     #
@@ -337,7 +343,7 @@ class FaultInjector:
         def fire_apply() -> None:
             state["revert"] = self.apply_slow(node, resource, factor)
 
-        self.sim.schedule(max(0.0, start - self.sim.now), fire_apply)
+        self._schedule_fault(max(0.0, start - self.sim.now), fire_apply)
         if duration is not None:
 
             def fire_revert() -> None:
@@ -345,7 +351,7 @@ class FaultInjector:
                     state["revert"]()
                     state["revert"] = None
 
-            self.sim.schedule(
+            self._schedule_fault(
                 max(0.0, start + duration - self.sim.now), fire_revert
             )
         self.trace.record(
@@ -378,7 +384,7 @@ class FaultInjector:
                 node=node.name, resource=resource, factor=factor,
             )
 
-        self.sim.schedule(max(0.0, at - self.sim.now), fire)
+        self._schedule_fault(max(0.0, at - self.sim.now), fire)
         self.arm_slow(node, resource, factor, start=at, duration=duration)
 
     # -- value faults -----------------------------------------------------------------

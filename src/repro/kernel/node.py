@@ -9,11 +9,12 @@ volatile state is lost; only :mod:`repro.kernel.storage` survives).
 from __future__ import annotations
 
 import enum
+import heapq
 from typing import Callable, Generator, List, Optional
 
 from repro.kernel.costs import CostModel, DEFAULT_COSTS
 from repro.kernel.errors import NodeDown
-from repro.kernel.sim import Process, Simulator, Timeout
+from repro.kernel.sim import _WHEEL_ENGAGE, Process, Simulator, Timeout
 from repro.kernel.trace import Trace
 
 
@@ -37,13 +38,20 @@ class Ticker:
     fires as a no-op.
     """
 
-    __slots__ = ("sim", "period", "fn", "_killed")
+    __slots__ = ("sim", "period", "fn", "_killed", "_heartbeat")
 
-    def __init__(self, sim: Simulator, period: float, fn: Callable[[], None]):
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], None],
+        heartbeat: bool = False,
+    ):
         self.sim = sim
         self.period = period
         self.fn = fn
         self._killed = False
+        self._heartbeat = heartbeat
 
     @property
     def alive(self) -> bool:
@@ -56,9 +64,23 @@ class Ticker:
     def _tick(self) -> None:
         if self._killed:
             return
+        sim = self.sim
+        if self._heartbeat:
+            sim._ev_heartbeat += 1
+        else:
+            sim._ev_timer += 1
         self.fn()
         if not self._killed:  # fn may have killed us
-            self.sim.call_later(self.period, self._tick)
+            # sim.call_later(self.period, self._tick) inlined: the re-arm
+            # runs once per tick on the busiest periodic loops
+            sim._seq += 1
+            if sim.fast_path and len(sim._queue) >= _WHEEL_ENGAGE:
+                sim._wheel_insert(sim.now + self.period, None, self._tick, ())
+            else:
+                heapq.heappush(
+                    sim._queue,
+                    (sim.now + self.period, sim._seq, None, self._tick, ()),
+                )
 
 
 class Node:
@@ -144,16 +166,20 @@ class Node:
         self.processes.append(process)
         return process
 
-    def every(self, period: float, fn: Callable[[], None]) -> Ticker:
+    def every(
+        self, period: float, fn: Callable[[], None], heartbeat: bool = False
+    ) -> Ticker:
         """Run ``fn()`` now and then every ``period`` ms until killed.
 
         Equivalent to spawning ``while True: fn(); yield Timeout(period)``
         — first call at the current instant via the zero-delay lane, one
         timed event per tick thereafter — minus the per-tick generator
         resume.  Killed when the node crashes, like any spawned process.
+        ``heartbeat=True`` attributes the ticks to the heartbeat bucket
+        of ``Simulator.events_by_source`` instead of the timer bucket.
         """
         self.check_up("every")
-        ticker = Ticker(self.sim, period, fn)
+        ticker = Ticker(self.sim, period, fn, heartbeat)
         self.processes.append(ticker)
         self.sim.post(ticker._tick)
         return ticker
@@ -163,10 +189,15 @@ class Node:
 
     # -- computation ----------------------------------------------------------
 
-    def compute(self, duration_ms: float, jitter: bool = True) -> Generator:
-        """Charge ``duration_ms`` of CPU time (scaled by the node's speed).
+    def compute_charge(self, duration_ms: float, jitter: bool = True) -> Timeout:
+        """Charge ``duration_ms`` of CPU time and return the wait.
 
-        Usage inside a process: ``yield from node.compute(5.0)``.
+        The flat form of :meth:`compute` for hot paths: ``yield
+        node.compute_charge(5.0)`` does the same accounting and the same
+        single wait without allocating and driving a generator frame per
+        computation.  The accounting happens when the expression is
+        evaluated — the same instant a ``yield from node.compute(...)``
+        would run the generator body.
         """
         self.check_up("compute")
         effective = duration_ms / self.cpu_speed
@@ -174,7 +205,14 @@ class Node:
             effective = self._rand.jitter(effective, self.costs.jitter_fraction)
         self.busy_ms += effective
         self.energy += effective * self.costs.energy_per_ms_busy
-        yield Timeout(effective)
+        return Timeout(effective)
+
+    def compute(self, duration_ms: float, jitter: bool = True) -> Generator:
+        """Charge ``duration_ms`` of CPU time (scaled by the node's speed).
+
+        Usage inside a process: ``yield from node.compute(5.0)``.
+        """
+        yield self.compute_charge(duration_ms, jitter)
 
     def charge_energy_for_send(self, size: int) -> None:
         """Account the energy and byte cost of one outgoing message."""

@@ -25,13 +25,18 @@ Time is virtual: the simulator jumps from event to event, so a simulated
 second costs microseconds of wall time, and two runs with the same seed
 produce byte-identical traces.
 
-The event loop has **two lanes**.  Timed events (``delay > 0``) live in a
-binary heap ordered by ``(time, seq)``.  Zero-delay events — process
+The event loop has **three lanes**.  Zero-delay events — process
 resumes, channel handoffs, join delivery, i.e. the overwhelming majority
 of traffic in protocol-heavy workloads — bypass the heap entirely and go
 through a FIFO *ready deque*, which costs an append/popleft instead of a
-``log n`` sift plus tuple comparisons.  Because every ready entry carries
-the global sequence number, the two lanes replay exactly the single-heap
+``log n`` sift plus tuple comparisons.  Short-horizon timed events
+(heartbeat periods, message delivery delays, request timeouts) rotate
+through a **timer wheel**: fixed-granularity buckets indexed by arrival
+time, so the dominant timed traffic costs a push into a tiny per-bucket
+heap instead of a sift through one big global heap.  Everything beyond
+the wheel's span overflows to the classic binary heap ordered by
+``(time, seq)``.  Because every entry in every lane carries the global
+sequence number, the three lanes replay exactly the single-heap
 ``(time, seq)`` order: the fast path is an optimisation, never a
 semantics change (``Simulator(fast_path=False)`` forces everything
 through the heap to prove it).
@@ -41,7 +46,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Generator, Iterator, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional
 
 from repro.kernel.errors import (
     ProcessInterrupted,
@@ -106,6 +111,46 @@ class Handle:
 #: (compacting a tiny heap costs more than carrying the garbage).
 _COMPACT_MIN_DEAD = 64
 
+#: Timer-wheel geometry (fast path only).  Timed events landing within
+#: ``_WHEEL_SLOTS * _WHEEL_GRANULARITY`` time units of the wheel base go
+#: into fixed-granularity buckets; anything further out overflows to the
+#: global binary heap.  The granularity is a power of two so ``offset *
+#: _WHEEL_INV_GRAN`` is exact float arithmetic — slot indexing can never
+#: disagree with the comparison-based ordering.  Future buckets are
+#: *unsorted* append-only lists (insert is one C-speed ``list.append``,
+#: cheaper than a heap sift); a bucket is Timsort-ed exactly once, when
+#: consumption reaches it, and then drained through an index.  Inserts
+#: targeting the bucket currently being consumed ride the overflow heap
+#: instead (the merge already orders heap entries against the wheel), so
+#: a sorted bucket is never mutated mid-drain.  512 x 4 spans 2048
+#: units; rarer longer-horizon timers (mission drain tails) overflow to
+#: the binary heap as well.
+_WHEEL_SLOTS = 512
+_WHEEL_GRANULARITY = 4.0
+_WHEEL_INV_GRAN = 0.25
+_WHEEL_SPAN = _WHEEL_SLOTS * _WHEEL_GRANULARITY
+
+#: Far-horizon inserts divert to wheel buckets only while the overflow
+#: heap is at least this deep, which makes the wheel a *parking
+#: structure*: the heap self-regulates around the threshold (below it,
+#: inserts deepen the heap; at it, they park in buckets), so hot
+#: re-arm/pop traffic always works against a bounded-depth heap while
+#: the standing mass waits in O(1) append buckets.  C ``heapq`` is hard
+#: to beat from interpreted code — measured on mass-timer workloads the
+#: parking only pays off once tens of thousands of entries are pending,
+#: and a 3-node mission keeps ~6 timers pending — so the threshold is
+#: set where realistic worlds (missions, fleets of hundreds of tickers)
+#: never pay wheel bookkeeping at all.
+_WHEEL_ENGAGE = 4096
+
+#: Entries landing within this horizon ride the binary heap even when
+#: the wheel is engaged: at short horizons the heap stays shallow (it
+#: drains as fast as it fills) and one C heappush beats wheel slot
+#: bookkeeping — while far-out timers, which would otherwise churn the
+#: heap for a long time, take the O(1) bucket append.  Two bucket
+#: widths keeps near inserts out of the bucket being consumed.
+_WHEEL_NEAR = 2.0 * _WHEEL_GRANULARITY
+
 #: Upper bound on recycled :class:`Process` shells kept by a simulator.
 #: A mission spawns a few dozen processes; the cap only guards against a
 #: pathological workload flooding the free list.
@@ -130,8 +175,42 @@ class Simulator:
         self.fast_path = (
             self.DEFAULT_FAST_PATH if fast_path is None else fast_path
         )
+        # timer wheel: _wheel_base is the start time of the cursor's
+        # bucket; it advances past empty buckets during peeks and may
+        # run ahead of ``now`` (inserts landing behind it divert to the
+        # overflow heap via the near-horizon rule).  Future buckets are
+        # *unsorted*
+        # append-only lists — O(1) insert at C speed; a bucket is sorted
+        # exactly once, when consumption reaches it (_wheel_sorted is
+        # that slot, _wheel_idx the consumption index into it).
+        # _wheel_next memoises the earliest wheel entry as ``(entry,
+        # slot)`` so the merge in step()/advance() does not rescan
+        # buckets per event; when it is non-None it always points at
+        # ``bucket[_wheel_idx]`` of the sorted slot.
+        self._wheel: List[List] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._wheel_count = 0
+        self._wheel_base = 0.0
+        self._wheel_cursor = 0
+        self._wheel_sorted = -1
+        self._wheel_idx = 0
+        self._wheel_next: Optional[tuple] = None
+        # per-run event attribution (see ``events_by_source``)
+        self._ev_heartbeat = 0
+        self._ev_timer = 0
+        self._ev_request = 0
+        self._ev_fault = 0
         self.processes: List["Process"] = []
         self._process_arena: List["Process"] = []
+
+    @property
+    def events_by_source(self) -> Dict[str, int]:
+        """Scheduled-event attribution by producing subsystem (this run)."""
+        return {
+            "heartbeat": self._ev_heartbeat,
+            "timer": self._ev_timer,
+            "request": self._ev_request,
+            "fault": self._ev_fault,
+        }
 
     # -- scheduling --------------------------------------------------------
 
@@ -139,16 +218,85 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` time units; returns a Handle."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
         if delay == 0.0 and self.fast_path:
+            self._seq += 1
             handle = Handle()
             self._ready.append((self._seq, handle, fn, args))
         else:
             handle = Handle(self)
-            heapq.heappush(
-                self._queue, (self.now + delay, self._seq, handle, fn, args)
-            )
+            self._seq += 1
+            if self.fast_path and len(self._queue) >= _WHEEL_ENGAGE:
+                self._wheel_insert(self.now + delay, handle, fn, args)
+            else:
+                heapq.heappush(
+                    self._queue,
+                    (self.now + delay, self._seq, handle, fn, args),
+                )
         return handle
+
+    def _schedule_timed(
+        self, time: float, handle: Optional[Handle], fn: Callable, args: tuple
+    ) -> None:
+        """Insert one timed entry: the overflow heap while the timed
+        population is small, wheel buckets once it crosses the engage
+        threshold (fast path only)."""
+        self._seq += 1
+        if self.fast_path and len(self._queue) >= _WHEEL_ENGAGE:
+            self._wheel_insert(time, handle, fn, args)
+        else:
+            heapq.heappush(self._queue, (time, self._seq, handle, fn, args))
+
+    def _wheel_insert(
+        self, time: float, handle: Optional[Handle], fn: Callable, args: tuple
+    ) -> None:
+        """Bucket one engaged timed entry (sequence already assigned).
+
+        The engaged-path tail of :meth:`_schedule_timed`, shared by the
+        call sites that inline the cheap disengaged branch.  Entries
+        beyond the span window still overflow to the heap.
+        """
+        offset = time - self._wheel_base
+        if offset < _WHEEL_NEAR:
+            # near-horizon entries (and times behind an advanced anchor)
+            # ride the binary heap: they drain as fast as they fill, so
+            # the heap stays shallow and one C heappush beats the wheel
+            # bookkeeping they would immediately pay back out of
+            heapq.heappush(self._queue, (time, self._seq, handle, fn, args))
+            return
+        if offset >= _WHEEL_SPAN:
+            if self._wheel_count:
+                heapq.heappush(
+                    self._queue, (time, self._seq, handle, fn, args)
+                )
+                return
+            # empty wheel: re-anchor the base at the current instant so
+            # the span window tracks the simulation clock
+            self._wheel_base = self.now
+            self._wheel_cursor = 0
+            offset = time - self.now
+            if offset >= _WHEEL_SPAN:
+                heapq.heappush(
+                    self._queue, (time, self._seq, handle, fn, args)
+                )
+                return
+        slot = self._wheel_cursor + int(offset * _WHEEL_INV_GRAN)
+        if slot >= _WHEEL_SLOTS:
+            slot -= _WHEEL_SLOTS
+        entry = (time, self._seq, handle, fn, args)
+        if slot == self._wheel_sorted:
+            # latecomer into the bucket currently being consumed: ride
+            # the overflow heap — the event merge already orders heap
+            # entries against the wheel, and a heap push beats a
+            # memmove-insert into the middle of a large sorted bucket
+            heapq.heappush(self._queue, entry)
+            return
+        self._wheel_count += 1
+        self._wheel[slot].append(entry)
+        nxt = self._wheel_next
+        if nxt is not None and entry < nxt[0]:
+            # new global minimum in a not-yet-sorted bucket: drop the
+            # memo; the next peek sorts that bucket and switches to it
+            self._wheel_next = None
 
     def post(self, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at the current time; no cancellation handle.
@@ -173,13 +321,20 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
         if delay == 0.0 and self.fast_path:
+            self._seq += 1
             self._ready.append((self._seq, None, fn, args))
         else:
-            heapq.heappush(
-                self._queue, (self.now + delay, self._seq, None, fn, args)
-            )
+            # _schedule_timed inlined: delivery timers are the hottest
+            # timed insert in the kernel
+            self._seq += 1
+            if self.fast_path and len(self._queue) >= _WHEEL_ENGAGE:
+                self._wheel_insert(self.now + delay, None, fn, args)
+            else:
+                heapq.heappush(
+                    self._queue,
+                    (self.now + delay, self._seq, None, fn, args),
+                )
 
     def spawn(self, gen: Generator, name: str = "proc") -> "Process":
         """Wrap a generator into a Process and start it at the current time.
@@ -198,8 +353,68 @@ class Simulator:
         self.post(process._resume_cb, None, None)
         return process
 
+    # -- timer wheel -------------------------------------------------------
+
+    def _wheel_peek(self) -> Optional[tuple]:
+        """Memoise and return ``(entry, slot)`` for the earliest live
+        wheel entry, pruning cancelled heads along the way.
+
+        Scans at most one rotation starting at the cursor *without*
+        moving the cursor or base: bucket windows increase in scan order
+        from the cursor, so the first non-empty bucket holds the global
+        wheel minimum.  That bucket is sorted here (once — later inserts
+        targeting it divert to the overflow heap) and consumed in place
+        through ``_wheel_idx``; when consumption switches to a different
+        bucket, the old one's consumed prefix is deleted first so the
+        list holds only unexecuted entries again.  The anchor advances
+        past runs of empty buckets so repeated peeks never re-walk the
+        consumed region of the wheel.
+        """
+        self._wheel_next = None  # never left stale if nothing live is found
+        wheel = self._wheel
+        slot = self._wheel_cursor
+        for passed in range(_WHEEL_SLOTS):
+            bucket = wheel[slot]
+            if bucket:
+                if passed:
+                    # every bucket between the cursor and here is empty:
+                    # advance the anchor so future scans (and the span
+                    # window) start at this slot instead of re-walking
+                    # the consumed region of the wheel
+                    self._wheel_cursor = slot
+                    self._wheel_base += passed * _WHEEL_GRANULARITY
+                if slot != self._wheel_sorted:
+                    prev = self._wheel_sorted
+                    if prev >= 0 and self._wheel_idx:
+                        pbucket = wheel[prev]
+                        if pbucket:
+                            del pbucket[: self._wheel_idx]
+                    self._wheel_sorted = slot
+                    self._wheel_idx = 0
+                    bucket.sort()
+                idx = self._wheel_idx
+                length = len(bucket)
+                while idx < length:
+                    head = bucket[idx]
+                    handle = head[2]
+                    if handle is not None and handle._cancelled:
+                        idx += 1
+                        self._wheel_count -= 1
+                        self._dead -= 1
+                        continue
+                    self._wheel_idx = idx
+                    found = (head, slot)
+                    self._wheel_next = found
+                    return found
+                bucket.clear()  # everything in it was cancelled
+                self._wheel_idx = 0
+            slot += 1
+            if slot == _WHEEL_SLOTS:
+                slot = 0
+        return None
+
     def drain(self) -> None:
-        """Kill every process and drop both event lanes (idempotent).
+        """Kill every process and drop all event lanes (idempotent).
 
         Live generators close (``finally`` blocks run), then the
         terminated shells are parked on the free list for :meth:`spawn`
@@ -212,6 +427,16 @@ class Simulator:
             process.kill()
         self._ready.clear()
         self._queue.clear()
+        if self._wheel_count:
+            for bucket in self._wheel:
+                if bucket:
+                    bucket.clear()
+            self._wheel_count = 0
+        self._wheel_next = None
+        self._wheel_base = self.now
+        self._wheel_cursor = 0
+        self._wheel_sorted = -1
+        self._wheel_idx = 0
         self._dead = 0
         arena = self._process_arena
         for process in self.processes:
@@ -229,44 +454,86 @@ class Simulator:
         self.drain()
         self._seq = 0
         self.now = 0.0
+        self._wheel_base = 0.0
+        self._ev_heartbeat = 0
+        self._ev_timer = 0
+        self._ev_request = 0
+        self._ev_fault = 0
         self.random.reseed(seed)
 
     # -- lazy-cancel bookkeeping -------------------------------------------
 
     def _note_dead(self) -> None:
-        """One more cancelled entry is sitting in the heap; maybe compact."""
+        """One more cancelled timed entry is pending; maybe compact."""
         self._dead += 1
-        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 >= len(self._queue):
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 >= (
+            len(self._queue) + self._wheel_count
+        ):
             self._compact()
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (in place: ``step`` may
-        hold a reference to the list while a callback cancels handles)."""
+        hold a reference to the containers while a callback cancels
+        handles).  Sweeps the overflow heap and every wheel bucket."""
         self._queue[:] = [
             e for e in self._queue if e[2] is None or not e[2]._cancelled
         ]
         heapq.heapify(self._queue)
+        if self._wheel_count:
+            # drop the sorted bucket's consumed prefix first: those
+            # entries already executed and must not survive the filter
+            if self._wheel_sorted >= 0 and self._wheel_idx:
+                del self._wheel[self._wheel_sorted][: self._wheel_idx]
+            self._wheel_sorted = -1
+            self._wheel_idx = 0
+            count = 0
+            for bucket in self._wheel:
+                if bucket:
+                    bucket[:] = [
+                        e for e in bucket
+                        if e[2] is None or not e[2]._cancelled
+                    ]
+                    count += len(bucket)
+            self._wheel_count = count
+            self._wheel_next = None
         self._dead = 0
 
     def pending(self) -> int:
-        """Live (non-cancelled) scheduled events across both lanes."""
+        """Live (non-cancelled) scheduled events across all lanes."""
         live_heap = sum(
             1 for e in self._queue if e[2] is None or not e[2]._cancelled
         )
         live_ready = sum(
             1 for e in self._ready if e[1] is None or not e[1]._cancelled
         )
-        return live_heap + live_ready
+        live_wheel = 0
+        if self._wheel_count:
+            for slot, bucket in enumerate(self._wheel):
+                # skip the sorted bucket's consumed (already executed) prefix
+                start = self._wheel_idx if slot == self._wheel_sorted else 0
+                for e in bucket[start:] if start else bucket:
+                    if e[2] is None or not e[2]._cancelled:
+                        live_wheel += 1
+        return live_heap + live_ready + live_wheel
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or None when idle.
 
-        Cancelled heap heads are pruned as a side effect, so the answer
-        is exact; the co-scheduler uses this to merge worlds by virtual
-        time without executing anything.
+        Cancelled heap and wheel heads are pruned as a side effect, so
+        the answer is exact; the co-scheduler uses this to merge worlds
+        by virtual time without executing anything.
         """
         if self._ready:
             return self.now
+        wnext = self._wheel_next
+        if wnext is not None:
+            whandle = wnext[0][2]
+            if whandle is not None and whandle._cancelled:
+                # the memoised head was cancelled since it was found:
+                # re-peek, which prunes it (and any cancelled run after)
+                wnext = self._wheel_peek()
+        elif self._wheel_count:
+            wnext = self._wheel_peek()
         queue = self._queue
         while queue:
             head = queue[0]
@@ -274,7 +541,11 @@ class Simulator:
                 heapq.heappop(queue)
                 self._dead -= 1
                 continue
+            if wnext is not None and wnext[0] < head:
+                return wnext[0][0]
             return head[0]
+        if wnext is not None:
+            return wnext[0][0]
         return None
 
     # -- execution ---------------------------------------------------------
@@ -282,16 +553,31 @@ class Simulator:
     def step(self) -> bool:
         """Execute the earliest pending event. Returns False when idle.
 
-        Ready-lane entries run at the current time, but a heap entry that
-        landed on exactly ``now`` with a smaller sequence number still
-        goes first — the two lanes together replay the strict
+        Ready-lane entries run at the current time, but a timed entry
+        that landed on exactly ``now`` with a smaller sequence number
+        still goes first — the three lanes together replay the strict
         ``(time, seq)`` order of the single-heap kernel.
         """
         ready = self._ready
         queue = self._queue
-        while ready or queue:
+        while True:
+            # earliest timed entry across wheel and overflow heap
+            tentry = self._wheel_next
+            if tentry is None and self._wheel_count:
+                tentry = self._wheel_peek()
+            if tentry is None:
+                tentry = queue[0] if queue else None
+                from_wheel = False
+            else:
+                tentry = tentry[0]
+                from_wheel = True
+                if queue and queue[0] < tentry:
+                    tentry = queue[0]
+                    from_wheel = False
             if ready and not (
-                queue and queue[0][0] <= self.now and queue[0][1] < ready[0][0]
+                tentry is not None
+                and tentry[0] <= self.now
+                and tentry[1] < ready[0][0]
             ):
                 _seq, handle, fn, args = ready.popleft()
                 if handle is not None:
@@ -300,7 +586,26 @@ class Simulator:
                     handle._fired = True
                 fn(*args)
                 return True
-            time, _seq, handle, fn, args = heapq.heappop(queue)
+            if tentry is None:
+                return False
+            if from_wheel:
+                slot = self._wheel_next[1]
+                bucket = self._wheel[slot]
+                idx = self._wheel_idx
+                time, _seq, handle, fn, args = bucket[idx]
+                self._wheel_count -= 1
+                idx += 1
+                # the next wheel minimum is this bucket's next unconsumed
+                # entry (no earlier bucket can be non-empty) or a rescan
+                if idx == len(bucket):
+                    bucket.clear()
+                    self._wheel_idx = 0
+                    self._wheel_next = None
+                else:
+                    self._wheel_idx = idx
+                    self._wheel_next = (bucket[idx], slot)
+            else:
+                time, _seq, handle, fn, args = heapq.heappop(queue)
             if handle is not None:
                 if handle._cancelled:
                     self._dead -= 1
@@ -311,7 +616,6 @@ class Simulator:
             self.now = time
             fn(*args)
             return True
-        return False
 
     def advance(self, stop: "Event", budget: Optional[int] = None) -> str:
         """Execute events until ``stop`` triggers, the queues drain, or
@@ -332,28 +636,84 @@ class Simulator:
         # cancelled entries `continue` without charging the budget: only
         # executed events count, exactly as repeated step() calls would
         while remaining != 0:
-            if ready and not (
-                queue
-                and queue[0][0] <= self.now
-                and queue[0][1] < ready[0][0]
-            ):
-                _seq, handle, fn, args = ready.popleft()
-                if handle is not None:
-                    if handle._cancelled:
-                        continue
-                    handle._fired = True
-            elif queue:
-                time, _seq, handle, fn, args = heappop(queue)
-                if handle is not None:
-                    if handle._cancelled:
-                        self._dead -= 1
-                        continue
-                    handle._fired = True
-                if time < self.now:
-                    raise SimulationError("time went backwards")
-                self.now = time
+            if not self._wheel_count:
+                # disengaged wheel (``_wheel_next`` is None by invariant):
+                # exactly the two-lane merge of the legacy kernel, with no
+                # wheel bookkeeping on the per-event path
+                if ready and not (
+                    queue
+                    and queue[0][0] <= self.now
+                    and queue[0][1] < ready[0][0]
+                ):
+                    _seq, handle, fn, args = ready.popleft()
+                    if handle is not None:
+                        if handle._cancelled:
+                            continue
+                        handle._fired = True
+                elif queue:
+                    time, _seq, handle, fn, args = heappop(queue)
+                    if handle is not None:
+                        if handle._cancelled:
+                            self._dead -= 1
+                            continue
+                        handle._fired = True
+                    if time < self.now:
+                        raise SimulationError("time went backwards")
+                    self.now = time
+                else:
+                    return "done" if stop.triggered else "idle"
             else:
-                return "done" if stop.triggered else "idle"
+                tentry = self._wheel_next
+                if tentry is None:
+                    tentry = self._wheel_peek()
+                if tentry is None:
+                    tentry = queue[0] if queue else None
+                    from_wheel = False
+                else:
+                    tentry = tentry[0]
+                    from_wheel = True
+                    if queue and queue[0] < tentry:
+                        tentry = queue[0]
+                        from_wheel = False
+                if ready and not (
+                    tentry is not None
+                    and tentry[0] <= self.now
+                    and tentry[1] < ready[0][0]
+                ):
+                    _seq, handle, fn, args = ready.popleft()
+                    if handle is not None:
+                        if handle._cancelled:
+                            continue
+                        handle._fired = True
+                elif tentry is not None:
+                    if from_wheel:
+                        slot = self._wheel_next[1]
+                        bucket = self._wheel[slot]
+                        idx = self._wheel_idx
+                        time, _seq, handle, fn, args = bucket[idx]
+                        self._wheel_count -= 1
+                        idx += 1
+                        # next wheel min: this bucket's next unconsumed
+                        # entry (no earlier bucket is non-empty), or rescan
+                        if idx == len(bucket):
+                            bucket.clear()
+                            self._wheel_idx = 0
+                            self._wheel_next = None
+                        else:
+                            self._wheel_idx = idx
+                            self._wheel_next = (bucket[idx], slot)
+                    else:
+                        time, _seq, handle, fn, args = heappop(queue)
+                    if handle is not None:
+                        if handle._cancelled:
+                            self._dead -= 1
+                            continue
+                        handle._fired = True
+                    if time < self.now:
+                        raise SimulationError("time went backwards")
+                    self.now = time
+                else:
+                    return "done" if stop.triggered else "idle"
             fn(*args)
             if stop.triggered:
                 return "done"
@@ -381,7 +741,13 @@ class Simulator:
                     break
         finally:
             self._running = False
-        if until is not None and self.now < until and not self._queue and not self._ready:
+        if (
+            until is not None
+            and self.now < until
+            and not self._queue
+            and not self._ready
+            and not self._wheel_count
+        ):
             self.now = until
         return self.now
 
@@ -405,6 +771,48 @@ class Simulator:
 
 
 # ---------------------------------------------------------------------------
+# Event attribution
+# ---------------------------------------------------------------------------
+
+
+#: Process-wide accumulator for per-subsystem event attribution.  Worlds
+#: fold their counters in when they are released (see
+#: ``coschedule.release_world``); the experiment runner takes the total
+#: per dispatch.  Counters are a side channel: they never influence
+#: event order, RNG draws or store bytes.
+_ATTRIBUTION: Dict[str, int] = {
+    "heartbeat": 0, "timer": 0, "request": 0, "fault": 0,
+}
+
+
+def harvest_event_attribution(sim: Simulator) -> None:
+    """Fold one simulator's source counters into the process-wide
+    accumulator and zero them (idempotent on repeated release)."""
+    acc = _ATTRIBUTION
+    acc["heartbeat"] += sim._ev_heartbeat
+    acc["timer"] += sim._ev_timer
+    acc["request"] += sim._ev_request
+    acc["fault"] += sim._ev_fault
+    sim._ev_heartbeat = sim._ev_timer = sim._ev_request = sim._ev_fault = 0
+
+
+def take_event_attribution() -> Dict[str, int]:
+    """Return and zero the process-wide attribution accumulator."""
+    out = dict(_ATTRIBUTION)
+    for key in _ATTRIBUTION:
+        _ATTRIBUTION[key] = 0
+    return out
+
+
+def credit_event_attribution(sources: Dict[str, int]) -> None:
+    """Fold counters harvested in *another* process into this one's
+    accumulator — worker backends ship their per-batch attribution back
+    to the coordinating process through this."""
+    for key, count in sources.items():
+        _ATTRIBUTION[key] = _ATTRIBUTION.get(key, 0) + count
+
+
+# ---------------------------------------------------------------------------
 # Wait descriptors
 # ---------------------------------------------------------------------------
 
@@ -425,17 +833,30 @@ class Timeout:
         # schedule() body is inlined (delay was validated in __init__),
         # with the shared _RESUME_ARGS pair instead of a fresh tuple.
         sim = process.sim
-        sim._seq += 1
+        sim._ev_timer += 1
         delay = self.delay
         if delay == 0.0 and sim.fast_path:
+            sim._seq += 1
             handle = Handle()
             sim._ready.append((sim._seq, handle, process._resume_cb, _RESUME_ARGS))
         else:
             handle = Handle(sim)
-            heapq.heappush(
-                sim._queue,
-                (sim.now + delay, sim._seq, handle, process._resume_cb, _RESUME_ARGS),
-            )
+            sim._seq += 1
+            if sim.fast_path and len(sim._queue) >= _WHEEL_ENGAGE:
+                sim._wheel_insert(
+                    sim.now + delay, handle, process._resume_cb, _RESUME_ARGS
+                )
+            else:
+                heapq.heappush(
+                    sim._queue,
+                    (
+                        sim.now + delay,
+                        sim._seq,
+                        handle,
+                        process._resume_cb,
+                        _RESUME_ARGS,
+                    ),
+                )
         return handle
 
 

@@ -8,13 +8,21 @@ comparable across runs (determinism checks diff two traces).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple,
+)
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One traced occurrence."""
+class TraceRecord(NamedTuple):
+    """One traced occurrence.
+
+    A named tuple rather than a frozen dataclass: records are created on
+    the hot path of every traced subsystem, and tuple construction is
+    several times cheaper than ``object.__setattr__``-guarded init.
+    Field equality and hashing are unchanged.
+    """
 
     time: float
     category: str
@@ -119,3 +127,17 @@ class Trace:
             key = f"{rec.category}.{rec.event}"
             out[key] = out.get(key, 0) + 1
         return out
+
+    def digest(self) -> str:
+        """A stable hex digest over every record.
+
+        Byte-identity checks (fast vs legacy kernel, express vs plain
+        heartbeats) compare digests instead of whole record lists; any
+        divergence in event order, timing or payload changes it.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        for rec in self.records:
+            h.update(
+                repr((rec.time, rec.category, rec.event, rec.details)).encode()
+            )
+        return h.hexdigest()

@@ -78,3 +78,28 @@ def test_results_are_json_normalised():
     )
     result = exp.run(spec, jobs=1)
     assert result.results == json.loads(json.dumps(result.results))
+
+
+def test_events_by_source_attribution_flows_to_result():
+    # a campaign mission is heartbeat-dominated: the per-subsystem
+    # attribution harvested from released worlds must reach both the
+    # ExperimentResult summary and an aggregating ExecutionStats
+    spec = campaign.spec(missions=2, base_seed=42, requests=8)
+    stats = exp.ExecutionStats()
+    result = exp.run(spec, jobs=1, stats=stats)
+    sources = result.events_by_source
+    assert set(sources) >= {"heartbeat", "timer", "request", "fault"}
+    assert sources["heartbeat"] > sources["request"] > 0
+    assert sources["timer"] > 0
+    assert stats.events_by_source == sources
+    assert result.summary()["events_by_source"] == sources
+
+
+def test_events_by_source_resets_between_runs():
+    # the process-wide accumulator is taken per dispatch: two identical
+    # runs report identical (not cumulative) attribution
+    spec = campaign.spec(missions=1, base_seed=7, requests=8)
+    first = exp.run(spec, jobs=1).events_by_source
+    second = exp.run(spec, jobs=1).events_by_source
+    assert first == second
+    assert first["heartbeat"] > 0

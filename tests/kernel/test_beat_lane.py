@@ -1,0 +1,185 @@
+"""The heartbeat express lane: fault parity with the general send path.
+
+A :class:`BeatLane` preallocates everything ``Network.send`` resolves
+per call, but it must remain an optimisation, never a semantics change:
+crash and omission drops, partition blocks, limp-factor link delays and
+delivery filters have to hit express beats exactly as they hit plain
+sends — same RNG draws, same counters, same trace bytes.  Each test
+here runs the identical beat workload through the express lane and the
+``_LegacyBeatLane`` shim (which routes through ``Network.send``) and
+asserts the observable behaviour is byte-identical.
+"""
+
+import pytest
+
+from repro.kernel import World
+from repro.kernel import network as netmod
+from repro.kernel.errors import NodeDown
+
+
+@pytest.fixture
+def express_toggle():
+    """Restore the module toggle after a test flips it."""
+    yield netmod.set_beat_express
+    netmod.set_beat_express(True)
+
+
+def _beat_world(seed=13):
+    world = World(seed=seed)
+    world.add_nodes(["alpha", "beta"])
+    return world
+
+
+def _run_beats(express, seed=13, count=40, period=20.0, mutate=None):
+    """Drive ``count`` beats alpha->beta; returns (world, arrival times)."""
+    netmod.set_beat_express(express)
+    try:
+        world = _beat_world(seed)
+        arrivals = []
+        mailbox = world.network.bind("beta", "fd")
+        mailbox.set_sink(lambda _msg: arrivals.append(world.sim.now))
+        lane = world.network.beat_lane(
+            "alpha", "beta", "fd", ("heartbeat", "alpha"), 32
+        )
+        sent = [0]
+
+        def beat():
+            if mutate is not None:
+                mutate(world, sent[0])
+            sent[0] += 1
+            if sent[0] <= count:
+                lane.send()
+            else:
+                ticker.kill()
+
+        ticker = world.cluster.node("alpha").every(period, beat)
+        world.sim.run()
+        return world, arrivals
+    finally:
+        netmod.set_beat_express(True)
+
+
+def _parity(mutate=None, seed=13):
+    fast_world, fast_arrivals = _run_beats(True, seed=seed, mutate=mutate)
+    slow_world, slow_arrivals = _run_beats(False, seed=seed, mutate=mutate)
+    assert fast_arrivals == slow_arrivals
+    assert fast_world.trace.digest() == slow_world.trace.digest()
+    for counter in ("messages_sent", "messages_delivered", "messages_dropped"):
+        assert getattr(fast_world.network, counter) == \
+            getattr(slow_world.network, counter), counter
+    return fast_world, fast_arrivals
+
+
+def test_express_toggle_selects_lane_class(express_toggle):
+    world = _beat_world()
+    assert isinstance(
+        world.network.beat_lane("alpha", "beta", "fd", "hb", 32),
+        netmod.BeatLane,
+    )
+    express_toggle(False)
+    assert not netmod.beat_express_enabled()
+    assert isinstance(
+        world.network.beat_lane("alpha", "beta", "fd", "hb", 32),
+        netmod._LegacyBeatLane,
+    )
+
+
+def test_clean_run_is_byte_identical_and_delivers_every_beat():
+    world, arrivals = _parity()
+    assert len(arrivals) == 40
+    assert world.network.messages_dropped == 0
+
+
+def test_crashed_destination_drops_beats_identically():
+    def mutate(world, beat_index):
+        if beat_index == 10:
+            world.cluster.node("beta").crash()
+        elif beat_index == 25:
+            world.cluster.node("beta").restart()
+
+    world, arrivals = _parity(mutate=mutate)
+    drops = world.trace.select("network", "drop")
+    assert drops and all(
+        rec.detail("reason") == "destination_down" for rec in drops
+    )
+    # the mailbox (and its sink) survives the crash in this harness, so
+    # delivery resumes as soon as the node is back
+    assert len(arrivals) == 40 - len(drops)
+
+
+def test_crashed_source_raises_node_down():
+    world = _beat_world()
+    lane = world.network.beat_lane("alpha", "beta", "fd", "hb", 32)
+    world.cluster.node("alpha").crash()
+    with pytest.raises(NodeDown):
+        lane.send()
+
+
+def test_omission_loss_drops_the_same_beats():
+    def mutate(world, beat_index):
+        if beat_index == 5:
+            world.network.set_link_loss("alpha", "beta", 0.4)
+
+    world, arrivals = _parity(mutate=mutate)
+    drops = world.trace.select("network", "drop")
+    assert drops and all(rec.detail("reason") == "loss" for rec in drops)
+    assert 0 < len(arrivals) < 40
+
+
+def test_partition_blocks_express_beats_identically():
+    def mutate(world, beat_index):
+        if beat_index == 8:
+            world.network.partition(["alpha"], ["beta"])
+        elif beat_index == 16:
+            world.network.heal()
+
+    world, arrivals = _parity(mutate=mutate)
+    reasons = {r.detail("reason") for r in world.trace.select("network", "drop")}
+    assert reasons == {"partition"}
+
+
+def test_slow_link_delays_express_beats_identically():
+    # a x8 limp installed mid-run must stretch express beat delivery
+    # exactly as it stretches plain sends: apply_slow mutates the Link
+    # the lane aliases, so no re-resolution is needed
+    def mutate(world, beat_index):
+        if beat_index == 20:
+            world.faults.apply_slow(
+                world.cluster.node("beta"), "link", 8.0
+            )
+
+    world, arrivals = _parity(mutate=mutate)
+    healthy_delay = arrivals[5] - 20.0 * 5  # send instant -> delivery
+    limped_delay = arrivals[21] - 20.0 * 21  # first beat after the limp
+    assert limped_delay > 4 * healthy_delay
+
+
+def test_delivery_filters_still_apply_to_express_beats():
+    # the filter fallback hands a private copy through Network._deliver,
+    # so corruption hooks observe express beats like any other message
+    def mutate(world, beat_index):
+        if beat_index == 0:
+            world.network.add_delivery_filter(
+                lambda msg: None if msg.port == "fd" and
+                world.sim.now > 400.0 else msg
+            )
+
+    world, arrivals = _parity(mutate=mutate)
+    drops = world.trace.select("network", "drop")
+    assert drops and all(rec.detail("reason") == "filtered" for rec in drops)
+    assert all(t <= 400.0 + 20.0 for t in arrivals)
+
+
+def test_beat_lane_attributes_events_to_heartbeat_bucket():
+    world, _arrivals = _run_beats(True)
+    sources = world.sim.events_by_source
+    assert sources["heartbeat"] == 40  # one per delivered-or-dropped send
+    assert sources["timer"] >= 40  # the ticker re-arms
+
+
+def test_unknown_endpoints_are_rejected_eagerly():
+    world = _beat_world()
+    with pytest.raises(KeyError):
+        world.network.beat_lane("nope", "beta", "fd", "hb", 32)
+    with pytest.raises(KeyError):
+        world.network.beat_lane("alpha", "nope", "fd", "hb", 32)

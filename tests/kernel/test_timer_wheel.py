@@ -1,0 +1,203 @@
+"""The load-adaptive timer wheel: parity, cancellation, and bounds.
+
+The wheel only engages once the overflow heap is ``_WHEEL_ENGAGE``
+entries deep, which no realistic mission reaches — so these tests lower
+the threshold (a module global read at call time by every inline engage
+check in ``sim.py``) to force timed traffic through the bucket machinery
+and pin its claims: identical replay order against the legacy single
+heap, correct cancellation and re-arm behaviour, span overflow to the
+heap, and bounded growth under mass schedule-and-cancel churn.
+"""
+
+import pytest
+
+import repro.kernel.sim as simmod
+from repro.kernel import Simulator, Timeout
+from repro.kernel.sim import _WHEEL_GRANULARITY, _WHEEL_SPAN
+
+
+@pytest.fixture
+def engaged(monkeypatch):
+    """Force every timed insert through the wheel path."""
+    monkeypatch.setattr(simmod, "_WHEEL_ENGAGE", 0)
+
+
+def _run_workload(sim, periods):
+    """Self-rescheduling timers with mixed periods; returns the fire log."""
+    log = []
+    horizon = 600.0
+
+    def make(tag, period):
+        def tick():
+            log.append((sim.now, tag))
+            if sim.now + period < horizon:
+                sim.call_later(period, tick)
+        return tick
+
+    for i, period in enumerate(periods):
+        sim.call_later(period, make(i, period))
+    sim.run()
+    return log
+
+
+def test_wheel_replays_legacy_order_across_period_regimes(engaged):
+    # sub-granularity, around-granularity, long, and beyond-span periods
+    # all at once: every routing branch (near-horizon heap, bucket
+    # append, span overflow) must interleave into one global order
+    periods = [0.5, 1.0, 3.0, 5.0, 17.0, 64.0, 300.0, _WHEEL_SPAN + 50.0]
+    fast = _run_workload(Simulator(seed=3, fast_path=True), periods)
+    legacy = _run_workload(Simulator(seed=3, fast_path=False), periods)
+    assert fast == legacy
+    assert len(fast) > 100
+
+
+def test_mass_timers_fire_in_nondecreasing_time_order(engaged):
+    sim = Simulator(seed=7, fast_path=True)
+    rng = sim.random.substream("t")
+    times = []
+    for _ in range(3000):
+        sim.schedule(rng.uniform(0.0, 3 * _WHEEL_SPAN),
+                     lambda: times.append(sim.now))
+    sim.run()
+    assert len(times) == 3000
+    assert times == sorted(times)
+
+
+def test_cancelled_wheel_entries_never_fire(engaged):
+    sim = Simulator(fast_path=True)
+    fired = []
+    keep = sim.schedule(40.0, fired.append, "keep")
+    doomed = [sim.schedule(40.0, fired.append, f"no-{i}") for i in range(50)]
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep._fired
+
+
+def test_cancel_after_engage_then_reschedule(engaged):
+    # cancellation plus re-arm into the same bucket region: the pruned
+    # entries must not disturb later inserts landing on the same slots
+    sim = Simulator(fast_path=True)
+    log = []
+    handles = [sim.schedule(20.0 + i * 0.25, log.append, i) for i in range(40)]
+    for handle in handles[::2]:
+        handle.cancel()
+    sim.run()
+    assert log == [i for i in range(40) if i % 2]
+    sim.schedule(20.0, log.append, "again")
+    sim.run()
+    assert log[-1] == "again"
+
+
+def test_span_overflow_promotes_to_heap_and_fires_in_order(engaged):
+    sim = Simulator(fast_path=True)
+    log = []
+    sim.schedule(2 * _WHEEL_SPAN, log.append, "far")
+    sim.schedule(10.0, log.append, "near")
+    sim.schedule(_WHEEL_SPAN - 1.0, log.append, "edge")
+    assert len(sim._queue) >= 1  # the far entry overflowed
+    sim.run()
+    assert log == ["near", "edge", "far"]
+
+
+def test_latecomer_into_consumed_bucket_rides_heap(engaged):
+    # while a sorted bucket is being consumed, a fresh insert targeting
+    # that same bucket must divert to the overflow heap yet still fire
+    # in global time order
+    sim = Simulator(fast_path=True)
+    log = []
+    base = 40.0  # all in one 4-unit bucket
+
+    def first():
+        log.append(sim.now)
+        sim.schedule(1.0, lambda: log.append(sim.now))  # lands at 41.0
+
+    sim.schedule(base, first)
+    sim.schedule(base + 0.5, lambda: log.append(sim.now))
+    sim.schedule(base + 2.0, lambda: log.append(sim.now))
+    sim.run()
+    assert log == [40.0, 40.5, 41.0, 42.0]
+
+
+def test_cursor_advance_then_insert_behind_anchor(engaged):
+    # consume far into the wheel so the anchor advances, then insert a
+    # short timer (behind the advanced anchor): the near-horizon rule
+    # must route it to the heap and preserve exact ordering
+    sim = Simulator(fast_path=True)
+    log = []
+    sim.schedule(50 * _WHEEL_GRANULARITY, log.append, "far")
+    sim.run()
+
+    def react():
+        log.append("react")
+        sim.schedule(0.5, log.append, "short")
+        sim.schedule(2 * _WHEEL_GRANULARITY + 1.0, log.append, "bucketed")
+
+    sim.schedule(1.0, react)
+    sim.run()
+    assert log == ["far", "react", "short", "bucketed"]
+
+
+def test_mass_schedule_and_cancel_stays_bounded(engaged):
+    # mirror of the lazy-cancel heap compaction bound: 10k cancelled
+    # wheel entries must be swept, not retained until their deadline
+    sim = Simulator(fast_path=True)
+    live = sim.schedule(1000.0, _nop_cb)
+    for _ in range(10_000):
+        sim.schedule(900.0, _nop_cb).cancel()
+    resident = len(sim._queue) + sum(len(b) for b in sim._wheel)
+    assert resident < 2_000
+    assert sim.pending() == 1
+    assert live.active
+    sim.run()
+    assert live._fired
+
+
+def _nop_cb():
+    pass
+
+
+def test_peek_time_and_pending_with_wheel_engaged(engaged):
+    sim = Simulator(fast_path=True)
+    sim.schedule(60.0, _nop_cb)
+    h = sim.schedule(30.0, _nop_cb)
+    sim.schedule(90.0, _nop_cb)
+    assert sim.peek_time() == 30.0
+    assert sim.pending() == 3
+    h.cancel()
+    assert sim.peek_time() == 60.0
+    assert sim.pending() == 2
+
+
+def test_drain_and_reset_clear_wheel_state(engaged):
+    sim = Simulator(seed=5, fast_path=True)
+    for i in range(100):
+        sim.schedule(10.0 + i, _nop_cb)
+    sim.drain()
+    assert sim.pending() == 0
+    assert sim._wheel_count == 0
+    assert all(not bucket for bucket in sim._wheel)
+    sim.reset(seed=5)
+    fired = []
+    sim.schedule(12.0, fired.append, "post-reset")
+    sim.run()
+    assert fired == ["post-reset"]
+    assert sim.now == 12.0
+
+
+def test_timeout_waits_ride_the_wheel_identically(engaged):
+    def proc(sim, log, tag, period, count):
+        for _ in range(count):
+            yield Timeout(period)
+            log.append((sim.now, tag))
+
+    def run(fast):
+        sim = Simulator(seed=11, fast_path=fast)
+        log = []
+        for tag, period in enumerate([1.5, 7.0, 23.0, 160.0]):
+            sim.spawn(proc(sim, log, tag, period, 20))
+        sim.run()
+        return log
+
+    assert run(True) == run(False)
